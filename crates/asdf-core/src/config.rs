@@ -1,0 +1,525 @@
+//! Parser for the fpt-core configuration dialect.
+//!
+//! The paper (§3.4, Figure 3) configures a fingerpointing tool with an
+//! INI-style file: each `[section]` header names a module *type* and
+//! instantiates it; the body assigns an instance `id`, wires inputs, and
+//! passes everything else through as module-specific parameters:
+//!
+//! ```text
+//! [ibuffer]
+//! id = buf1
+//! input[input] = onenn0.output0
+//! size = 10
+//!
+//! [analysis_bb]
+//! id = analysis
+//! threshold = 5
+//! input[l0] = @buf0
+//! input[l1] = @buf1
+//! ```
+//!
+//! Two connection forms exist: `instance.output` connects a single named
+//! output, and `@instance` connects *all* outputs of that instance.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{ParseConfigError, ParseConfigErrorKind};
+
+/// One end-point expression on the right-hand side of an `input[...] = ...`
+/// assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Connection {
+    /// `instance.output` — a single named output of an upstream instance.
+    Port {
+        /// Upstream instance id.
+        instance: String,
+        /// Output port name on that instance.
+        output: String,
+    },
+    /// `@instance` — every output the upstream instance declares.
+    AllOutputs {
+        /// Upstream instance id.
+        instance: String,
+    },
+}
+
+impl Connection {
+    /// The upstream instance this connection refers to.
+    pub fn instance(&self) -> &str {
+        match self {
+            Connection::Port { instance, .. } | Connection::AllOutputs { instance } => instance,
+        }
+    }
+}
+
+impl fmt::Display for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Connection::Port { instance, output } => write!(f, "{instance}.{output}"),
+            Connection::AllOutputs { instance } => write!(f, "@{instance}"),
+        }
+    }
+}
+
+impl FromStr for Connection {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix('@') {
+            if rest.is_empty() || rest.contains(['.', '@', ' ']) {
+                return Err(());
+            }
+            return Ok(Connection::AllOutputs {
+                instance: rest.to_owned(),
+            });
+        }
+        let (instance, output) = s.split_once('.').ok_or(())?;
+        if instance.is_empty() || output.is_empty() || output.contains('.') {
+            return Err(());
+        }
+        Ok(Connection::Port {
+            instance: instance.to_owned(),
+            output: output.to_owned(),
+        })
+    }
+}
+
+/// The parsed body of one `[section]`: a module instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceConfig {
+    /// The module type (the section header).
+    pub module_type: String,
+    /// The instance id (`id = ...`, defaulting to the module type when a
+    /// configuration has exactly one anonymous instance of a type).
+    pub id: String,
+    /// Wired inputs: slot name → connection expression, in file order.
+    pub inputs: Vec<(String, Connection)>,
+    /// All other `key = value` parameters, interpreted by the module itself.
+    pub params: HashMap<String, String>,
+}
+
+impl InstanceConfig {
+    /// Creates an instance configuration with no inputs or parameters.
+    pub fn new(module_type: impl Into<String>, id: impl Into<String>) -> Self {
+        InstanceConfig {
+            module_type: module_type.into(),
+            id: id.into(),
+            inputs: Vec::new(),
+            params: HashMap::new(),
+        }
+    }
+
+    /// Adds a parameter (builder style).
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.params.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Wires an input slot to a single upstream output (builder style).
+    #[must_use]
+    pub fn with_input(
+        mut self,
+        slot: impl Into<String>,
+        instance: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        self.inputs.push((
+            slot.into(),
+            Connection::Port {
+                instance: instance.into(),
+                output: output.into(),
+            },
+        ));
+        self
+    }
+
+    /// Wires an input slot to all outputs of an upstream instance
+    /// (builder style, the `@instance` form).
+    #[must_use]
+    pub fn with_input_all(mut self, slot: impl Into<String>, instance: impl Into<String>) -> Self {
+        self.inputs.push((
+            slot.into(),
+            Connection::AllOutputs {
+                instance: instance.into(),
+            },
+        ));
+        self
+    }
+
+    /// Looks up a parameter value.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+}
+
+/// A fully parsed fpt-core configuration: an ordered list of module
+/// instantiations.
+///
+/// # Examples
+///
+/// ```
+/// use asdf_core::config::Config;
+///
+/// let cfg: Config = "\
+/// [print]
+/// id = alarm
+/// input[a] = @analysis
+/// ".parse()?;
+/// assert_eq!(cfg.instances().len(), 1);
+/// assert_eq!(cfg.instances()[0].id, "alarm");
+/// # Ok::<(), asdf_core::error::ParseConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    instances: Vec<InstanceConfig>,
+}
+
+impl Config {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// The configured instances, in file order.
+    pub fn instances(&self) -> &[InstanceConfig] {
+        &self.instances
+    }
+
+    /// Finds an instance by id.
+    pub fn instance(&self, id: &str) -> Option<&InstanceConfig> {
+        self.instances.iter().find(|i| i.id == id)
+    }
+
+    /// Appends an instance built programmatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the instance's id if an instance with the same id already
+    /// exists.
+    pub fn push(&mut self, instance: InstanceConfig) -> Result<(), String> {
+        if self.instances.iter().any(|i| i.id == instance.id) {
+            return Err(instance.id);
+        }
+        self.instances.push(instance);
+        Ok(())
+    }
+
+    /// Renders the configuration back into the paper's file dialect.
+    ///
+    /// `parse(render(c)) == c` for every well-formed configuration, which is
+    /// checked by a property test.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for inst in &self.instances {
+            let _ = writeln!(out, "[{}]", inst.module_type);
+            let _ = writeln!(out, "id = {}", inst.id);
+            for (slot, conn) in &inst.inputs {
+                let _ = writeln!(out, "input[{slot}] = {conn}");
+            }
+            let mut keys: Vec<&String> = inst.params.keys().collect();
+            keys.sort();
+            for key in keys {
+                let _ = writeln!(out, "{key} = {}", inst.params[key]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromStr for Config {
+    type Err = ParseConfigError;
+
+    fn from_str(text: &str) -> Result<Self, ParseConfigError> {
+        let mut parser = Parser::default();
+        for (idx, raw) in text.lines().enumerate() {
+            parser.line(idx + 1, raw)?;
+        }
+        parser.finish()
+    }
+}
+
+#[derive(Default)]
+struct Parser {
+    instances: Vec<InstanceConfig>,
+    current: Option<InstanceConfig>,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn line(&mut self, line_no: usize, raw: &str) -> Result<(), ParseConfigError> {
+        let line = raw.trim();
+        let err = |kind| ParseConfigError { line: line_no, kind };
+
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            return Ok(());
+        }
+
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(ParseConfigErrorKind::MalformedSectionHeader(
+                    line.to_owned(),
+                )));
+            };
+            let name = name.trim();
+            if name.is_empty() || name.contains(['[', ']', '=']) {
+                return Err(err(ParseConfigErrorKind::MalformedSectionHeader(
+                    line.to_owned(),
+                )));
+            }
+            self.flush();
+            // Placeholder id; replaced by an explicit `id =` or synthesized
+            // in flush() for anonymous instances.
+            self.current = Some(InstanceConfig::new(name, String::new()));
+            return Ok(());
+        }
+
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(ParseConfigErrorKind::MalformedLine(line.to_owned())));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(current) = self.current.as_mut() else {
+            return Err(err(ParseConfigErrorKind::AssignmentOutsideSection));
+        };
+
+        if key == "id" {
+            if !current.id.is_empty() {
+                return Err(err(ParseConfigErrorKind::DuplicateParameter("id".into())));
+            }
+            current.id = value.to_owned();
+            return Ok(());
+        }
+
+        if let Some(rest) = key.strip_prefix("input[") {
+            let Some(slot) = rest.strip_suffix(']') else {
+                return Err(err(ParseConfigErrorKind::MalformedInputKey(key.to_owned())));
+            };
+            let slot = slot.trim();
+            if slot.is_empty() {
+                return Err(err(ParseConfigErrorKind::MalformedInputKey(key.to_owned())));
+            }
+            if current.inputs.iter().any(|(s, _)| s == slot) {
+                return Err(err(ParseConfigErrorKind::DuplicateInput(slot.to_owned())));
+            }
+            let conn: Connection = value.parse().map_err(|()| {
+                err(ParseConfigErrorKind::MalformedConnection(value.to_owned()))
+            })?;
+            current.inputs.push((slot.to_owned(), conn));
+            return Ok(());
+        }
+
+        if current.params.contains_key(key) {
+            return Err(err(ParseConfigErrorKind::DuplicateParameter(key.to_owned())));
+        }
+        current.params.insert(key.to_owned(), value.to_owned());
+        Ok(())
+    }
+
+    fn flush(&mut self) {
+        if let Some(mut inst) = self.current.take() {
+            if inst.id.is_empty() {
+                // Anonymous instance: synthesize a stable id from the type.
+                self.anon_counter += 1;
+                inst.id = format!("{}#{}", inst.module_type, self.anon_counter);
+            }
+            self.instances.push(inst);
+        }
+    }
+
+    fn finish(mut self) -> Result<Config, ParseConfigError> {
+        self.flush();
+        // Duplicate-id detection spans sections, so it runs at the end where
+        // the offending line number is unknown; report the last line instead.
+        let mut seen = HashMap::new();
+        for inst in &self.instances {
+            if seen.insert(inst.id.clone(), ()).is_some() {
+                return Err(ParseConfigError {
+                    line: 0,
+                    kind: ParseConfigErrorKind::DuplicateInstanceId(inst.id.clone()),
+                });
+            }
+        }
+        Ok(Config {
+            instances: self.instances,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SNIPPET: &str = "\
+[ibuffer]
+id = buf1
+input[input] = onenn0.output0
+size = 10
+
+[analysis_bb]
+id = analysis
+threshold = 5
+window = 15
+slide = 5
+input[l0] = @buf0
+input[l1] = @buf1
+
+[print]
+id = BlackBoxAlarm
+input[a] = @analysis
+";
+
+    #[test]
+    fn parses_the_papers_figure_3_snippet() {
+        let cfg: Config = PAPER_SNIPPET.parse().unwrap();
+        assert_eq!(cfg.instances().len(), 3);
+
+        let buf = cfg.instance("buf1").unwrap();
+        assert_eq!(buf.module_type, "ibuffer");
+        assert_eq!(buf.param("size"), Some("10"));
+        assert_eq!(
+            buf.inputs,
+            vec![(
+                "input".to_owned(),
+                Connection::Port {
+                    instance: "onenn0".into(),
+                    output: "output0".into()
+                }
+            )]
+        );
+
+        let analysis = cfg.instance("analysis").unwrap();
+        assert_eq!(analysis.param("threshold"), Some("5"));
+        assert_eq!(analysis.inputs.len(), 2);
+        assert_eq!(
+            analysis.inputs[0].1,
+            Connection::AllOutputs {
+                instance: "buf0".into()
+            }
+        );
+
+        let print = cfg.instance("BlackBoxAlarm").unwrap();
+        assert_eq!(print.module_type, "print");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg: Config = "# leading comment\n\n[print]\n; another\nid = p\n".parse().unwrap();
+        assert_eq!(cfg.instances().len(), 1);
+    }
+
+    #[test]
+    fn anonymous_instances_get_synthesized_ids() {
+        let cfg: Config = "[sadc]\nnode = n1\n\n[sadc]\nnode = n2\n".parse().unwrap();
+        assert_eq!(cfg.instances()[0].id, "sadc#1");
+        assert_eq!(cfg.instances()[1].id, "sadc#2");
+    }
+
+    #[test]
+    fn assignment_outside_section_is_rejected() {
+        let err = "id = x\n".parse::<Config>().unwrap_err();
+        assert_eq!(err.kind, ParseConfigErrorKind::AssignmentOutsideSection);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let err = "[a]\nnot an assignment\n".parse::<Config>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseConfigErrorKind::MalformedLine(_)));
+
+        let err = "[unclosed\n".parse::<Config>().unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseConfigErrorKind::MalformedSectionHeader(_)
+        ));
+
+        let err = "[a]\ninput[x = b.c\n".parse::<Config>().unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseConfigErrorKind::MalformedInputKey(_)
+        ));
+
+        let err = "[a]\ninput[x] = nodot\n".parse::<Config>().unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseConfigErrorKind::MalformedConnection(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_inputs_and_params_are_rejected() {
+        let err = "[a]\nid = x\n\n[b]\nid = x\n".parse::<Config>().unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseConfigErrorKind::DuplicateInstanceId("x".into())
+        );
+
+        let err = "[a]\ninput[i] = b.o\ninput[i] = c.o\n"
+            .parse::<Config>()
+            .unwrap_err();
+        assert_eq!(err.kind, ParseConfigErrorKind::DuplicateInput("i".into()));
+
+        let err = "[a]\nk = 1\nk = 2\n".parse::<Config>().unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseConfigErrorKind::DuplicateParameter("k".into())
+        );
+    }
+
+    #[test]
+    fn connection_parsing_accepts_both_forms_only() {
+        assert_eq!(
+            "a.b".parse::<Connection>().unwrap(),
+            Connection::Port {
+                instance: "a".into(),
+                output: "b".into()
+            }
+        );
+        assert_eq!(
+            "@a".parse::<Connection>().unwrap(),
+            Connection::AllOutputs { instance: "a".into() }
+        );
+        assert!("".parse::<Connection>().is_err());
+        assert!("@".parse::<Connection>().is_err());
+        assert!("a.".parse::<Connection>().is_err());
+        assert!(".b".parse::<Connection>().is_err());
+        assert!("a.b.c".parse::<Connection>().is_err());
+        assert!("@a.b".parse::<Connection>().is_err());
+    }
+
+    #[test]
+    fn render_round_trips_the_paper_snippet() {
+        let cfg: Config = PAPER_SNIPPET.parse().unwrap();
+        let rendered = cfg.render();
+        let reparsed: Config = rendered.parse().unwrap();
+        assert_eq!(cfg, reparsed);
+    }
+
+    #[test]
+    fn builder_api_matches_parsed_form() {
+        let mut built = Config::new();
+        built
+            .push(
+                InstanceConfig::new("ibuffer", "buf1")
+                    .with_input("input", "onenn0", "output0")
+                    .with_param("size", 10),
+            )
+            .unwrap();
+        let parsed: Config = "[ibuffer]\nid = buf1\ninput[input] = onenn0.output0\nsize = 10\n"
+            .parse()
+            .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn push_rejects_duplicate_ids() {
+        let mut cfg = Config::new();
+        cfg.push(InstanceConfig::new("a", "x")).unwrap();
+        assert_eq!(cfg.push(InstanceConfig::new("b", "x")), Err("x".to_owned()));
+    }
+}

@@ -1,0 +1,621 @@
+//! DAG construction from a parsed configuration (§3.3 of the paper).
+//!
+//! `fpt-core` models the flow of data between modules as a directed acyclic
+//! graph: module instances are vertices, and edges carry samples from output
+//! ports to input slots. Construction follows the paper's worklist
+//! algorithm:
+//!
+//! 1. assign a vertex to each configured module instance;
+//! 2. annotate each vertex with its unsatisfied upstream dependencies and
+//!    queue the fully-satisfied ones (output-only modules);
+//! 3. initialize queued instances — `init()` verifies parameters/inputs and
+//!    *declares outputs*, which may satisfy other instances' inputs, which
+//!    are then queued in turn;
+//! 4. repeat until every instance is initialized; if construction stalls
+//!    (a cycle, or a reference to an output nobody produces), fail.
+//!
+//! The resulting [`Dag`] stores instances in initialization order, which is
+//! a topological order — the deterministic tick engine exploits this to
+//! process each tick in a single sweep.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::config::{Config, Connection};
+use crate::error::BuildDagError;
+use crate::module::{InitCtx, Module, OutputMeta, ScheduleSpec};
+use crate::registry::ModuleRegistry;
+
+/// One wired input slot of an instantiated module: its name and the upstream
+/// output ports feeding it.
+#[derive(Debug, Clone)]
+pub struct SlotSpec {
+    /// The slot name (the `x` of `input[x] = ...`).
+    pub name: String,
+    /// The upstream ports connected to this slot, in resolution order.
+    pub sources: Vec<Arc<OutputMeta>>,
+}
+
+/// A fully initialized module instance: a vertex of the [`Dag`].
+pub struct DagNode {
+    /// Instance id.
+    pub id: String,
+    /// Module type (configuration section name).
+    pub module_type: String,
+    /// The module itself, already initialized.
+    pub module: Box<dyn Module>,
+    /// Output ports declared during `init()`, in declaration order.
+    pub outputs: Vec<Arc<OutputMeta>>,
+    /// Wired input slots, in configuration order.
+    pub slots: Vec<SlotSpec>,
+    /// Scheduling the module requested during `init()`.
+    pub schedule: ScheduleSpec,
+    /// Routing table: for each output port (by index), the downstream
+    /// `(node index, slot index)` pairs it feeds.
+    pub routes: Vec<Vec<(usize, usize)>>,
+}
+
+impl std::fmt::Debug for DagNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DagNode")
+            .field("id", &self.id)
+            .field("module_type", &self.module_type)
+            .field("outputs", &self.outputs.len())
+            .field("slots", &self.slots.len())
+            .field("schedule", &self.schedule)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The constructed module graph, ready to be executed by an engine.
+///
+/// # Examples
+///
+/// Building the graph for a trivial two-module pipeline:
+///
+/// ```
+/// use asdf_core::config::Config;
+/// use asdf_core::dag::Dag;
+/// use asdf_core::registry::ModuleRegistry;
+/// use asdf_core::module::{InitCtx, Module, RunCtx, RunReason, PortId};
+/// use asdf_core::error::ModuleError;
+/// use asdf_core::time::TickDuration;
+///
+/// struct Src(Option<PortId>);
+/// impl Module for Src {
+///     fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+///         self.0 = Some(ctx.declare_output("out"));
+///         ctx.request_periodic(TickDuration::SECOND);
+///         Ok(())
+///     }
+///     fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+///         ctx.emit(self.0.unwrap(), 1.0);
+///         Ok(())
+///     }
+/// }
+/// struct Sink;
+/// impl Module for Sink {
+///     fn init(&mut self, _: &mut InitCtx<'_>) -> Result<(), ModuleError> { Ok(()) }
+///     fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+///         ctx.take_all();
+///         Ok(())
+///     }
+/// }
+///
+/// let mut reg = ModuleRegistry::new();
+/// reg.register("src", || Box::new(Src(None)));
+/// reg.register("sink", || Box::new(Sink));
+/// let cfg: Config = "[src]\nid = s\n\n[sink]\nid = k\ninput[i] = s.out\n".parse()?;
+/// let dag = Dag::build(&reg, &cfg)?;
+/// assert_eq!(dag.len(), 2);
+/// assert_eq!(dag.topo_ids(), ["s", "k"]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Dag {
+    pub(crate) nodes: Vec<DagNode>,
+    pub(crate) by_id: HashMap<String, usize>,
+}
+
+impl std::fmt::Debug for Dag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dag").field("nodes", &self.nodes).finish()
+    }
+}
+
+impl Dag {
+    /// Constructs and initializes the module graph described by `config`,
+    /// creating instances via `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildDagError`] when a module type is unregistered, a
+    /// connection references a missing instance or output, a wildcard
+    /// connects to an output-less instance, a module's `init()` fails, or
+    /// construction stalls on a dependency cycle.
+    pub fn build(registry: &ModuleRegistry, config: &Config) -> Result<Dag, BuildDagError> {
+        let instances = config.instances();
+        let mut id_to_cfg: HashMap<&str, usize> = HashMap::new();
+        for (idx, inst) in instances.iter().enumerate() {
+            id_to_cfg.insert(inst.id.as_str(), idx);
+        }
+
+        // Eager validation: types registered, referenced instances exist.
+        for inst in instances {
+            if !registry.contains(&inst.module_type) {
+                return Err(BuildDagError::UnknownModuleType {
+                    module_type: inst.module_type.clone(),
+                    instance: inst.id.clone(),
+                });
+            }
+            for (slot, conn) in &inst.inputs {
+                if !id_to_cfg.contains_key(conn.instance()) {
+                    return Err(BuildDagError::UnknownInstance {
+                        instance: inst.id.clone(),
+                        input: slot.clone(),
+                        upstream: conn.instance().to_owned(),
+                    });
+                }
+            }
+        }
+
+        // Worklist initialization in dependency order.
+        let n = instances.len();
+        let mut deps: Vec<HashSet<usize>> = Vec::with_capacity(n);
+        for inst in instances {
+            let mut d = HashSet::new();
+            for (_, conn) in &inst.inputs {
+                d.insert(id_to_cfg[conn.instance()]);
+            }
+            deps.push(d);
+        }
+
+        let mut initialized: Vec<Option<InitializedNode>> = (0..n).map(|_| None).collect();
+        let mut done: HashSet<usize> = HashSet::new();
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+
+        loop {
+            let mut progressed = false;
+            for cfg_idx in 0..n {
+                if done.contains(&cfg_idx) {
+                    continue;
+                }
+                if !deps[cfg_idx].iter().all(|d| done.contains(d)) {
+                    continue;
+                }
+                let inst = &instances[cfg_idx];
+
+                // Resolve this instance's inputs against upstream outputs.
+                let mut resolved: Vec<(String, Vec<Arc<OutputMeta>>)> = Vec::new();
+                for (slot, conn) in &inst.inputs {
+                    let up_idx = id_to_cfg[conn.instance()];
+                    let upstream = initialized[up_idx]
+                        .as_ref()
+                        .expect("upstream initialized before dependent");
+                    let sources: Vec<Arc<OutputMeta>> = match conn {
+                        Connection::Port { output, .. } => {
+                            let found = upstream
+                                .outputs
+                                .iter()
+                                .find(|m| m.name == *output)
+                                .cloned();
+                            match found {
+                                Some(m) => vec![m],
+                                None => {
+                                    return Err(BuildDagError::UnknownOutput {
+                                        instance: inst.id.clone(),
+                                        input: slot.clone(),
+                                        upstream: conn.instance().to_owned(),
+                                        output: output.clone(),
+                                    })
+                                }
+                            }
+                        }
+                        Connection::AllOutputs { .. } => {
+                            if upstream.outputs.is_empty() {
+                                return Err(BuildDagError::EmptyWildcard {
+                                    instance: inst.id.clone(),
+                                    input: slot.clone(),
+                                    upstream: conn.instance().to_owned(),
+                                });
+                            }
+                            upstream.outputs.clone()
+                        }
+                    };
+                    resolved.push((slot.clone(), sources));
+                }
+
+                // Create and initialize the module.
+                let mut module = registry
+                    .create(&inst.module_type)
+                    .expect("type validated above");
+                let mut outputs: Vec<Arc<OutputMeta>> = Vec::new();
+                let mut schedule = ScheduleSpec::default();
+                {
+                    let mut ctx = InitCtx {
+                        cfg: inst,
+                        resolved_inputs: &resolved,
+                        outputs: &mut outputs,
+                        schedule: &mut schedule,
+                    };
+                    module.init(&mut ctx).map_err(|source| {
+                        BuildDagError::ModuleInit {
+                            instance: inst.id.clone(),
+                            source,
+                        }
+                    })?;
+                }
+
+                initialized[cfg_idx] = Some(InitializedNode {
+                    module,
+                    outputs,
+                    schedule,
+                    resolved,
+                });
+                done.insert(cfg_idx);
+                topo.push(cfg_idx);
+                progressed = true;
+            }
+            if done.len() == n {
+                break;
+            }
+            if !progressed {
+                let stalled = instances
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !done.contains(i))
+                    .map(|(_, inst)| inst.id.clone())
+                    .collect();
+                return Err(BuildDagError::UnsatisfiedInputs { instances: stalled });
+            }
+        }
+
+        // Assemble nodes in topological (initialization) order and build the
+        // routing tables.
+        let mut node_index_of_cfg: HashMap<usize, usize> = HashMap::new();
+        for (node_idx, &cfg_idx) in topo.iter().enumerate() {
+            node_index_of_cfg.insert(cfg_idx, node_idx);
+        }
+
+        // (instance id, output name) -> (node index, port index)
+        let mut port_lookup: HashMap<(String, String), (usize, usize)> = HashMap::new();
+        for &cfg_idx in &topo {
+            let node_idx = node_index_of_cfg[&cfg_idx];
+            let init = initialized[cfg_idx].as_ref().expect("all initialized");
+            for (port_idx, meta) in init.outputs.iter().enumerate() {
+                port_lookup.insert(
+                    (meta.instance.clone(), meta.name.clone()),
+                    (node_idx, port_idx),
+                );
+            }
+        }
+
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(n);
+        let mut by_id = HashMap::with_capacity(n);
+        for &cfg_idx in &topo {
+            let inst = &instances[cfg_idx];
+            let init = initialized[cfg_idx].take().expect("all initialized");
+            let slots: Vec<SlotSpec> = init
+                .resolved
+                .into_iter()
+                .map(|(name, sources)| SlotSpec { name, sources })
+                .collect();
+            by_id.insert(inst.id.clone(), nodes.len());
+            nodes.push(DagNode {
+                id: inst.id.clone(),
+                module_type: inst.module_type.clone(),
+                module: init.module,
+                outputs: init.outputs,
+                slots,
+                schedule: init.schedule,
+                routes: Vec::new(),
+            });
+        }
+
+        // Routes: walk every slot source and attach it to the producing port.
+        let mut routes: Vec<Vec<Vec<(usize, usize)>>> = nodes
+            .iter()
+            .map(|node| vec![Vec::new(); node.outputs.len()])
+            .collect();
+        for (node_idx, node) in nodes.iter().enumerate() {
+            for (slot_idx, slot) in node.slots.iter().enumerate() {
+                for meta in &slot.sources {
+                    let key = (meta.instance.clone(), meta.name.clone());
+                    let (up_node, up_port) =
+                        *port_lookup.get(&key).expect("sources resolved during init");
+                    routes[up_node][up_port].push((node_idx, slot_idx));
+                }
+            }
+        }
+        for (node, node_routes) in nodes.iter_mut().zip(routes) {
+            node.routes = node_routes;
+        }
+
+        Ok(Dag { nodes, by_id })
+    }
+
+    /// Number of instances in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Instance ids in topological (initialization) order.
+    pub fn topo_ids(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.id.as_str()).collect()
+    }
+
+    /// Looks up a node by instance id.
+    pub fn node(&self, id: &str) -> Option<&DagNode> {
+        self.by_id.get(id).map(|&i| &self.nodes[i])
+    }
+
+    /// The node index of an instance id, if present.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Iterates over the nodes in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = &DagNode> {
+        self.nodes.iter()
+    }
+
+    /// Renders the graph structure as a human-readable listing, one line per
+    /// edge — useful for debugging configurations.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for node in &self.nodes {
+            let _ = writeln!(
+                out,
+                "{} ({}) outputs={} schedule={:?}",
+                node.id,
+                node.module_type,
+                node.outputs.len(),
+                node.schedule
+            );
+            for (port_idx, targets) in node.routes.iter().enumerate() {
+                for &(dst, slot) in targets {
+                    let _ = writeln!(
+                        out,
+                        "  {}.{} -> {}[{}]",
+                        node.id,
+                        node.outputs[port_idx].name,
+                        self.nodes[dst].id,
+                        self.nodes[dst].slots[slot].name
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+struct InitializedNode {
+    module: Box<dyn Module>,
+    outputs: Vec<Arc<OutputMeta>>,
+    schedule: ScheduleSpec,
+    resolved: Vec<(String, Vec<Arc<OutputMeta>>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ModuleError;
+    use crate::module::{PortId, RunCtx, RunReason};
+    use crate::time::TickDuration;
+
+    /// Test module: declares `outputs` named output ports, accepts anything.
+    struct Fan {
+        n_outputs: usize,
+        ports: Vec<PortId>,
+    }
+
+    impl Fan {
+        fn new(n: usize) -> Self {
+            Fan {
+                n_outputs: n,
+                ports: Vec::new(),
+            }
+        }
+    }
+
+    impl Module for Fan {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            for i in 0..self.n_outputs {
+                let p = ctx.declare_output(format!("output{i}"));
+                self.ports.push(p);
+            }
+            if self.n_outputs > 0 {
+                ctx.request_periodic(TickDuration::SECOND);
+            }
+            Ok(())
+        }
+        fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            Ok(())
+        }
+    }
+
+    struct FailInit;
+    impl Module for FailInit {
+        fn init(&mut self, _: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            Err(ModuleError::MissingParameter("required".into()))
+        }
+        fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            Ok(())
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        reg.register("src2", || Box::new(Fan::new(2)));
+        reg.register("src0", || Box::new(Fan::new(0)));
+        reg.register("sink", || Box::new(Fan::new(0)));
+        reg.register("relay", || Box::new(Fan::new(1)));
+        reg.register("failinit", || Box::new(FailInit));
+        reg
+    }
+
+    #[test]
+    fn builds_in_topological_order_regardless_of_file_order() {
+        // Sink listed first; DAG construction must still succeed.
+        let cfg: Config = "\
+[sink]
+id = k
+input[a] = r.output0
+
+[relay]
+id = r
+input[x] = s.output1
+
+[src2]
+id = s
+"
+        .parse()
+        .unwrap();
+        let dag = Dag::build(&registry(), &cfg).unwrap();
+        assert_eq!(dag.topo_ids(), ["s", "r", "k"]);
+        // Edge s.output1 -> r, r.output0 -> k.
+        let s = dag.node("s").unwrap();
+        assert_eq!(s.routes[1], vec![(1, 0)]);
+        assert_eq!(s.routes[0], Vec::<(usize, usize)>::new());
+        let r = dag.node("r").unwrap();
+        assert_eq!(r.routes[0], vec![(2, 0)]);
+    }
+
+    #[test]
+    fn wildcard_connects_all_outputs() {
+        let cfg: Config = "[src2]\nid = s\n\n[sink]\nid = k\ninput[a] = @s\n"
+            .parse()
+            .unwrap();
+        let dag = Dag::build(&registry(), &cfg).unwrap();
+        let k = dag.node("k").unwrap();
+        assert_eq!(k.slots[0].sources.len(), 2);
+        let s = dag.node("s").unwrap();
+        assert_eq!(s.routes[0], vec![(1, 0)]);
+        assert_eq!(s.routes[1], vec![(1, 0)]);
+    }
+
+    #[test]
+    fn unknown_module_type_is_reported() {
+        let cfg: Config = "[nope]\nid = x\n".parse().unwrap();
+        let err = Dag::build(&registry(), &cfg).unwrap_err();
+        assert!(matches!(err, BuildDagError::UnknownModuleType { .. }));
+    }
+
+    #[test]
+    fn unknown_instance_reference_is_reported() {
+        let cfg: Config = "[sink]\nid = k\ninput[a] = ghost.output0\n".parse().unwrap();
+        let err = Dag::build(&registry(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, BuildDagError::UnknownInstance { ref upstream, .. } if upstream == "ghost")
+        );
+    }
+
+    #[test]
+    fn unknown_output_port_is_reported() {
+        let cfg: Config = "[src2]\nid = s\n\n[sink]\nid = k\ninput[a] = s.output9\n"
+            .parse()
+            .unwrap();
+        let err = Dag::build(&registry(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, BuildDagError::UnknownOutput { ref output, .. } if output == "output9")
+        );
+    }
+
+    #[test]
+    fn wildcard_on_outputless_instance_is_reported() {
+        let cfg: Config = "[src0]\nid = s\n\n[sink]\nid = k\ninput[a] = @s\n"
+            .parse()
+            .unwrap();
+        let err = Dag::build(&registry(), &cfg).unwrap_err();
+        assert!(matches!(err, BuildDagError::EmptyWildcard { .. }));
+    }
+
+    #[test]
+    fn dependency_cycle_stalls_construction() {
+        let mut reg = registry();
+        reg.register("loopy", || Box::new(Fan::new(1)));
+        let cfg: Config = "\
+[loopy]
+id = a
+input[x] = b.output0
+
+[loopy]
+id = b
+input[x] = a.output0
+"
+        .parse()
+        .unwrap();
+        let err = Dag::build(&reg, &cfg).unwrap_err();
+        let BuildDagError::UnsatisfiedInputs { instances } = err else {
+            panic!("expected UnsatisfiedInputs, got {err:?}");
+        };
+        assert_eq!(instances, ["a", "b"]);
+    }
+
+    #[test]
+    fn self_loop_stalls_construction() {
+        let mut reg = registry();
+        reg.register("loopy", || Box::new(Fan::new(1)));
+        let cfg: Config = "[loopy]\nid = a\ninput[x] = a.output0\n".parse().unwrap();
+        let err = Dag::build(&reg, &cfg).unwrap_err();
+        assert!(matches!(err, BuildDagError::UnsatisfiedInputs { .. }));
+    }
+
+    #[test]
+    fn module_init_failure_is_attributed() {
+        let cfg: Config = "[failinit]\nid = f\n".parse().unwrap();
+        let err = Dag::build(&registry(), &cfg).unwrap_err();
+        assert!(matches!(err, BuildDagError::ModuleInit { ref instance, .. } if instance == "f"));
+    }
+
+    #[test]
+    fn describe_renders_edges() {
+        let cfg: Config = "[src2]\nid = s\n\n[sink]\nid = k\ninput[a] = @s\n"
+            .parse()
+            .unwrap();
+        let dag = Dag::build(&registry(), &cfg).unwrap();
+        let text = dag.describe();
+        assert!(text.contains("s.output0 -> k[a]"));
+        assert!(text.contains("s.output1 -> k[a]"));
+    }
+
+    #[test]
+    fn diamond_topology_routes_correctly() {
+        let cfg: Config = "\
+[src2]
+id = s
+
+[relay]
+id = left
+input[x] = s.output0
+
+[relay]
+id = right
+input[x] = s.output1
+
+[sink]
+id = k
+input[l] = left.output0
+input[r] = right.output0
+"
+        .parse()
+        .unwrap();
+        let dag = Dag::build(&registry(), &cfg).unwrap();
+        assert_eq!(dag.len(), 4);
+        let k = dag.node("k").unwrap();
+        assert_eq!(k.slots.len(), 2);
+        assert_eq!(k.slots[0].name, "l");
+        assert_eq!(k.slots[1].name, "r");
+        // Both relays route into distinct slots of k.
+        let left = dag.node("left").unwrap();
+        let right = dag.node("right").unwrap();
+        let k_idx = dag.index_of("k").unwrap();
+        assert_eq!(left.routes[0], vec![(k_idx, 0)]);
+        assert_eq!(right.routes[0], vec![(k_idx, 1)]);
+    }
+}

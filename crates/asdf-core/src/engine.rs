@@ -1,0 +1,454 @@
+//! The deterministic tick engine.
+//!
+//! [`TickEngine`] executes a [`Dag`] in simulated time: each call to
+//! [`TickEngine::tick`] represents one second. Within a tick, nodes are
+//! processed in topological order, so a sample emitted by an upstream module
+//! reaches every downstream analysis module *within the same tick* — there
+//! is no cross-tick pipeline latency beyond what modules introduce
+//! themselves (buffering, windowing).
+//!
+//! Determinism is what makes the reproduction's experiments exactly
+//! repeatable; the threaded [`crate::online::OnlineEngine`] runs the same
+//! modules against a wall clock for genuinely online deployments.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dag::{Dag, DagNode};
+use crate::error::RunEngineError;
+use crate::module::{Envelope, PortId, RunCtx, RunReason};
+use crate::time::{TickDuration, Timestamp};
+use crate::value::Sample;
+
+/// A handle to envelopes captured from a tapped instance.
+///
+/// Taps observe every sample an instance emits, without disturbing routing.
+/// They are how tests, evaluation harnesses, and alarm listeners read
+/// results out of a running engine.
+#[derive(Debug, Clone)]
+pub struct TapHandle {
+    buffer: Arc<Mutex<Vec<Envelope>>>,
+}
+
+impl Default for TapHandle {
+    fn default() -> Self {
+        TapHandle::new()
+    }
+}
+
+impl TapHandle {
+    pub(crate) fn new() -> Self {
+        TapHandle {
+            buffer: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Removes and returns all captured envelopes.
+    pub fn drain(&self) -> Vec<Envelope> {
+        std::mem::take(&mut *self.buffer.lock())
+    }
+
+    /// Returns a copy of the captured envelopes without removing them.
+    pub fn snapshot(&self) -> Vec<Envelope> {
+        self.buffer.lock().clone()
+    }
+
+    /// Number of captured envelopes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Whether no envelopes are currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+
+    pub(crate) fn push(&self, env: Envelope) {
+        self.buffer.lock().push(env);
+    }
+}
+
+struct RuntimeNode {
+    node: DagNode,
+    queues: Vec<VecDeque<Envelope>>,
+    pending: usize,
+    next_periodic: Option<Timestamp>,
+    taps: Vec<TapHandle>,
+}
+
+/// Deterministic simulated-time executor for a module [`Dag`].
+///
+/// # Examples
+///
+/// ```
+/// use asdf_core::config::Config;
+/// use asdf_core::dag::Dag;
+/// use asdf_core::engine::TickEngine;
+/// use asdf_core::registry::ModuleRegistry;
+/// use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+/// use asdf_core::error::ModuleError;
+/// use asdf_core::time::TickDuration;
+///
+/// struct Ticker(Option<PortId>, i64);
+/// impl Module for Ticker {
+///     fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+///         self.0 = Some(ctx.declare_output("n"));
+///         ctx.request_periodic(TickDuration::SECOND);
+///         Ok(())
+///     }
+///     fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+///         self.1 += 1;
+///         ctx.emit(self.0.unwrap(), self.1);
+///         Ok(())
+///     }
+/// }
+///
+/// let mut reg = ModuleRegistry::new();
+/// reg.register("ticker", || Box::new(Ticker(None, 0)));
+/// let cfg: Config = "[ticker]\nid = t\n".parse()?;
+/// let mut engine = TickEngine::new(Dag::build(&reg, &cfg)?);
+/// let tap = engine.tap("t").unwrap();
+/// engine.run_for(TickDuration::from_secs(3))?;
+/// assert_eq!(tap.drain().len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TickEngine {
+    nodes: Vec<RuntimeNode>,
+    now: Timestamp,
+    scratch: Vec<(PortId, Sample)>,
+}
+
+impl TickEngine {
+    /// Wraps a constructed DAG in a fresh engine positioned at the epoch.
+    pub fn new(dag: Dag) -> Self {
+        let nodes = dag
+            .nodes
+            .into_iter()
+            .map(|node| {
+                let n_slots = node.slots.len();
+                RuntimeNode {
+                    next_periodic: node.schedule.periodic.map(|_| Timestamp::EPOCH),
+                    node,
+                    queues: vec![VecDeque::new(); n_slots],
+                    pending: 0,
+                    taps: Vec::new(),
+                }
+            })
+            .collect();
+        TickEngine {
+            nodes,
+            now: Timestamp::EPOCH,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The engine's current time: the timestamp the *next* tick will carry.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Registers a tap on the instance with id `id`, returning a handle that
+    /// will capture every envelope the instance emits from now on.
+    ///
+    /// Returns `None` when no instance has that id.
+    pub fn tap(&mut self, id: &str) -> Option<TapHandle> {
+        let rt = self.nodes.iter_mut().find(|rt| rt.node.id == id)?;
+        let handle = TapHandle::new();
+        rt.taps.push(handle.clone());
+        Some(handle)
+    }
+
+    /// Executes one second of simulated time.
+    ///
+    /// Every node whose periodic timer is due runs with
+    /// [`RunReason::Periodic`]; every node whose pending input count reaches
+    /// its trigger runs with [`RunReason::InputsReady`] (at most once per
+    /// tick). Nodes are processed in topological order, so data flows end to
+    /// end within the tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first module failure as a [`RunEngineError`]; the
+    /// engine should be discarded afterwards.
+    pub fn tick(&mut self) -> Result<(), RunEngineError> {
+        let now = self.now;
+        for idx in 0..self.nodes.len() {
+            // Periodic run, if due.
+            let due = matches!(self.nodes[idx].next_periodic, Some(due) if due <= now);
+            if due {
+                let period = self.nodes[idx]
+                    .node
+                    .schedule
+                    .periodic
+                    .expect("next_periodic implies periodic schedule");
+                self.nodes[idx].next_periodic = Some(now + period);
+                self.run_node(idx, now, RunReason::Periodic)?;
+            }
+
+            // Input-triggered run, if enough samples accumulated.
+            let trigger = self.nodes[idx].node.schedule.input_trigger;
+            if trigger > 0 && self.nodes[idx].pending >= trigger {
+                self.run_node(idx, now, RunReason::InputsReady)?;
+            }
+        }
+        self.now = self.now.next();
+        Ok(())
+    }
+
+    /// Runs [`TickEngine::tick`] once per second for `span`.
+    ///
+    /// # Errors
+    ///
+    /// Stops at, and returns, the first module failure.
+    pub fn run_for(&mut self, span: TickDuration) -> Result<(), RunEngineError> {
+        for _ in 0..span.as_secs() {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    fn run_node(
+        &mut self,
+        idx: usize,
+        now: Timestamp,
+        reason: RunReason,
+    ) -> Result<(), RunEngineError> {
+        debug_assert!(self.scratch.is_empty());
+        let mut emitted = std::mem::take(&mut self.scratch);
+        {
+            let rt = &mut self.nodes[idx];
+            let slot_names: Vec<String> =
+                rt.node.slots.iter().map(|s| s.name.clone()).collect();
+            let mut ctx = RunCtx {
+                now,
+                slot_names: &slot_names,
+                queues: &mut rt.queues,
+                emitted: &mut emitted,
+                n_outputs: rt.node.outputs.len(),
+            };
+            let result = rt.node.module.run(&mut ctx, reason);
+            rt.pending = rt.queues.iter().map(VecDeque::len).sum();
+            if let Err(source) = result {
+                return Err(RunEngineError {
+                    instance: rt.node.id.clone(),
+                    at_secs: now.as_secs(),
+                    source,
+                });
+            }
+        }
+        // Route emissions to downstream queues and taps.
+        for (port, sample) in emitted.drain(..) {
+            let env = Envelope {
+                source: Arc::clone(&self.nodes[idx].node.outputs[port.index()]),
+                sample,
+            };
+            for tap in &self.nodes[idx].taps {
+                tap.push(env.clone());
+            }
+            let targets = self.nodes[idx].node.routes[port.index()].clone();
+            for (dst, slot) in targets {
+                self.nodes[dst].queues[slot].push_back(env.clone());
+                self.nodes[dst].pending += 1;
+            }
+        }
+        self.scratch = emitted;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for TickEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickEngine")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::error::ModuleError;
+    use crate::module::{InitCtx, Module};
+    use crate::registry::ModuleRegistry;
+    use crate::value::Value;
+
+    /// Emits its tick count every `period` seconds.
+    struct Source {
+        port: Option<PortId>,
+        count: i64,
+    }
+    impl Module for Source {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("out"));
+            let period = ctx.parse_param_or("period", 1u64)?;
+            ctx.request_periodic(TickDuration::from_secs(period));
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, reason: RunReason) -> Result<(), ModuleError> {
+            assert_eq!(reason, RunReason::Periodic);
+            self.count += 1;
+            ctx.emit(self.port.unwrap(), self.count);
+            Ok(())
+        }
+    }
+
+    /// Sums everything it receives and re-emits the running total.
+    struct Accumulator {
+        port: Option<PortId>,
+        total: i64,
+    }
+    impl Module for Accumulator {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("total"));
+            let trigger = ctx.parse_param_or("trigger", 1usize)?;
+            ctx.set_input_trigger(trigger);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, reason: RunReason) -> Result<(), ModuleError> {
+            assert_eq!(reason, RunReason::InputsReady);
+            for (_, env) in ctx.take_all() {
+                self.total += env.sample.value.as_int().unwrap_or(0);
+            }
+            ctx.emit(self.port.unwrap(), self.total);
+            Ok(())
+        }
+    }
+
+    struct FailAt {
+        at: i64,
+        count: i64,
+    }
+    impl Module for FailAt {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.at = ctx.parse_param("at")?;
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.count += 1;
+            if self.count >= self.at {
+                return Err(ModuleError::Other("deliberate failure".into()));
+            }
+            Ok(())
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        reg.register("source", || {
+            Box::new(Source {
+                port: None,
+                count: 0,
+            })
+        });
+        reg.register("acc", || {
+            Box::new(Accumulator {
+                port: None,
+                total: 0,
+            })
+        });
+        reg.register("failat", || Box::new(FailAt { at: 0, count: 0 }));
+        reg
+    }
+
+    fn engine(cfg: &str) -> TickEngine {
+        let cfg: Config = cfg.parse().unwrap();
+        TickEngine::new(Dag::build(&registry(), &cfg).unwrap())
+    }
+
+    #[test]
+    fn periodic_source_fires_once_per_period() {
+        let mut eng = engine("[source]\nid = s\nperiod = 2\n");
+        let tap = eng.tap("s").unwrap();
+        eng.run_for(TickDuration::from_secs(6)).unwrap();
+        // Due at t=0, 2, 4 (t=6 not yet processed).
+        let samples = tap.drain();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].sample.timestamp, Timestamp::from_secs(0));
+        assert_eq!(samples[2].sample.timestamp, Timestamp::from_secs(4));
+    }
+
+    #[test]
+    fn data_flows_end_to_end_within_one_tick() {
+        let mut eng = engine("[source]\nid = s\n\n[acc]\nid = a\ninput[i] = s.out\n");
+        let tap = eng.tap("a").unwrap();
+        eng.tick().unwrap();
+        let got = tap.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].sample.value, Value::Int(1));
+        assert_eq!(got[0].sample.timestamp, Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn accumulator_sums_across_ticks() {
+        let mut eng = engine("[source]\nid = s\n\n[acc]\nid = a\ninput[i] = s.out\n");
+        let tap = eng.tap("a").unwrap();
+        eng.run_for(TickDuration::from_secs(4)).unwrap();
+        let got = tap.drain();
+        // Source emits 1,2,3,4 -> totals 1,3,6,10.
+        let totals: Vec<i64> = got
+            .iter()
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        assert_eq!(totals, [1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn input_trigger_batches_runs() {
+        let mut eng = engine(
+            "[source]\nid = s\n\n[acc]\nid = a\ntrigger = 3\ninput[i] = s.out\n",
+        );
+        let tap = eng.tap("a").unwrap();
+        eng.run_for(TickDuration::from_secs(7)).unwrap();
+        // Runs at t=2 (samples 1+2+3=6) and t=5 (4+5+6 -> 21).
+        let totals: Vec<i64> = tap
+            .drain()
+            .iter()
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        assert_eq!(totals, [6, 21]);
+    }
+
+    #[test]
+    fn module_failure_aborts_with_attribution() {
+        let mut eng = engine("[failat]\nid = f\nat = 3\n");
+        let err = eng.run_for(TickDuration::from_secs(10)).unwrap_err();
+        assert_eq!(err.instance, "f");
+        assert_eq!(err.at_secs, 2);
+    }
+
+    #[test]
+    fn tap_on_unknown_instance_is_none() {
+        let mut eng = engine("[source]\nid = s\n");
+        assert!(eng.tap("ghost").is_none());
+    }
+
+    #[test]
+    fn taps_do_not_disturb_routing() {
+        let mut eng = engine("[source]\nid = s\n\n[acc]\nid = a\ninput[i] = s.out\n");
+        let tap_s = eng.tap("s").unwrap();
+        let tap_a = eng.tap("a").unwrap();
+        eng.run_for(TickDuration::from_secs(2)).unwrap();
+        assert_eq!(tap_s.len(), 2);
+        assert_eq!(tap_a.len(), 2);
+        assert_eq!(tap_a.snapshot().len(), 2);
+        tap_a.drain();
+        assert!(tap_a.is_empty());
+    }
+
+    #[test]
+    fn fan_out_delivers_to_every_consumer() {
+        let mut eng = engine(
+            "[source]\nid = s\n\n[acc]\nid = a1\ninput[i] = s.out\n\n[acc]\nid = a2\ninput[i] = s.out\n",
+        );
+        let t1 = eng.tap("a1").unwrap();
+        let t2 = eng.tap("a2").unwrap();
+        eng.run_for(TickDuration::from_secs(3)).unwrap();
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t2.len(), 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! The threaded online engine.
+//!
+//! [`OnlineEngine`] executes the same [`Dag`] as the deterministic
+//! [`crate::engine::TickEngine`], but against a wall clock and with one
+//! thread per module instance — the paper's deployment model ("For each
+//! module instance ... a new thread is spawned"). Periodic modules are
+//! driven by a central ticker thread; input-triggered modules run as soon as
+//! enough samples are delivered to their mailbox.
+//!
+//! The engine maps wall time onto the framework's one-second [`Timestamp`]
+//! resolution through a configurable `wall_per_tick` duration: with the
+//! default of one second the engine runs in real time, while tests and demos
+//! can compress time (e.g. 5 ms per tick) without changing module behavior.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::dag::Dag;
+use crate::engine::TapHandle;
+use crate::error::RunEngineError;
+use crate::module::{Envelope, PortId, RunCtx, RunReason};
+use crate::time::Timestamp;
+use crate::value::Sample;
+
+enum Cmd {
+    Periodic(Timestamp),
+    Deliver { slot: usize, env: Envelope },
+    Stop,
+}
+
+#[derive(Clone)]
+struct WallClock {
+    start: Instant,
+    wall_per_tick: Duration,
+}
+
+impl WallClock {
+    fn now(&self) -> Timestamp {
+        let elapsed = self.start.elapsed();
+        let ticks = elapsed.as_nanos() / self.wall_per_tick.as_nanos().max(1);
+        Timestamp::from_secs(ticks as u64)
+    }
+}
+
+/// Configures and launches an [`OnlineEngine`].
+///
+/// Obtained from [`OnlineEngine::builder`]. Taps must be registered before
+/// [`Builder::start`], because module state moves onto per-instance threads.
+pub struct Builder {
+    dag: Dag,
+    wall_per_tick: Duration,
+    taps: Vec<String>,
+}
+
+impl Builder {
+    /// Sets how much wall time one engine second occupies (default 1 s).
+    #[must_use]
+    pub fn wall_per_tick(mut self, d: Duration) -> Self {
+        self.wall_per_tick = d;
+        self
+    }
+
+    /// Taps the named instance; the handle is retrieved from the running
+    /// engine with [`OnlineEngine::tap_handle`].
+    #[must_use]
+    pub fn tap(mut self, instance_id: impl Into<String>) -> Self {
+        self.taps.push(instance_id.into());
+        self
+    }
+
+    /// Spawns all module threads plus the ticker and starts execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of tap ids that matched no instance.
+    pub fn start(self) -> Result<OnlineEngine, Vec<String>> {
+        let Builder {
+            dag,
+            wall_per_tick,
+            taps,
+        } = self;
+
+        let missing: Vec<String> = taps
+            .iter()
+            .filter(|id| dag.index_of(id).is_none())
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            return Err(missing);
+        }
+
+        let clock = WallClock {
+            start: Instant::now(),
+            wall_per_tick,
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let first_error: Arc<Mutex<Option<RunEngineError>>> = Arc::new(Mutex::new(None));
+
+        let n = dag.len();
+        let mut senders: Vec<Sender<Cmd>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Cmd>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let mut tap_handles: HashMap<String, TapHandle> = HashMap::new();
+        let periods: Vec<Option<u64>> = dag
+            .nodes
+            .iter()
+            .map(|node| node.schedule.periodic.map(|p| p.as_secs().max(1)))
+            .collect();
+
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(n + 1);
+        for (idx, node) in dag.nodes.into_iter().enumerate().rev() {
+            let rx = receivers.pop().expect("one receiver per node");
+            debug_assert_eq!(receivers.len(), idx);
+            let downstream: Vec<Vec<(Sender<Cmd>, usize)>> = node
+                .routes
+                .iter()
+                .map(|targets| {
+                    targets
+                        .iter()
+                        .map(|&(dst, slot)| (senders[dst].clone(), slot))
+                        .collect()
+                })
+                .collect();
+            // Duplicate tap registrations coalesce onto one handle (and
+            // one delivery) per instance.
+            let node_taps: Vec<TapHandle> = if taps.contains(&node.id) {
+                vec![tap_handles.entry(node.id.clone()).or_default().clone()]
+            } else {
+                Vec::new()
+            };
+            let stop = Arc::clone(&stop);
+            let first_error = Arc::clone(&first_error);
+            let handle = std::thread::Builder::new()
+                .name(format!("asdf-{}", node.id))
+                .spawn(move || {
+                    node_thread(node, rx, downstream, node_taps, stop, first_error);
+                })
+                .expect("spawn module thread");
+            handles.push(handle);
+        }
+
+        // Ticker thread: wakes every wall_per_tick and dispatches Periodic
+        // commands to due instances.
+        {
+            let senders = senders.clone();
+            let clock = clock.clone();
+            let stop = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("asdf-ticker".to_owned())
+                .spawn(move || {
+                    let mut next_due: Vec<Option<u64>> = periods
+                        .iter()
+                        .map(|p| p.as_ref().map(|_| 0u64))
+                        .collect();
+                    while !stop.load(Ordering::Relaxed) {
+                        let now = clock.now();
+                        for (idx, due) in next_due.iter_mut().enumerate() {
+                            if let Some(due_at) = due {
+                                if *due_at <= now.as_secs() {
+                                    // Ignore send failures during shutdown.
+                                    let _ = senders[idx].send(Cmd::Periodic(now));
+                                    *due = Some(
+                                        now.as_secs() + periods[idx].expect("periodic"),
+                                    );
+                                }
+                            }
+                        }
+                        std::thread::sleep(clock.wall_per_tick / 4);
+                    }
+                })
+                .expect("spawn ticker thread");
+            handles.push(handle);
+        }
+
+        Ok(OnlineEngine {
+            senders,
+            handles,
+            stop,
+            first_error,
+            tap_handles,
+            clock,
+        })
+    }
+}
+
+fn node_thread(
+    mut node: crate::dag::DagNode,
+    rx: Receiver<Cmd>,
+    downstream: Vec<Vec<(Sender<Cmd>, usize)>>,
+    taps: Vec<TapHandle>,
+    stop: Arc<AtomicBool>,
+    first_error: Arc<Mutex<Option<RunEngineError>>>,
+) {
+    use std::collections::VecDeque;
+
+    let slot_names: Vec<String> = node.slots.iter().map(|s| s.name.clone()).collect();
+    let mut queues: Vec<VecDeque<Envelope>> = vec![VecDeque::new(); node.slots.len()];
+    let trigger = node.schedule.input_trigger;
+    let mut emitted: Vec<(PortId, Sample)> = Vec::new();
+
+    while let Ok(cmd) = rx.recv() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let (run_now, reason) = match cmd {
+            Cmd::Stop => break,
+            Cmd::Periodic(ts) => (Some(ts), RunReason::Periodic),
+            Cmd::Deliver { slot, env } => {
+                let ts = env.sample.timestamp;
+                queues[slot].push_back(env);
+                let pending: usize = queues.iter().map(VecDeque::len).sum();
+                if trigger > 0 && pending >= trigger {
+                    (Some(ts), RunReason::InputsReady)
+                } else {
+                    (None, RunReason::InputsReady)
+                }
+            }
+        };
+        let Some(now) = run_now else { continue };
+
+        let mut ctx = RunCtx {
+            now,
+            slot_names: &slot_names,
+            queues: &mut queues,
+            emitted: &mut emitted,
+            n_outputs: node.outputs.len(),
+        };
+        if let Err(source) = node.module.run(&mut ctx, reason) {
+            let mut guard = first_error.lock();
+            if guard.is_none() {
+                *guard = Some(RunEngineError {
+                    instance: node.id.clone(),
+                    at_secs: now.as_secs(),
+                    source,
+                });
+            }
+            stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        for (port, sample) in emitted.drain(..) {
+            let env = Envelope {
+                source: Arc::clone(&node.outputs[port.index()]),
+                sample,
+            };
+            for tap in &taps {
+                tap.push(env.clone());
+            }
+            for (tx, slot) in &downstream[port.index()] {
+                let _ = tx.send(Cmd::Deliver {
+                    slot: *slot,
+                    env: env.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// A running wall-clock fingerpointing engine.
+///
+/// Created through [`OnlineEngine::builder`]. Dropping the engine stops it.
+pub struct OnlineEngine {
+    senders: Vec<Sender<Cmd>>,
+    handles: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    first_error: Arc<Mutex<Option<RunEngineError>>>,
+    tap_handles: HashMap<String, TapHandle>,
+    clock: WallClock,
+}
+
+impl OnlineEngine {
+    /// Starts configuring an online engine for `dag`.
+    pub fn builder(dag: Dag) -> Builder {
+        Builder {
+            dag,
+            wall_per_tick: Duration::from_secs(1),
+            taps: Vec::new(),
+        }
+    }
+
+    /// The tap registered for `instance_id` before start, if any.
+    pub fn tap_handle(&self, instance_id: &str) -> Option<&TapHandle> {
+        self.tap_handles.get(instance_id)
+    }
+
+    /// The engine's current logical time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Whether some module has failed (the engine is then shutting down).
+    pub fn has_failed(&self) -> bool {
+        self.first_error.lock().is_some()
+    }
+
+    /// Stops all threads and joins them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first module failure observed during the run, if any.
+    pub fn stop(mut self) -> Result<(), RunEngineError> {
+        self.shutdown();
+        match self.first_error.lock().take() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for tx in &self.senders {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OnlineEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for OnlineEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineEngine")
+            .field("modules", &self.senders.len())
+            .field("now", &self.now())
+            .field("failed", &self.has_failed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::dag::Dag;
+    use crate::error::ModuleError;
+    use crate::module::{InitCtx, Module};
+    use crate::registry::ModuleRegistry;
+    use crate::time::TickDuration;
+
+    struct Source {
+        port: Option<PortId>,
+        count: i64,
+    }
+    impl Module for Source {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("out"));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.count += 1;
+            ctx.emit(self.port.unwrap(), self.count);
+            Ok(())
+        }
+    }
+
+    struct Doubler {
+        port: Option<PortId>,
+    }
+    impl Module for Doubler {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("out"));
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            for (_, env) in ctx.take_all() {
+                let x = env.sample.value.as_int().unwrap_or(0);
+                ctx.emit(self.port.unwrap(), x * 2);
+            }
+            Ok(())
+        }
+    }
+
+    struct FailFast;
+    impl Module for FailFast {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            Err(ModuleError::Other("online failure".into()))
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        reg.register("source", || {
+            Box::new(Source {
+                port: None,
+                count: 0,
+            })
+        });
+        reg.register("doubler", || Box::new(Doubler { port: None }));
+        reg.register("failfast", || Box::new(FailFast));
+        reg
+    }
+
+    fn dag(cfg: &str) -> Dag {
+        let cfg: Config = cfg.parse().unwrap();
+        Dag::build(&registry(), &cfg).unwrap()
+    }
+
+    #[test]
+    fn pipeline_runs_online_with_compressed_time() {
+        let engine = OnlineEngine::builder(dag(
+            "[source]\nid = s\n\n[doubler]\nid = d\ninput[i] = s.out\n",
+        ))
+        .wall_per_tick(Duration::from_millis(5))
+        .tap("d")
+        .start()
+        .unwrap();
+
+        // Let ~20 compressed seconds elapse.
+        std::thread::sleep(Duration::from_millis(100));
+        let tap = engine.tap_handle("d").unwrap().clone();
+        engine.stop().unwrap();
+
+        let values: Vec<i64> = tap
+            .drain()
+            .iter()
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        assert!(values.len() >= 5, "expected several samples, got {values:?}");
+        // Doubler preserves order and doubles the source counter.
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, 2 * (i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn module_failure_is_reported_at_stop() {
+        let engine = OnlineEngine::builder(dag("[failfast]\nid = f\n"))
+            .wall_per_tick(Duration::from_millis(5))
+            .start()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(engine.has_failed());
+        let err = engine.stop().unwrap_err();
+        assert_eq!(err.instance, "f");
+    }
+
+    #[test]
+    fn unknown_tap_is_rejected_at_build() {
+        let err = OnlineEngine::builder(dag("[source]\nid = s\n"))
+            .tap("ghost")
+            .start()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ["ghost"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! The module-type registry: maps configuration section names to module
+//! factories.
+//!
+//! An ASDF deployment registers every module type it intends to use, then
+//! hands the registry plus a parsed [`crate::config::Config`] to
+//! [`crate::dag::Dag::build`]. This is the mechanism behind the paper's
+//! pluggability claim: new data sources and analysis algorithms are added by
+//! registering new factories, with no changes to the core.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::module::Module;
+
+type Factory = Box<dyn Fn() -> Box<dyn Module> + Send + Sync>;
+
+/// A registry of module factories keyed by type name.
+///
+/// # Examples
+///
+/// ```
+/// use asdf_core::registry::ModuleRegistry;
+/// use asdf_core::module::{InitCtx, Module, RunCtx, RunReason};
+/// use asdf_core::error::ModuleError;
+///
+/// struct Noop;
+/// impl Module for Noop {
+///     fn init(&mut self, _: &mut InitCtx<'_>) -> Result<(), ModuleError> { Ok(()) }
+///     fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> { Ok(()) }
+/// }
+///
+/// let mut reg = ModuleRegistry::new();
+/// reg.register("noop", || Box::new(Noop));
+/// assert!(reg.contains("noop"));
+/// assert!(reg.create("noop").is_some());
+/// ```
+#[derive(Default)]
+pub struct ModuleRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl ModuleRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModuleRegistry::default()
+    }
+
+    /// Registers a factory under `type_name`, replacing any previous factory
+    /// with the same name (the previous factory is returned as a boolean
+    /// "replaced" flag).
+    pub fn register<F>(&mut self, type_name: impl Into<String>, factory: F) -> bool
+    where
+        F: Fn() -> Box<dyn Module> + Send + Sync + 'static,
+    {
+        self.factories
+            .insert(type_name.into(), Box::new(factory))
+            .is_some()
+    }
+
+    /// Instantiates a fresh, uninitialized module of the given type.
+    pub fn create(&self, type_name: &str) -> Option<Box<dyn Module>> {
+        self.factories.get(type_name).map(|f| f())
+    }
+
+    /// Whether a factory is registered for `type_name`.
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.factories.contains_key(type_name)
+    }
+
+    /// The registered type names, sorted.
+    pub fn type_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+impl fmt::Debug for ModuleRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModuleRegistry")
+            .field("types", &self.type_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ModuleError;
+    use crate::module::{InitCtx, RunCtx, RunReason};
+
+    struct Probe(#[allow(dead_code)] &'static str);
+    impl Module for Probe {
+        fn init(&mut self, _: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            Ok(())
+        }
+        fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_create_and_introspect() {
+        let mut reg = ModuleRegistry::new();
+        assert!(reg.is_empty());
+        assert!(!reg.register("a", || Box::new(Probe("a"))));
+        assert!(!reg.register("b", || Box::new(Probe("b"))));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("a"));
+        assert!(!reg.contains("c"));
+        assert!(reg.create("a").is_some());
+        assert!(reg.create("c").is_none());
+        assert_eq!(reg.type_names(), ["a", "b"]);
+    }
+
+    #[test]
+    fn re_registration_replaces_and_reports() {
+        let mut reg = ModuleRegistry::new();
+        assert!(!reg.register("a", || Box::new(Probe("first"))));
+        assert!(reg.register("a", || Box::new(Probe("second"))));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn debug_lists_types() {
+        let mut reg = ModuleRegistry::new();
+        reg.register("knn", || Box::new(Probe("knn")));
+        assert!(format!("{reg:?}").contains("knn"));
+    }
+}

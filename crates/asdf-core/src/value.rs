@@ -1,0 +1,244 @@
+//! Values and samples that flow along the edges of an fpt-core DAG.
+//!
+//! Every output port carries a stream of [`Sample`]s: a [`Timestamp`] plus a
+//! [`Value`]. Data-collection modules emit scalars ([`Value::Float`],
+//! [`Value::Int`]) or whole metric vectors ([`Value::Vector`]); analysis
+//! modules typically emit anomaly indicators ([`Value::Bool`]) or diagnostic
+//! text ([`Value::Text`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::time::Timestamp;
+
+/// A dynamically-typed datum carried on a DAG edge.
+///
+/// Values are cheap to clone: large payloads (vectors, text) are reference
+/// counted, so fan-out to many downstream modules does not copy data.
+///
+/// # Examples
+///
+/// ```
+/// use asdf_core::value::Value;
+///
+/// let v = Value::from(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(v.as_vector().unwrap().len(), 3);
+/// assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A floating-point scalar (e.g. one OS performance counter).
+    Float(f64),
+    /// An integer scalar (e.g. a state count parsed from a log).
+    Int(i64),
+    /// A boolean flag (e.g. a per-node anomaly indicator).
+    Bool(bool),
+    /// A text payload (e.g. a rendered alarm message).
+    Text(Arc<str>),
+    /// A vector of floats (e.g. a whole metric vector for one node).
+    Vector(Arc<[f64]>),
+}
+
+impl Value {
+    /// Returns the float payload, converting `Int` losslessly where possible.
+    ///
+    /// Returns `None` for non-numeric values.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            Value::Bool(_) | Value::Text(_) | Value::Vector(_) => None,
+        }
+    }
+
+    /// Returns the integer payload, if this value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if this value is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the vector payload, if this value is a `Vector`.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            Value::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Float(_) => "float",
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Text(_) => "text",
+            Value::Vector(_) => "vector",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Vector(v) => {
+                f.write_str("[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Vector(Arc::from(v))
+    }
+}
+
+impl From<&[f64]> for Value {
+    fn from(v: &[f64]) -> Self {
+        Value::Vector(Arc::from(v))
+    }
+}
+
+/// A timestamped [`Value`]: the unit of data flowing along a DAG edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// When the datum was observed or produced.
+    pub timestamp: Timestamp,
+    /// The datum itself.
+    pub value: Value,
+}
+
+impl Sample {
+    /// Creates a sample stamped at `timestamp`.
+    pub fn new(timestamp: Timestamp, value: impl Into<Value>) -> Self {
+        Sample {
+            timestamp,
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.value, self.timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(
+            Value::from(vec![1.0, 2.0]).as_vector(),
+            Some(&[1.0, 2.0][..])
+        );
+    }
+
+    #[test]
+    fn accessors_reject_mismatched_variants() {
+        assert_eq!(Value::Bool(true).as_float(), None);
+        assert_eq!(Value::Float(1.0).as_int(), None);
+        assert_eq!(Value::Float(1.0).as_bool(), None);
+        assert_eq!(Value::Int(1).as_text(), None);
+        assert_eq!(Value::Int(1).as_vector(), None);
+    }
+
+    #[test]
+    fn vector_clone_is_shallow() {
+        let v = Value::from(vec![0.0; 1024]);
+        let w = v.clone();
+        let (Value::Vector(a), Value::Vector(b)) = (&v, &w) else {
+            panic!("expected vectors");
+        };
+        assert!(Arc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(Value::from(1.25).to_string(), "1.25");
+        assert_eq!(Value::from(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+        let s = Sample::new(Timestamp::from_secs(3), true);
+        assert_eq!(s.to_string(), "true @ t+3s");
+    }
+
+    #[test]
+    fn type_names_cover_all_variants() {
+        let names: Vec<&str> = [
+            Value::Float(0.0),
+            Value::Int(0),
+            Value::Bool(false),
+            Value::from(""),
+            Value::from(Vec::new()),
+        ]
+        .iter()
+        .map(Value::type_name)
+        .collect();
+        assert_eq!(names, ["float", "int", "bool", "text", "vector"]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the configuration dialect and DAG construction.
+
+use asdf_core::config::{Config, Connection, InstanceConfig};
+use asdf_core::dag::Dag;
+use asdf_core::error::ModuleError;
+use asdf_core::module::{InitCtx, Module, RunCtx, RunReason};
+use asdf_core::registry::ModuleRegistry;
+use proptest::prelude::*;
+
+/// Identifier strategy: the dialect treats ids as opaque tokens without
+/// whitespace, brackets, dots, `@`, or `=`.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn param_value() -> impl Strategy<Value = String> {
+    // No leading/trailing whitespace (trimmed by the parser), no newlines.
+    "[a-zA-Z0-9_.:/ -]{0,16}".prop_map(|s| s.trim().to_owned())
+}
+
+prop_compose! {
+    fn arb_instance(existing_n: usize)
+        (ty in ident(),
+         n_params in 0usize..4,
+         keys in proptest::collection::hash_set("[a-z][a-z0-9_]{0,6}", 0..4),
+         values in proptest::collection::vec(param_value(), 4),
+         n_inputs in 0usize..3,
+         slots in proptest::collection::hash_set("[a-z][a-z0-9]{0,4}", 0..3),
+         upstream_sel in proptest::collection::vec((0usize..usize::MAX, any::<bool>(), 0usize..4), 3))
+        -> (String, Vec<(String, String)>, Vec<(String, usize, bool, usize)>)
+    {
+        let params: Vec<(String, String)> = keys
+            .into_iter()
+            .filter(|k| k != "id" && !k.starts_with("input"))
+            .take(n_params)
+            .zip(values)
+            .collect();
+        let inputs: Vec<(String, usize, bool, usize)> = if existing_n == 0 {
+            Vec::new()
+        } else {
+            slots
+                .into_iter()
+                .take(n_inputs)
+                .zip(upstream_sel)
+                .map(|(slot, (up, wildcard, port))| (slot, up % existing_n, wildcard, port % 3))
+                .collect()
+        };
+        (ty, params, inputs)
+    }
+}
+
+/// Builds a random but *valid* layered configuration: instance `i` may only
+/// reference instances `< i`, so the graph is acyclic by construction.
+fn arb_config() -> impl Strategy<Value = Config> {
+    proptest::collection::vec(any::<u64>(), 1..8).prop_flat_map(|seeds| {
+        let n = seeds.len();
+        let mut strategies = Vec::new();
+        for i in 0..n {
+            strategies.push(arb_instance(i));
+        }
+        strategies.prop_map(move |instances| {
+            let mut cfg = Config::new();
+            for (i, (ty, params, inputs)) in instances.into_iter().enumerate() {
+                let mut inst = InstanceConfig::new(ty, format!("inst{i}"));
+                for (k, v) in params {
+                    inst = inst.with_param(k, v);
+                }
+                for (slot, upstream, wildcard, port) in inputs {
+                    if wildcard {
+                        inst = inst.with_input_all(slot, format!("inst{upstream}"));
+                    } else {
+                        inst = inst.with_input(
+                            slot,
+                            format!("inst{upstream}"),
+                            format!("output{port}"),
+                        );
+                    }
+                }
+                cfg.push(inst).expect("unique ids by construction");
+            }
+            cfg
+        })
+    })
+}
+
+proptest! {
+    /// render() followed by parse() reproduces the configuration exactly.
+    #[test]
+    fn render_parse_round_trip(cfg in arb_config()) {
+        let rendered = cfg.render();
+        let reparsed: Config = rendered.parse().expect("rendered config must parse");
+        prop_assert_eq!(cfg, reparsed);
+    }
+
+    /// Connection display/parse round-trips for both forms.
+    #[test]
+    fn connection_round_trip(inst in ident(), out in ident(), wildcard in any::<bool>()) {
+        let conn = if wildcard {
+            Connection::AllOutputs { instance: inst }
+        } else {
+            Connection::Port { instance: inst, output: out }
+        };
+        let reparsed: Connection = conn.to_string().parse().expect("round trip");
+        prop_assert_eq!(conn, reparsed);
+    }
+}
+
+/// Permissive module used for DAG property tests: accepts any params and
+/// inputs, declares three outputs.
+struct Universal;
+impl Module for Universal {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        for i in 0..3 {
+            ctx.declare_output(format!("output{i}"));
+        }
+        Ok(())
+    }
+    fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        Ok(())
+    }
+}
+
+proptest! {
+    /// Every layered (acyclic-by-construction) configuration builds, and the
+    /// DAG's topological order respects every edge.
+    #[test]
+    fn layered_configs_always_build_in_topo_order(cfg in arb_config()) {
+        let mut registry = ModuleRegistry::new();
+        for inst in cfg.instances() {
+            let ty = inst.module_type.clone();
+            registry.register(ty, || Box::new(Universal));
+        }
+        let dag = Dag::build(&registry, &cfg).expect("layered config must build");
+        prop_assert_eq!(dag.len(), cfg.instances().len());
+
+        // Topological property: every upstream of a node appears earlier.
+        let order: Vec<&str> = dag.topo_ids();
+        let pos = |id: &str| order.iter().position(|x| *x == id).unwrap();
+        for inst in cfg.instances() {
+            for (_, conn) in &inst.inputs {
+                prop_assert!(pos(conn.instance()) < pos(&inst.id),
+                    "edge {} -> {} violates topo order", conn.instance(), inst.id);
+            }
+        }
+    }
+}

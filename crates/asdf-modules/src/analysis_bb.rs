@@ -1,0 +1,414 @@
+//! The `analysis_bb` black-box fingerpointer.
+//!
+//! Paper §4.5: each node's metric vector is classified once per second to a
+//! workload state (1-NN against k-means centroids — the upstream `knn`
+//! module). Over a window of `windowSize` samples, the per-node state
+//! histogram `StateVector_j` is formed; a component-wise median across
+//! nodes gives `medianStateVector`; "we use the L1 distance of
+//! `StateVector_j − medianStateVector` ... and flag a node j as anomalous
+//! if \[it\] is greater than a pre-determined threshold."
+//!
+//! An alarm is raised only after `consecutive` anomalous windows (the paper
+//! "took at least 3 consecutive windows to gain confidence", which sets the
+//! ≈200 s fingerpointing-latency floor at windowSize 60).
+//!
+//! Configuration parameters:
+//!
+//! * `n_states` — number of workload states (centroids) — required;
+//! * `window` — samples per window (default 60);
+//! * `slide` — samples between evaluations (default = `window`);
+//! * `threshold` — L1 alarm threshold (default 60);
+//! * `consecutive` — anomalous windows required before alarming (default 3).
+//!
+//! Inputs: one slot per node (`l0`, `l1`, ...), each carrying per-second
+//! state indices. Outputs per node: `alarm<i>` (Bool) and `dist<i>`
+//! (Float, the raw L1 distance — lets threshold sweeps reuse one run).
+
+use std::collections::VecDeque;
+
+use asdf_core::error::ModuleError;
+use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::value::Sample;
+use hadoop_logs::sync::Aligner;
+
+/// Black-box peer-comparison fingerpointer.
+#[derive(Debug)]
+pub struct AnalysisBb {
+    n_states: usize,
+    window: usize,
+    slide: usize,
+    threshold: f64,
+    consecutive: usize,
+    aligner: Aligner<usize>,
+    history: Vec<VecDeque<usize>>,
+    anomalous_streak: Vec<usize>,
+    rows_since_eval: usize,
+    alarm_ports: Vec<PortId>,
+    dist_ports: Vec<PortId>,
+}
+
+impl AnalysisBb {
+    /// Creates an unconfigured instance.
+    pub fn new() -> Self {
+        AnalysisBb {
+            n_states: 0,
+            window: 0,
+            slide: 0,
+            threshold: 0.0,
+            consecutive: 0,
+            aligner: Aligner::new(1),
+            history: Vec::new(),
+            anomalous_streak: Vec::new(),
+            rows_since_eval: 0,
+            alarm_ports: Vec::new(),
+            dist_ports: Vec::new(),
+        }
+    }
+}
+
+impl Default for AnalysisBb {
+    fn default() -> Self {
+        AnalysisBb::new()
+    }
+}
+
+/// Component-wise median; for even counts, the mean of the middle pair.
+pub(crate) fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+impl Module for AnalysisBb {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.n_states = ctx.parse_param("n_states")?;
+        if self.n_states == 0 {
+            return Err(ModuleError::invalid_parameter("n_states", "must be positive"));
+        }
+        self.window = ctx.parse_param_or("window", 60usize)?;
+        if self.window == 0 {
+            return Err(ModuleError::invalid_parameter("window", "must be positive"));
+        }
+        self.slide = ctx.parse_param_or("slide", self.window)?;
+        if self.slide == 0 {
+            return Err(ModuleError::invalid_parameter("slide", "must be positive"));
+        }
+        self.threshold = ctx.parse_param_or("threshold", 60.0)?;
+        self.consecutive = ctx.parse_param_or("consecutive", 3usize)?;
+        if self.consecutive == 0 {
+            return Err(ModuleError::invalid_parameter(
+                "consecutive",
+                "must be positive",
+            ));
+        }
+
+        let n_nodes = ctx.input_slots().len();
+        if n_nodes < 3 {
+            return Err(ModuleError::BadInputs(format!(
+                "peer comparison needs >= 3 nodes, got {n_nodes}"
+            )));
+        }
+        for i in 0..n_nodes {
+            let (slot, sources) = &ctx.input_slots()[i];
+            let origin = sources
+                .first()
+                .map(|m| m.origin.clone())
+                .unwrap_or_else(|| slot.clone());
+            let alarm = ctx.declare_output_with_origin(format!("alarm{i}"), origin.clone());
+            let dist = ctx.declare_output_with_origin(format!("dist{i}"), origin);
+            self.alarm_ports.push(alarm);
+            self.dist_ports.push(dist);
+        }
+        self.aligner = Aligner::new(n_nodes);
+        self.history = vec![VecDeque::new(); n_nodes];
+        self.anomalous_streak = vec![0; n_nodes];
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        let n_nodes = self.history.len();
+        for (slot_idx, env) in ctx.take_all() {
+            let idx = env.sample.value.as_int().ok_or_else(|| {
+                ModuleError::Other(format!(
+                    "analysis_bb expects integer state indices, got {}",
+                    env.sample.value.type_name()
+                ))
+            })?;
+            if idx < 0 || idx as usize >= self.n_states {
+                return Err(ModuleError::Other(format!(
+                    "state index {idx} outside 0..{}",
+                    self.n_states
+                )));
+            }
+            self.aligner
+                .push(slot_idx, env.sample.timestamp.as_secs(), idx as usize);
+        }
+
+        while let Some((t, row)) = self.aligner.pop_aligned() {
+            for (node, idx) in row.into_iter().enumerate() {
+                self.history[node].push_back(idx);
+                if self.history[node].len() > self.window {
+                    self.history[node].pop_front();
+                }
+            }
+            self.rows_since_eval += 1;
+            let warm = self.history.iter().all(|h| h.len() >= self.window);
+            if !warm || self.rows_since_eval < self.slide {
+                continue;
+            }
+            self.rows_since_eval = 0;
+
+            // State histograms per node.
+            let mut hists = vec![vec![0.0; self.n_states]; n_nodes];
+            for (hist, h) in hists.iter_mut().zip(&self.history) {
+                for &idx in h.iter() {
+                    hist[idx] += 1.0;
+                }
+            }
+            // Component-wise median across nodes.
+            let mut median_hist = vec![0.0; self.n_states];
+            for s in 0..self.n_states {
+                let mut col: Vec<f64> = hists.iter().map(|h| h[s]).collect();
+                median_hist[s] = median(&mut col);
+            }
+            // L1 distances and alarms.
+            let ts = asdf_core::time::Timestamp::from_secs(t);
+            #[allow(clippy::needless_range_loop)] // four parallel per-node arrays
+            for node in 0..n_nodes {
+                let l1: f64 = hists[node]
+                    .iter()
+                    .zip(&median_hist)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                let anomalous = l1 > self.threshold;
+                if anomalous {
+                    self.anomalous_streak[node] += 1;
+                } else {
+                    self.anomalous_streak[node] = 0;
+                }
+                let alarm = self.anomalous_streak[node] >= self.consecutive;
+                ctx.emit_sample(self.dist_ports[node], Sample::new(ts, l1));
+                ctx.emit_sample(self.alarm_ports[node], Sample::new(ts, alarm));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_core::config::Config;
+    use asdf_core::dag::Dag;
+    use asdf_core::engine::TickEngine;
+    use asdf_core::registry::ModuleRegistry;
+    use asdf_core::time::TickDuration;
+    use asdf_core::value::Value;
+
+    /// Per-node state source: node N cycles through healthy states; an
+    /// optional deviant node emits a constant rare state after a start
+    /// time.
+    struct StateSource {
+        port: Option<PortId>,
+        t: u64,
+    }
+    impl Module for StateSource {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            let node: String = ctx.require_param("origin")?.to_owned();
+            self.port = Some(ctx.declare_output_with_origin("out", node));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.t += 1;
+            ctx.emit(self.port.unwrap(), (self.t % 3) as i64);
+            Ok(())
+        }
+    }
+
+    struct DeviantSource {
+        port: Option<PortId>,
+        t: u64,
+        deviate_after: u64,
+    }
+    impl Module for DeviantSource {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.deviate_after = ctx.parse_param("after")?;
+            self.port = Some(ctx.declare_output_with_origin("out", "culprit"));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.t += 1;
+            let state = if self.t > self.deviate_after { 3 } else { (self.t % 3) as i64 };
+            ctx.emit(self.port.unwrap(), state);
+            Ok(())
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        crate::register_analysis_modules(&mut reg);
+        reg.register("statesource", || Box::new(StateSource { port: None, t: 0 }));
+        reg.register("deviant", || {
+            Box::new(DeviantSource {
+                port: None,
+                t: 0,
+                deviate_after: 0,
+            })
+        });
+        reg
+    }
+
+    fn three_peer_config(deviant_after: u64, threshold: f64, consecutive: usize) -> String {
+        format!(
+            "\
+[statesource]
+id = n0
+origin = peer0
+
+[statesource]
+id = n1
+origin = peer1
+
+[deviant]
+id = n2
+after = {deviant_after}
+
+[analysis_bb]
+id = bb
+n_states = 4
+window = 10
+threshold = {threshold}
+consecutive = {consecutive}
+input[l0] = n0.out
+input[l1] = n1.out
+input[l2] = n2.out
+"
+        )
+    }
+
+    fn run(cfg: &str, secs: u64) -> Vec<asdf_core::module::Envelope> {
+        let parsed: Config = cfg.parse().unwrap();
+        let dag = Dag::build(&registry(), &parsed).unwrap();
+        let mut eng = TickEngine::new(dag);
+        let tap = eng.tap("bb").unwrap();
+        eng.run_for(TickDuration::from_secs(secs)).unwrap();
+        tap.drain()
+    }
+
+    fn alarms_of<'a>(
+        out: &'a [asdf_core::module::Envelope],
+        port: &str,
+    ) -> Vec<(&'a str, bool)> {
+        out.iter()
+            .filter(|e| e.source.name == port)
+            .map(|e| {
+                (
+                    e.source.origin.as_str(),
+                    e.sample.value.as_bool().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_peers_raise_no_alarms() {
+        let out = run(&three_peer_config(100_000, 5.0, 1), 100);
+        for port in ["alarm0", "alarm1", "alarm2"] {
+            assert!(
+                alarms_of(&out, port).iter().all(|(_, a)| !a),
+                "no alarms expected on {port}"
+            );
+        }
+        // Distances exist and are small.
+        let dists: Vec<f64> = out
+            .iter()
+            .filter(|e| e.source.name.starts_with("dist"))
+            .map(|e| e.sample.value.as_float().unwrap())
+            .collect();
+        assert!(!dists.is_empty());
+        assert!(dists.iter().all(|&d| d <= 4.0), "{dists:?}");
+    }
+
+    #[test]
+    fn deviant_node_is_fingerpointed_after_consecutive_windows() {
+        let out = run(&three_peer_config(30, 5.0, 3), 120);
+        let culprit = alarms_of(&out, "alarm2");
+        assert!(
+            culprit.iter().any(|(_, a)| *a),
+            "culprit should eventually alarm: {culprit:?}"
+        );
+        assert!(culprit.iter().all(|(o, _)| *o == "culprit"));
+        // Peers stay clean.
+        assert!(alarms_of(&out, "alarm0").iter().all(|(_, a)| !a));
+        assert!(alarms_of(&out, "alarm1").iter().all(|(_, a)| !a));
+        // Confirmation takes at least `consecutive` windows after deviation.
+        let first_alarm_idx = culprit.iter().position(|(_, a)| *a).unwrap();
+        assert!(first_alarm_idx >= 2, "3-window confirmation: {culprit:?}");
+    }
+
+    #[test]
+    fn consecutive_gating_suppresses_single_window_blips() {
+        // Deviation starts so late that only ~2 anomalous windows fit: with
+        // consecutive = 3 nothing may fire.
+        let out = run(&three_peer_config(105, 5.0, 3), 120);
+        assert!(alarms_of(&out, "alarm2").iter().all(|(_, a)| !a));
+        // The same trace with consecutive = 1 does fire.
+        let out = run(&three_peer_config(105, 5.0, 1), 120);
+        assert!(alarms_of(&out, "alarm2").iter().any(|(_, a)| *a));
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut v = [1.0, 100.0, 2.0];
+        assert_eq!(median(&mut v), 2.0);
+        let mut v = [1.0, 2.0, 3.0, 100.0];
+        assert_eq!(median(&mut v), 2.5);
+        let mut v = [7.0];
+        assert_eq!(median(&mut v), 7.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        for cfg in [
+            // too few peers
+            "[statesource]\nid = n0\norigin = a\n\n[statesource]\nid = n1\norigin = b\n\n[analysis_bb]\nid = bb\nn_states = 4\ninput[l0] = n0.out\ninput[l1] = n1.out\n".to_owned(),
+            // zero n_states
+            three_peer_config(0, 5.0, 1).replace("n_states = 4", "n_states = 0"),
+            // zero window
+            three_peer_config(0, 5.0, 1).replace("window = 10", "window = 0"),
+        ] {
+            let parsed: Config = cfg.parse().unwrap();
+            assert!(Dag::build(&registry(), &parsed).is_err(), "should reject");
+        }
+    }
+
+    #[test]
+    fn out_of_range_state_index_is_a_runtime_error() {
+        // n_states = 2 but sources emit 0..=3.
+        let cfg = three_peer_config(0, 5.0, 1).replace("n_states = 4", "n_states = 2");
+        let parsed: Config = cfg.parse().unwrap();
+        let dag = Dag::build(&registry(), &parsed).unwrap();
+        let mut eng = TickEngine::new(dag);
+        let err = eng.run_for(TickDuration::from_secs(20)).unwrap_err();
+        assert_eq!(err.instance, "bb");
+    }
+
+    #[test]
+    fn alarm_values_are_booleans_and_dists_floats() {
+        let out = run(&three_peer_config(30, 5.0, 1), 60);
+        for e in &out {
+            if e.source.name.starts_with("alarm") {
+                assert!(matches!(e.sample.value, Value::Bool(_)));
+            } else {
+                assert!(matches!(e.sample.value, Value::Float(_)));
+            }
+        }
+    }
+}

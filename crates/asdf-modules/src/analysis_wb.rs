@@ -1,0 +1,408 @@
+//! The `analysis_wb` white-box fingerpointer.
+//!
+//! Paper §4.4: per white-box metric, each node's windowed mean
+//! (`mean_metric_i`) is compared against the across-node median
+//! (`median_mean_metric`); node *i* is flagged when the difference exceeds
+//! a threshold for one or more metrics. The threshold is
+//! `max(1, k·σ_median)`, where `σ_median` is the median across nodes of the
+//! per-node windowed standard deviation — with the explicit `max(1, ·)`
+//! floor because "several white-box metrics tend to be constant in several
+//! nodes", making the median σ zero and a bare `k·σ` threshold a
+//! false-positive machine.
+//!
+//! Inputs: per node, a windowed-mean vector on slot `a<i>` and a windowed
+//! standard-deviation vector on slot `d<i>` (produced by `mavgvec` with
+//! `emit = both`). Outputs per node: `alarm<i>` (Bool) and `kcrit<i>`
+//! (Float — the smallest `k` at which the node would *stop* being flagged,
+//! `+inf` when a deviating metric has zero median-σ; lets k sweeps reuse
+//! one run).
+//!
+//! Configuration parameters:
+//!
+//! * `k` — threshold multiplier (default 3, the paper's choice);
+//! * `consecutive` — anomalous windows required before alarming
+//!   (default 3, matching the black-box confirmation depth).
+
+use asdf_core::error::ModuleError;
+use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::value::Sample;
+use hadoop_logs::sync::Aligner;
+
+use crate::analysis_bb::median;
+
+/// White-box peer-comparison fingerpointer.
+#[derive(Debug)]
+pub struct AnalysisWb {
+    k: f64,
+    consecutive: usize,
+    n_nodes: usize,
+    /// Streams 0..n are means, n..2n are stddevs.
+    aligner: Aligner<Vec<f64>>,
+    anomalous_streak: Vec<usize>,
+    alarm_ports: Vec<PortId>,
+    kcrit_ports: Vec<PortId>,
+    /// Maps envelope slot index -> aligner stream index.
+    slot_to_stream: Vec<usize>,
+}
+
+impl AnalysisWb {
+    /// Creates an unconfigured instance.
+    pub fn new() -> Self {
+        AnalysisWb {
+            k: 0.0,
+            consecutive: 0,
+            n_nodes: 0,
+            aligner: Aligner::new(1),
+            anomalous_streak: Vec::new(),
+            alarm_ports: Vec::new(),
+            kcrit_ports: Vec::new(),
+            slot_to_stream: Vec::new(),
+        }
+    }
+}
+
+impl Default for AnalysisWb {
+    fn default() -> Self {
+        AnalysisWb::new()
+    }
+}
+
+impl Module for AnalysisWb {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.k = ctx.parse_param_or("k", 3.0)?;
+        if self.k < 0.0 {
+            return Err(ModuleError::invalid_parameter("k", "must be non-negative"));
+        }
+        self.consecutive = ctx.parse_param_or("consecutive", 3usize)?;
+        if self.consecutive == 0 {
+            return Err(ModuleError::invalid_parameter(
+                "consecutive",
+                "must be positive",
+            ));
+        }
+
+        // Slots: a<i> carry means, d<i> carry stddevs; indices must tile
+        // 0..n completely.
+        let slots = ctx.input_slots();
+        let mut mean_slots: Vec<(usize, usize, String)> = Vec::new(); // (node, slot idx, origin)
+        let mut sd_slots: Vec<(usize, usize)> = Vec::new();
+        for (slot_idx, (name, sources)) in slots.iter().enumerate() {
+            let origin = sources
+                .first()
+                .map(|m| m.origin.clone())
+                .unwrap_or_default();
+            if let Some(rest) = name.strip_prefix('a') {
+                let node: usize = rest.parse().map_err(|_| {
+                    ModuleError::BadInputs(format!("bad mean slot name `{name}`"))
+                })?;
+                mean_slots.push((node, slot_idx, origin));
+            } else if let Some(rest) = name.strip_prefix('d') {
+                let node: usize = rest.parse().map_err(|_| {
+                    ModuleError::BadInputs(format!("bad stddev slot name `{name}`"))
+                })?;
+                sd_slots.push((node, slot_idx));
+            } else {
+                return Err(ModuleError::BadInputs(format!(
+                    "analysis_wb slots must be a<i> (means) or d<i> (stddevs), got `{name}`"
+                )));
+            }
+        }
+        mean_slots.sort_by_key(|&(node, _, _)| node);
+        sd_slots.sort_by_key(|&(node, _)| node);
+        let n = mean_slots.len();
+        if n < 3 {
+            return Err(ModuleError::BadInputs(format!(
+                "peer comparison needs >= 3 nodes, got {n}"
+            )));
+        }
+        if sd_slots.len() != n
+            || mean_slots.iter().enumerate().any(|(i, &(node, _, _))| node != i)
+            || sd_slots.iter().enumerate().any(|(i, &(node, _))| node != i)
+        {
+            return Err(ModuleError::BadInputs(
+                "mean slots a0..aN-1 and stddev slots d0..dN-1 must pair up".into(),
+            ));
+        }
+
+        self.n_nodes = n;
+        self.slot_to_stream = vec![0; slots.len()];
+        for (node, slot_idx, origin) in &mean_slots {
+            self.slot_to_stream[*slot_idx] = *node;
+            let alarm = ctx.declare_output_with_origin(format!("alarm{node}"), origin.clone());
+            let kcrit = ctx.declare_output_with_origin(format!("kcrit{node}"), origin.clone());
+            self.alarm_ports.push(alarm);
+            self.kcrit_ports.push(kcrit);
+        }
+        for (node, slot_idx) in &sd_slots {
+            self.slot_to_stream[*slot_idx] = n + *node;
+        }
+        self.aligner = Aligner::new(2 * n);
+        self.anomalous_streak = vec![0; n];
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        let n = self.n_nodes;
+        for (slot_idx, env) in ctx.take_all() {
+            let Some(v) = env.sample.value.as_vector() else {
+                return Err(ModuleError::Other(format!(
+                    "analysis_wb expects vector samples, got {}",
+                    env.sample.value.type_name()
+                )));
+            };
+            self.aligner.push(
+                self.slot_to_stream[slot_idx],
+                env.sample.timestamp.as_secs(),
+                v.to_vec(),
+            );
+        }
+
+        while let Some((t, row)) = self.aligner.pop_aligned() {
+            let (means, sds) = row.split_at(n);
+            let dim = means[0].len();
+            if means.iter().chain(sds.iter()).any(|v| v.len() != dim) {
+                return Err(ModuleError::Other(
+                    "inconsistent metric dimensions across nodes".into(),
+                ));
+            }
+            // Medians per metric: of means and of stddevs.
+            let mut median_mean = vec![0.0; dim];
+            let mut median_sd = vec![0.0; dim];
+            for m in 0..dim {
+                let mut col: Vec<f64> = means.iter().map(|v| v[m]).collect();
+                median_mean[m] = median(&mut col);
+                let mut col: Vec<f64> = sds.iter().map(|v| v[m]).collect();
+                median_sd[m] = median(&mut col);
+            }
+            let ts = asdf_core::time::Timestamp::from_secs(t);
+            #[allow(clippy::needless_range_loop)] // several parallel per-node arrays
+            for node in 0..n {
+                // k_crit: the smallest k at which this node is NOT flagged.
+                // Per metric: |diff| <= 1 never flags; σ_med = 0 with
+                // |diff| > 1 always flags (k_crit = ∞); else flags while
+                // k < |diff|/σ_med.
+                let mut kcrit: f64 = 0.0;
+                for m in 0..dim {
+                    let diff = (means[node][m] - median_mean[m]).abs();
+                    if diff <= 1.0 {
+                        continue;
+                    }
+                    if median_sd[m] <= 1e-12 {
+                        kcrit = f64::INFINITY;
+                        break;
+                    }
+                    kcrit = kcrit.max(diff / median_sd[m]);
+                }
+                let anomalous = self.k < kcrit;
+                if anomalous {
+                    self.anomalous_streak[node] += 1;
+                } else {
+                    self.anomalous_streak[node] = 0;
+                }
+                let alarm = self.anomalous_streak[node] >= self.consecutive;
+                ctx.emit_sample(self.kcrit_ports[node], Sample::new(ts, kcrit));
+                ctx.emit_sample(self.alarm_ports[node], Sample::new(ts, alarm));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_core::config::Config;
+    use asdf_core::dag::Dag;
+    use asdf_core::engine::TickEngine;
+    use asdf_core::registry::ModuleRegistry;
+    use asdf_core::time::TickDuration;
+
+    /// Emits a (mean, stddev) vector pair per second. The `bias` parameter
+    /// shifts the mean after `after` seconds; `sd` sets the reported
+    /// deviation.
+    struct WbSource {
+        mean_port: Option<PortId>,
+        sd_port: Option<PortId>,
+        t: u64,
+        bias: f64,
+        after: u64,
+        sd: f64,
+    }
+    impl Module for WbSource {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.bias = ctx.parse_param_or("bias", 0.0)?;
+            self.after = ctx.parse_param_or("after", 0u64)?;
+            self.sd = ctx.parse_param_or("sd", 0.5)?;
+            let origin: String = ctx.require_param("origin")?.to_owned();
+            self.mean_port = Some(ctx.declare_output_with_origin("mean", origin.clone()));
+            self.sd_port = Some(ctx.declare_output_with_origin("stddev", origin));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.t += 1;
+            let bias = if self.t > self.after { self.bias } else { 0.0 };
+            // Two metrics: one live, one constant across the cluster.
+            ctx.emit(self.mean_port.unwrap(), vec![10.0 + bias, 2.0]);
+            ctx.emit(self.sd_port.unwrap(), vec![self.sd, 0.0]);
+            Ok(())
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        crate::register_analysis_modules(&mut reg);
+        reg.register("wbsource", || {
+            Box::new(WbSource {
+                mean_port: None,
+                sd_port: None,
+                t: 0,
+                bias: 0.0,
+                after: 0,
+                sd: 0.5,
+            })
+        });
+        reg
+    }
+
+    fn config(culprit_bias: f64, after: u64, k: f64, consecutive: usize) -> String {
+        format!(
+            "\
+[wbsource]
+id = n0
+origin = peer0
+
+[wbsource]
+id = n1
+origin = peer1
+
+[wbsource]
+id = n2
+origin = culprit
+bias = {culprit_bias}
+after = {after}
+
+[analysis_wb]
+id = wb
+k = {k}
+consecutive = {consecutive}
+input[a0] = n0.mean
+input[d0] = n0.stddev
+input[a1] = n1.mean
+input[d1] = n1.stddev
+input[a2] = n2.mean
+input[d2] = n2.stddev
+"
+        )
+    }
+
+    fn run(cfg: &str, secs: u64) -> Vec<asdf_core::module::Envelope> {
+        let parsed: Config = cfg.parse().unwrap();
+        let dag = Dag::build(&registry(), &parsed).unwrap();
+        let mut eng = TickEngine::new(dag);
+        let tap = eng.tap("wb").unwrap();
+        eng.run_for(TickDuration::from_secs(secs)).unwrap();
+        tap.drain()
+    }
+
+    fn alarms(out: &[asdf_core::module::Envelope], port: &str) -> Vec<bool> {
+        out.iter()
+            .filter(|e| e.source.name == port)
+            .map(|e| e.sample.value.as_bool().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn healthy_cluster_raises_nothing() {
+        let out = run(&config(0.0, 0, 3.0, 1), 30);
+        for p in ["alarm0", "alarm1", "alarm2"] {
+            assert!(alarms(&out, p).iter().all(|a| !a));
+        }
+    }
+
+    #[test]
+    fn biased_node_is_flagged_and_peers_are_not() {
+        // Bias 5.0 vs σ_median 0.5: k_crit = 10 > k = 3 → flagged.
+        let out = run(&config(5.0, 10, 3.0, 3), 40);
+        let culprit = alarms(&out, "alarm2");
+        assert!(culprit.iter().any(|a| *a), "culprit must alarm: {culprit:?}");
+        assert!(alarms(&out, "alarm0").iter().all(|a| !a));
+        assert!(alarms(&out, "alarm1").iter().all(|a| !a));
+        // Confirmation depth: first alarm no sooner than 3 windows in.
+        let first = culprit.iter().position(|a| *a).unwrap();
+        assert!(first >= 12, "10s dormant + 3 consecutive: {first}");
+    }
+
+    #[test]
+    fn the_max_1_floor_suppresses_tiny_deviations() {
+        // Bias 0.9 < 1: never flagged no matter how small σ is.
+        let out = run(&config(0.9, 0, 0.0, 1), 30);
+        assert!(alarms(&out, "alarm2").iter().all(|a| !a));
+    }
+
+    #[test]
+    fn zero_median_sigma_with_real_deviation_always_flags() {
+        // All nodes report sd = 0 (constant metrics), culprit deviates by 5.
+        let cfg = config(5.0, 0, 100.0, 1).replace("sd = 0.5", "sd = 0.0");
+        // Overwrite default sd on all sources.
+        let cfg = cfg
+            .replace("origin = peer0", "origin = peer0\nsd = 0.0")
+            .replace("origin = peer1", "origin = peer1\nsd = 0.0")
+            .replace("origin = culprit", "origin = culprit\nsd = 0.0");
+        let out = run(&cfg, 20);
+        // kcrit = ∞ beats any k.
+        assert!(alarms(&out, "alarm2").iter().any(|a| *a));
+        let kcrits: Vec<f64> = out
+            .iter()
+            .filter(|e| e.source.name == "kcrit2")
+            .map(|e| e.sample.value.as_float().unwrap())
+            .collect();
+        assert!(kcrits.iter().any(|k| k.is_infinite()));
+    }
+
+    #[test]
+    fn kcrit_reports_the_sweepable_boundary() {
+        // diff 5.0, σ_median 0.5 → k_crit = 10: flagged for k<10, not k≥10.
+        let out_low = run(&config(5.0, 0, 9.9, 1), 20);
+        assert!(alarms(&out_low, "alarm2").iter().any(|a| *a));
+        let out_high = run(&config(5.0, 0, 10.1, 1), 20);
+        assert!(alarms(&out_high, "alarm2").iter().all(|a| !a));
+        let kcrits: Vec<f64> = out_low
+            .iter()
+            .filter(|e| e.source.name == "kcrit2")
+            .map(|e| e.sample.value.as_float().unwrap())
+            .collect();
+        assert!(kcrits.iter().any(|k| (k - 10.0).abs() < 1e-9), "{kcrits:?}");
+    }
+
+    #[test]
+    fn slot_pairing_is_validated() {
+        for mutilation in [
+            // missing a stddev slot
+            ("input[d2] = n2.stddev\n", ""),
+            // bad slot name
+            ("input[a0] = n0.mean", "input[x0] = n0.mean"),
+        ] {
+            let cfg = config(0.0, 0, 3.0, 1).replace(mutilation.0, mutilation.1);
+            let parsed: Config = cfg.parse().unwrap();
+            assert!(
+                Dag::build(&registry(), &parsed).is_err(),
+                "should reject mutilated config"
+            );
+        }
+    }
+
+    #[test]
+    fn origins_flow_to_alarm_ports() {
+        let out = run(&config(5.0, 0, 1.0, 1), 10);
+        let origins: std::collections::HashSet<&str> = out
+            .iter()
+            .filter(|e| e.source.name.starts_with("alarm"))
+            .map(|e| e.source.origin.as_str())
+            .collect();
+        assert_eq!(
+            origins,
+            ["peer0", "peer1", "culprit"].into_iter().collect()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared test fixtures for module unit tests.
+
+use asdf_core::config::Config;
+use asdf_core::dag::Dag;
+use asdf_core::engine::TickEngine;
+use asdf_core::error::ModuleError;
+use asdf_core::module::{Envelope, InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+
+/// A periodic source emitting the vector `[t+1, 2(t+1)]` each second, with
+/// origin `test-node`.
+pub struct VectorSource {
+    port: Option<PortId>,
+    n: i64,
+}
+
+impl Module for VectorSource {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.port = Some(ctx.declare_output_with_origin("out", "test-node"));
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        self.n += 1;
+        let x = self.n as f64;
+        ctx.emit(self.port.unwrap(), vec![x, 2.0 * x]);
+        Ok(())
+    }
+}
+
+/// A periodic source emitting the scalar `t+1` each second.
+pub struct ScalarSource {
+    port: Option<PortId>,
+    n: i64,
+}
+
+impl Module for ScalarSource {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.port = Some(ctx.declare_output_with_origin("out", "test-node"));
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        self.n += 1;
+        ctx.emit(self.port.unwrap(), self.n as f64);
+        Ok(())
+    }
+}
+
+/// Registry with every standard module plus `vecsource`.
+pub fn vector_source_registry() -> ModuleRegistry {
+    let mut reg = base_registry();
+    reg.register("vecsource", || Box::new(VectorSource { port: None, n: 0 }));
+    reg
+}
+
+/// Registry with every standard module plus `scalarsource`.
+pub fn scalar_source_registry() -> ModuleRegistry {
+    let mut reg = base_registry();
+    reg.register("scalarsource", || Box::new(ScalarSource { port: None, n: 0 }));
+    reg
+}
+
+fn base_registry() -> ModuleRegistry {
+    let mut reg = ModuleRegistry::new();
+    crate::register_analysis_modules(&mut reg);
+    reg
+}
+
+/// Builds the DAG from `cfg`, taps `tap_id`, runs `ticks` seconds, and
+/// returns everything the tapped instance emitted.
+pub fn run_source_pipeline(
+    registry: &ModuleRegistry,
+    cfg: &str,
+    tap_id: &str,
+    ticks: u64,
+) -> Vec<Envelope> {
+    let parsed: Config = cfg.parse().expect("test config parses");
+    let dag = Dag::build(registry, &parsed).expect("test config builds");
+    let mut engine = TickEngine::new(dag);
+    let tap = engine.tap(tap_id).expect("tap target exists");
+    engine
+        .run_for(TickDuration::from_secs(ticks))
+        .expect("test pipeline runs");
+    tap.drain()
+}

@@ -1,0 +1,178 @@
+//! Connection and bandwidth accounting.
+//!
+//! Table 4 of the paper reports, per collector RPC type, the *static
+//! overhead* of creating/destroying a connection and the *per-iteration
+//! bandwidth* of one second of data collection. [`Connection`] is the
+//! accounting point: every message sent through it is tallied, and
+//! [`BandwidthStats`] reproduces the table's two columns.
+
+use bytes::Bytes;
+
+/// Byte counters for one logical RPC connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BandwidthStats {
+    /// Bytes exchanged during connection setup and teardown.
+    pub static_bytes: u64,
+    /// Bytes exchanged by data-collection calls.
+    pub call_bytes: u64,
+    /// Number of collection iterations (request/response pairs).
+    pub iterations: u64,
+}
+
+impl BandwidthStats {
+    /// Static overhead in kB (Table 4, "Static Ovh." column).
+    pub fn static_kb(&self) -> f64 {
+        self.static_bytes as f64 / 1024.0
+    }
+
+    /// Mean per-iteration bandwidth in kB/s, assuming one iteration per
+    /// second (Table 4, "Per-iter BW" column).
+    pub fn per_iteration_kb(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.call_bytes as f64 / self.iterations as f64 / 1024.0
+        }
+    }
+}
+
+/// A TCP-like connection that counts every byte moved through it.
+///
+/// The reproduction runs collector and analysis in one process, so no
+/// socket exists — but every message is still fully encoded to, and decoded
+/// from, its wire form, and the accounting covers exactly the bytes a real
+/// socket would carry (including the per-message frame prefix and a
+/// per-segment TCP/IP overhead estimate).
+#[derive(Debug)]
+pub struct Connection {
+    stats: BandwidthStats,
+    open: bool,
+    /// Fixed protocol overhead added per message, modelling TCP/IP headers
+    /// amortized over a one-message segment.
+    per_message_overhead: u64,
+}
+
+/// TCP/IP+Ethernet header bytes for a single-segment message.
+const DEFAULT_PER_MESSAGE_OVERHEAD: u64 = 66;
+/// Bytes exchanged by a TCP three-way handshake + teardown (SYN, SYN-ACK,
+/// ACK, FIN×2, ACK×2 at 66 bytes each, plus options).
+const TCP_SESSION_BYTES: u64 = 7 * 66 + 40;
+
+impl Connection {
+    /// Opens a connection, charging the TCP session establishment cost to
+    /// the static-overhead counter.
+    pub fn open() -> Self {
+        Connection {
+            stats: BandwidthStats {
+                static_bytes: TCP_SESSION_BYTES,
+                ..BandwidthStats::default()
+            },
+            open: true,
+            per_message_overhead: DEFAULT_PER_MESSAGE_OVERHEAD,
+        }
+    }
+
+    /// Sends a handshake-phase message (schema exchange); counts toward
+    /// static overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is closed.
+    pub fn send_handshake(&mut self, msg: &Bytes) {
+        assert!(self.open, "send on closed connection");
+        self.stats.static_bytes += msg.len() as u64 + self.per_message_overhead;
+    }
+
+    /// Sends one data-collection request/response pair; counts toward
+    /// per-iteration bandwidth and bumps the iteration counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is closed.
+    pub fn exchange(&mut self, request: &Bytes, response: &Bytes) {
+        assert!(self.open, "exchange on closed connection");
+        self.stats.call_bytes +=
+            request.len() as u64 + response.len() as u64 + 2 * self.per_message_overhead;
+        self.stats.iterations += 1;
+    }
+
+    /// Closes the connection (idempotent); teardown cost was pre-charged at
+    /// open.
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// Whether the connection is open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The accumulated byte counters.
+    pub fn stats(&self) -> BandwidthStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MessageBuilder;
+
+    fn msg(n_floats: usize) -> Bytes {
+        let mut b = MessageBuilder::new();
+        b.put_f64_slice(&vec![0.0; n_floats]);
+        b.finish()
+    }
+
+    #[test]
+    fn open_charges_session_establishment() {
+        let c = Connection::open();
+        assert!(c.is_open());
+        assert_eq!(c.stats().static_bytes, TCP_SESSION_BYTES);
+        assert_eq!(c.stats().call_bytes, 0);
+    }
+
+    #[test]
+    fn handshake_counts_as_static_overhead() {
+        let mut c = Connection::open();
+        let m = msg(100);
+        c.send_handshake(&m);
+        let s = c.stats();
+        assert_eq!(
+            s.static_bytes,
+            TCP_SESSION_BYTES + m.len() as u64 + DEFAULT_PER_MESSAGE_OVERHEAD
+        );
+        assert_eq!(s.iterations, 0);
+    }
+
+    #[test]
+    fn exchanges_accumulate_per_iteration_bandwidth() {
+        let mut c = Connection::open();
+        let req = msg(0);
+        let resp = msg(120);
+        for _ in 0..10 {
+            c.exchange(&req, &resp);
+        }
+        let s = c.stats();
+        assert_eq!(s.iterations, 10);
+        let expected_per_iter =
+            (req.len() + resp.len()) as u64 + 2 * DEFAULT_PER_MESSAGE_OVERHEAD;
+        assert_eq!(s.call_bytes, 10 * expected_per_iter);
+        let kb = s.per_iteration_kb();
+        assert!((kb - expected_per_iter as f64 / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_report_zero_iterations_gracefully() {
+        assert_eq!(BandwidthStats::default().per_iteration_kb(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed connection")]
+    fn use_after_close_panics() {
+        let mut c = Connection::open();
+        c.close();
+        assert!(!c.is_open());
+        c.exchange(&msg(0), &msg(1));
+    }
+}

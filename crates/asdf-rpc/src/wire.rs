@@ -1,0 +1,291 @@
+//! The binary wire format used by the collector RPC daemons.
+//!
+//! A stand-in for ZeroC ICE's encoding: little-endian fixed-width scalars,
+//! length-prefixed strings and float arrays, and a `u32` length prefix per
+//! message. The format exists so the reproduction can *account bytes
+//! faithfully* for the paper's Table 4 (RPC bandwidth per collector type);
+//! it is also exercised end-to-end by the collectors, which decode every
+//! message they "receive".
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An error while decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value's encoded length.
+    UnexpectedEof,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A message length prefix disagreed with the available bytes.
+    BadLength {
+        /// Bytes the prefix promised.
+        expected: usize,
+        /// Bytes actually present.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => f.write_str("unexpected end of message"),
+            WireError::InvalidUtf8 => f.write_str("invalid UTF-8 in string field"),
+            WireError::BadLength { expected, available } => write!(
+                f,
+                "message length prefix promised {expected} bytes but {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Incrementally builds one wire message.
+#[derive(Debug, Default)]
+pub struct MessageBuilder {
+    buf: BytesMut,
+}
+
+impl MessageBuilder {
+    /// Starts an empty message.
+    pub fn new() -> Self {
+        MessageBuilder::default()
+    }
+
+    /// Appends an unsigned byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Appends a `u16`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds 65535 bytes.
+    pub fn put_str(&mut self, s: &str) -> &mut Self {
+        let len = u16::try_from(s.len()).expect("wire strings are short");
+        self.buf.put_u16_le(len);
+        self.buf.put_slice(s.as_bytes());
+        self
+    }
+
+    /// Appends a `u32`-length-prefixed array of `f64`.
+    pub fn put_f64_slice(&mut self, vals: &[f64]) -> &mut Self {
+        self.buf.put_u32_le(vals.len() as u32);
+        for v in vals {
+            self.buf.put_f64_le(*v);
+        }
+        self
+    }
+
+    /// Finishes the message, prefixing the payload with its `u32` length.
+    pub fn finish(self) -> Bytes {
+        let mut framed = BytesMut::with_capacity(self.buf.len() + 4);
+        framed.put_u32_le(self.buf.len() as u32);
+        framed.extend_from_slice(&self.buf);
+        framed.freeze()
+    }
+
+    /// Current payload size (excluding the frame prefix).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reads one framed wire message.
+#[derive(Debug)]
+pub struct MessageReader {
+    buf: Bytes,
+}
+
+impl MessageReader {
+    /// Validates the frame prefix and positions the reader at the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadLength`] when the prefix disagrees with the
+    /// data, [`WireError::UnexpectedEof`] when there is no prefix at all.
+    pub fn new(mut framed: Bytes) -> Result<Self, WireError> {
+        if framed.len() < 4 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let len = framed.get_u32_le() as usize;
+        if framed.len() != len {
+            return Err(WireError::BadLength {
+                expected: len,
+                available: framed.len(),
+            });
+        }
+        Ok(MessageReader { buf: framed })
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError::UnexpectedEof)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads an unsigned byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        self.need(2)?;
+        let len = self.buf.get_u16_le() as usize;
+        self.need(len)?;
+        let raw = self.buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a `u32`-length-prefixed array of `f64`.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, WireError> {
+        self.need(4)?;
+        let len = self.buf.get_u32_le() as usize;
+        self.need(len * 8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.buf.get_f64_le());
+        }
+        Ok(out)
+    }
+
+    /// Bytes left unread in the payload.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut b = MessageBuilder::new();
+        b.put_u8(7)
+            .put_u32(0xdead_beef)
+            .put_u64(u64::MAX - 1)
+            .put_f64(2.5)
+            .put_str("slave03")
+            .put_f64_slice(&[1.0, -2.0, 3.5]);
+        let framed = b.finish();
+
+        let mut r = MessageReader::new(framed).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert_eq!(r.get_str().unwrap(), "slave03");
+        assert_eq!(r.get_f64_slice().unwrap(), vec![1.0, -2.0, 3.5]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn frame_length_is_validated() {
+        let framed = MessageBuilder::new().finish();
+        assert_eq!(framed.len(), 4); // empty payload
+        assert!(MessageReader::new(framed).is_ok());
+
+        let err = MessageReader::new(Bytes::from_static(&[5, 0, 0, 0, 1])).unwrap_err();
+        assert!(matches!(err, WireError::BadLength { expected: 5, available: 1 }));
+
+        let err = MessageReader::new(Bytes::from_static(&[1, 0])).unwrap_err();
+        assert_eq!(err, WireError::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_fields_error_cleanly() {
+        let mut b = MessageBuilder::new();
+        b.put_u32(1);
+        let mut r = MessageReader::new(b.finish()).unwrap();
+        assert_eq!(r.get_u64().unwrap_err(), WireError::UnexpectedEof);
+
+        let mut b = MessageBuilder::new();
+        b.put_u8(0);
+        let mut r = MessageReader::new(b.finish()).unwrap();
+        r.get_u8().unwrap();
+        assert_eq!(r.get_str().unwrap_err(), WireError::UnexpectedEof);
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported() {
+        let mut b = MessageBuilder::new();
+        // Hand-roll a string field with bad UTF-8.
+        b.put_u8(0xff); // will be re-read as part of string? no — build properly:
+        let payload = b;
+        drop(payload);
+        let mut raw = BytesMut::new();
+        raw.put_u16_le(2);
+        raw.put_slice(&[0xff, 0xfe]);
+        let mut framed = BytesMut::new();
+        framed.put_u32_le(raw.len() as u32);
+        framed.extend_from_slice(&raw);
+        let mut r = MessageReader::new(framed.freeze()).unwrap();
+        assert_eq!(r.get_str().unwrap_err(), WireError::InvalidUtf8);
+    }
+
+    #[test]
+    fn empty_f64_slice_round_trips() {
+        let mut b = MessageBuilder::new();
+        b.put_f64_slice(&[]);
+        let mut r = MessageReader::new(b.finish()).unwrap();
+        assert_eq!(r.get_f64_slice().unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn builder_len_tracks_payload() {
+        let mut b = MessageBuilder::new();
+        assert!(b.is_empty());
+        b.put_u64(0);
+        assert_eq!(b.len(), 8);
+        b.put_str("ab");
+        assert_eq!(b.len(), 12);
+    }
+}

@@ -1,0 +1,239 @@
+//! `asdf` — the operator CLI of the reproduction.
+//!
+//! Subcommands:
+//!
+//! * `demo [--fault NAME] [--slaves N] [--secs S] [--seed X]` — train,
+//!   inject, fingerpoint; prints the per-window score timeline and the
+//!   alarm verdicts for every node.
+//! * `dump-config [--slaves N]` — print the generated fingerpointing
+//!   pipeline in the paper's configuration dialect (ready to edit).
+//! * `run-config <FILE> [--slaves N] [--secs S] [--fault NAME]` — execute
+//!   a user-supplied configuration file against a simulated cluster and
+//!   print everything the `print` sinks render.
+//!
+//! Fault names: CPUHog, DiskHog, HADOOP-1036, HADOOP-1152, HADOOP-2080,
+//! PacketLoss.
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf::pipeline::{AsdfBuilder, AsdfOptions};
+use asdf_core::config::Config;
+use asdf_core::dag::Dag;
+use asdf_core::engine::TickEngine;
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+use asdf_rpc::daemons::ClusterHandle;
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+use hadoop_sim::faults::{FaultKind, FaultSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asdf <demo|dump-config|run-config> [options]\n\
+         \n\
+         asdf demo        [--fault NAME] [--slaves N] [--secs S] [--seed X]\n\
+         asdf dump-config [--slaves N]\n\
+         asdf run-config FILE [--slaves N] [--secs S] [--fault NAME] [--seed X]\n\
+         \n\
+         faults: CPUHog DiskHog HADOOP-1036 HADOOP-1152 HADOOP-2080 PacketLoss"
+    );
+    std::process::exit(2);
+}
+
+fn parse_fault(name: &str) -> FaultKind {
+    FaultKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown fault `{name}`");
+            usage()
+        })
+}
+
+struct Opts {
+    fault: Option<FaultKind>,
+    slaves: usize,
+    secs: u64,
+    seed: u64,
+    file: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        fault: None,
+        slaves: 10,
+        secs: 1200,
+        seed: 1,
+        file: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("flag {what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--fault" => o.fault = Some(parse_fault(val("--fault"))),
+            "--slaves" => o.slaves = val("--slaves").parse().unwrap_or_else(|_| usage()),
+            "--secs" => o.secs = val("--secs").parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            other if !other.starts_with("--") && o.file.is_none() => {
+                o.file = Some(other.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// Renders a score series as a sparkline.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(1e-9, f64::max);
+    values
+        .iter()
+        .map(|&v| BARS[((v / max * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+fn cmd_demo(o: Opts) {
+    let fault = o.fault.unwrap_or(FaultKind::Hadoop1036);
+    let cfg = CampaignConfig {
+        slaves: o.slaves,
+        run_secs: o.secs,
+        injection_at: o.secs / 4,
+        fault_node: o.slaves / 2,
+        base_seed: o.seed,
+        consecutive: 2,
+        ..CampaignConfig::smoke()
+    };
+    println!("training workload model ({} nodes, {} s fault-free)...", cfg.slaves, cfg.training_secs);
+    let model = experiments::train_model(&cfg);
+    println!(
+        "injecting {fault} on node {} at t={} s; monitoring {} s...\n",
+        cfg.fault_node, cfg.injection_at, cfg.run_secs
+    );
+    let tr = experiments::run_once(&cfg, &model, Some(fault), cfg.base_seed + 42);
+
+    println!("black-box L1 distance per node (one column per {}-s window):", cfg.window);
+    for node in 0..cfg.slaves {
+        let series: Vec<f64> = tr.bb.scores.iter().map(|row| row[node]).collect();
+        let alarms = tr.bb.alarms.iter().filter(|row| row[node]).count();
+        println!(
+            "  node {node:>2} {} {}{}",
+            sparkline(&series),
+            if node == cfg.fault_node { "<- culprit" } else { "" },
+            if alarms > 0 {
+                format!(" [{alarms} alarm windows]")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!("\nwhite-box critical-k per node:");
+    for node in 0..cfg.slaves {
+        let series: Vec<f64> = tr
+            .wb
+            .scores
+            .iter()
+            .map(|row| if row[node].is_finite() { row[node] } else { 20.0 })
+            .collect();
+        let alarms = tr.wb.alarms.iter().filter(|row| row[node]).count();
+        println!(
+            "  node {node:>2} {} {}{}",
+            sparkline(&series),
+            if node == cfg.fault_node { "<- culprit" } else { "" },
+            if alarms > 0 {
+                format!(" [{alarms} alarm windows]")
+            } else {
+                String::new()
+            }
+        );
+    }
+    let r = experiments::score_run(&tr, fault);
+    println!(
+        "\nverdict: balanced accuracy bb {:.1}% / wb {:.1}% / combined {:.1}%;  latency {}",
+        r.ba_black_box,
+        r.ba_white_box,
+        r.ba_combined,
+        r.lat_combined
+            .map(|s| format!("{s} s"))
+            .unwrap_or_else(|| "not detected".into())
+    );
+}
+
+fn cmd_dump_config(o: Opts) {
+    let cfg = CampaignConfig {
+        slaves: o.slaves,
+        ..CampaignConfig::smoke()
+    };
+    let model = experiments::train_model(&cfg);
+    let builder = AsdfBuilder::new(AsdfOptions::default()).with_model(model);
+    print!("{}", builder.config(o.slaves).render());
+}
+
+fn cmd_run_config(o: Opts) {
+    let path = o.file.clone().unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let config: Config = text.parse().unwrap_or_else(|e| {
+        eprintln!("config error: {e}");
+        std::process::exit(1);
+    });
+    let faults = o
+        .fault
+        .map(|kind| {
+            vec![FaultSpec {
+                node: o.slaves / 2,
+                kind,
+                start_at: o.secs / 4,
+            }]
+        })
+        .unwrap_or_default();
+    let handle = ClusterHandle::new(Cluster::new(ClusterConfig::new(o.slaves, o.seed), faults));
+    let mut registry = ModuleRegistry::new();
+    asdf_modules::register_all(&mut registry, handle);
+    let dag = Dag::build(&registry, &config).unwrap_or_else(|e| {
+        eprintln!("DAG error: {e}");
+        std::process::exit(1);
+    });
+
+    // Tap every print sink so its rendered lines reach stdout.
+    let sink_ids: Vec<String> = config
+        .instances()
+        .iter()
+        .filter(|i| i.module_type == "print")
+        .map(|i| i.id.clone())
+        .collect();
+    let mut engine = TickEngine::new(dag);
+    let taps: Vec<_> = sink_ids
+        .iter()
+        .filter_map(|id| engine.tap(id).map(|t| (id.clone(), t)))
+        .collect();
+    eprintln!("running `{path}` for {} s over {} simulated nodes...", o.secs, o.slaves);
+    if let Err(e) = engine.run_for(TickDuration::from_secs(o.secs)) {
+        eprintln!("runtime error: {e}");
+        std::process::exit(1);
+    }
+    for (id, tap) in taps {
+        for env in tap.drain() {
+            if let Some(line) = env.sample.value.as_text() {
+                println!("{id}: {line}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "demo" => cmd_demo(opts),
+        "dump-config" => cmd_dump_config(opts),
+        "run-config" => cmd_run_config(opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,361 @@
+//! Assembles the paper's Figure-4 fingerpointing DAGs.
+//!
+//! [`AsdfBuilder`] generates an `fpt-core` configuration (in the paper's
+//! own config dialect — it can be dumped with
+//! [`Deployment::config_text`]) wiring, per slave node:
+//!
+//! * **black-box**: `sadc` → `knn` (1-NN against trained centroids) →
+//!   `analysis_bb` (state-histogram L1 peer comparison);
+//! * **white-box**: `hadoop_log` (TaskTracker and DataNode) → `mavgvec`
+//!   (windowed mean + stddev) → `analysis_wb` (median peer comparison
+//!   with the `max(1, k·σ_median)` threshold).
+//!
+//! One `cluster_driver` instance advances the simulated cluster and clocks
+//! every collector, standing in for wall-clock scheduling on a live
+//! deployment.
+
+use std::collections::HashMap;
+
+use asdf_core::config::{Config, InstanceConfig};
+use asdf_core::dag::Dag;
+use asdf_core::engine::{TapHandle, TickEngine};
+use asdf_core::error::BuildDagError;
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+use asdf_modules::training::BlackBoxModel;
+use asdf_rpc::daemons::ClusterHandle;
+use hadoop_sim::cluster::Cluster;
+
+/// Tunable knobs of a fingerpointing deployment.
+#[derive(Debug, Clone)]
+pub struct AsdfOptions {
+    /// Analysis window, in samples (paper: 60).
+    pub window: usize,
+    /// Samples between window evaluations (default = `window`,
+    /// non-overlapping).
+    pub slide: usize,
+    /// Black-box L1 alarm threshold (paper sweeps 0–70, uses 60).
+    pub bb_threshold: f64,
+    /// White-box threshold multiplier k (paper sweeps 0–5, uses 3).
+    pub wb_k: f64,
+    /// Consecutive anomalous windows required before an alarm (paper: "at
+    /// least 3 consecutive windows to gain confidence").
+    pub consecutive: usize,
+    /// Build the black-box path.
+    pub black_box: bool,
+    /// Build the white-box path.
+    pub white_box: bool,
+}
+
+impl Default for AsdfOptions {
+    fn default() -> Self {
+        AsdfOptions {
+            window: 60,
+            slide: 60,
+            bb_threshold: 60.0,
+            wb_k: 3.0,
+            consecutive: 3,
+            black_box: true,
+            white_box: true,
+        }
+    }
+}
+
+/// Builds a [`Deployment`] for a cluster.
+#[derive(Debug)]
+pub struct AsdfBuilder {
+    options: AsdfOptions,
+    model: Option<BlackBoxModel>,
+}
+
+impl AsdfBuilder {
+    /// Starts a builder with the given options.
+    pub fn new(options: AsdfOptions) -> Self {
+        AsdfBuilder {
+            options,
+            model: None,
+        }
+    }
+
+    /// Supplies the trained black-box workload model (required when
+    /// `options.black_box` is set).
+    #[must_use]
+    pub fn with_model(mut self, model: BlackBoxModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Generates the `fpt-core` configuration for `n_nodes` slaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the black-box path is requested without a model.
+    pub fn config(&self, n_nodes: usize) -> Config {
+        let o = &self.options;
+        let mut cfg = Config::new();
+        let push = |cfg: &mut Config, inst: InstanceConfig| {
+            cfg.push(inst).expect("generated ids are unique");
+        };
+
+        push(&mut cfg, InstanceConfig::new("cluster_driver", "drv"));
+
+        if o.black_box {
+            let model = self
+                .model
+                .as_ref()
+                .expect("black-box pipeline requires a trained model");
+            for i in 0..n_nodes {
+                push(
+                    &mut cfg,
+                    InstanceConfig::new("sadc", format!("sadc{i}"))
+                        .with_param("node", i)
+                        .with_input("clock", "drv", "tick"),
+                );
+                push(
+                    &mut cfg,
+                    InstanceConfig::new("knn", format!("onenn{i}"))
+                        .with_param("centroids", model.centroids_param())
+                        .with_param("stddev", model.stddev_param())
+                        .with_param("k", 1)
+                        .with_input("input", format!("sadc{i}"), "output0"),
+                );
+            }
+            let mut bb = InstanceConfig::new("analysis_bb", "bb")
+                .with_param("n_states", self.model.as_ref().expect("checked").n_states())
+                .with_param("window", o.window)
+                .with_param("slide", o.slide)
+                .with_param("threshold", o.bb_threshold)
+                .with_param("consecutive", o.consecutive);
+            for i in 0..n_nodes {
+                bb = bb.with_input(format!("l{i}"), format!("onenn{i}"), "output0");
+            }
+            push(&mut cfg, bb);
+            push(
+                &mut cfg,
+                InstanceConfig::new("print", "BlackBoxAlarm").with_input_all("a", "bb"),
+            );
+        }
+
+        if o.white_box {
+            for (daemon, tag) in [("tasktracker", "tt"), ("datanode", "dn")] {
+                for i in 0..n_nodes {
+                    push(
+                        &mut cfg,
+                        InstanceConfig::new("hadoop_log", format!("hl_{tag}_{i}"))
+                            .with_param("node", i)
+                            .with_param("daemon", daemon)
+                            .with_input("clock", "drv", "tick"),
+                    );
+                    push(
+                        &mut cfg,
+                        InstanceConfig::new("mavgvec", format!("avg_{tag}_{i}"))
+                            .with_param("window", o.window)
+                            .with_param("slide", o.slide)
+                            .with_param("emit", "both")
+                            .with_input("input", format!("hl_{tag}_{i}"), "output0"),
+                    );
+                }
+                let mut wb = InstanceConfig::new("analysis_wb", format!("wb_{tag}"))
+                    .with_param("k", o.wb_k)
+                    .with_param("consecutive", o.consecutive);
+                for i in 0..n_nodes {
+                    wb = wb
+                        .with_input(format!("a{i}"), format!("avg_{tag}_{i}"), "mean")
+                        .with_input(format!("d{i}"), format!("avg_{tag}_{i}"), "stddev");
+                }
+                push(&mut cfg, wb);
+                push(
+                    &mut cfg,
+                    InstanceConfig::new("print", format!("WhiteBoxAlarm_{tag}"))
+                        .with_input_all("a", format!("wb_{tag}")),
+                );
+            }
+        }
+
+        cfg
+    }
+
+    /// Builds a runnable deployment over `cluster`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildDagError`] when DAG construction fails (which for a
+    /// generated configuration indicates option/model inconsistency, e.g.
+    /// fewer than three slaves for peer comparison).
+    pub fn deploy(self, cluster: Cluster) -> Result<Deployment, BuildDagError> {
+        let n_nodes = cluster.n_slaves();
+        let node_names: Vec<String> = (0..n_nodes).map(|i| cluster.slave_name(i)).collect();
+        let handle = ClusterHandle::new(cluster);
+        let mut registry = ModuleRegistry::new();
+        asdf_modules::register_all(&mut registry, handle.clone());
+        let config = self.config(n_nodes);
+        let dag = Dag::build(&registry, &config)?;
+        let mut engine = TickEngine::new(dag);
+        let mut taps = HashMap::new();
+        for id in ["bb", "wb_tt", "wb_dn"] {
+            if let Some(tap) = engine.tap(id) {
+                taps.insert(id.to_owned(), tap);
+            }
+        }
+        Ok(Deployment {
+            engine,
+            handle,
+            taps,
+            node_names,
+            config,
+            options: self.options,
+        })
+    }
+}
+
+/// A runnable fingerpointing deployment: engine + cluster + analysis taps.
+pub struct Deployment {
+    /// The deterministic engine executing the DAG.
+    pub engine: TickEngine,
+    /// Shared handle to the monitored cluster.
+    pub handle: ClusterHandle,
+    taps: HashMap<String, TapHandle>,
+    node_names: Vec<String>,
+    config: Config,
+    options: AsdfOptions,
+}
+
+impl Deployment {
+    /// Runs the deployment for `secs` seconds of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a module fails at runtime — generated pipelines are
+    /// expected to be internally consistent.
+    pub fn run_for(&mut self, secs: u64) {
+        self.engine
+            .run_for(TickDuration::from_secs(secs))
+            .expect("generated pipeline runs cleanly");
+    }
+
+    /// The tap on an analysis instance (`bb`, `wb_tt`, `wb_dn`), when that
+    /// path was built.
+    pub fn tap(&self, id: &str) -> Option<&TapHandle> {
+        self.taps.get(id)
+    }
+
+    /// Slave hostnames, index-aligned with alarm ports.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// The deployment's options.
+    pub fn options(&self) -> &AsdfOptions {
+        &self.options
+    }
+
+    /// The generated configuration, rendered in the paper's file dialect.
+    pub fn config_text(&self) -> String {
+        self.config.render()
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("nodes", &self.node_names.len())
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadoop_sim::cluster::ClusterConfig;
+
+    fn tiny_model() -> BlackBoxModel {
+        // 120-dimensional model with two trivial centroids; enough for
+        // wiring tests (training quality is covered elsewhere).
+        let dim = 120;
+        BlackBoxModel {
+            stddev: vec![1.0; dim],
+            centroids: vec![vec![0.0; dim], vec![5.0; dim]],
+        }
+    }
+
+    #[test]
+    fn generated_config_is_parseable_and_round_trips() {
+        let builder = AsdfBuilder::new(AsdfOptions::default()).with_model(tiny_model());
+        let cfg = builder.config(4);
+        let text = cfg.render();
+        let reparsed: Config = text.parse().expect("generated config parses");
+        assert_eq!(cfg, reparsed);
+        // Spot-check the paper's structure.
+        assert!(cfg.instance("drv").is_some());
+        assert!(cfg.instance("onenn2").is_some());
+        assert!(cfg.instance("bb").is_some());
+        assert!(cfg.instance("wb_tt").is_some());
+        assert!(cfg.instance("hl_dn_3").is_some());
+        assert!(cfg.instance("BlackBoxAlarm").is_some());
+    }
+
+    #[test]
+    fn deploy_and_run_both_paths() {
+        let cluster = Cluster::new(ClusterConfig::new(4, 5), Vec::new());
+        let mut dep = AsdfBuilder::new(AsdfOptions {
+            window: 10,
+            slide: 10,
+            ..AsdfOptions::default()
+        })
+        .with_model(tiny_model())
+        .deploy(cluster)
+        .expect("deploys");
+        dep.run_for(40);
+        assert_eq!(dep.handle.now(), 40);
+        // All three analysis taps exist and produced window outputs.
+        for id in ["bb", "wb_tt", "wb_dn"] {
+            let tap = dep.tap(id).unwrap();
+            assert!(!tap.is_empty(), "{id} should emit");
+        }
+        assert_eq!(dep.node_names().len(), 4);
+        assert!(dep.config_text().contains("[analysis_bb]"));
+    }
+
+    #[test]
+    fn black_box_only_deployment_has_no_wb_taps() {
+        let cluster = Cluster::new(ClusterConfig::new(3, 6), Vec::new());
+        let dep = AsdfBuilder::new(AsdfOptions {
+            white_box: false,
+            window: 5,
+            slide: 5,
+            ..AsdfOptions::default()
+        })
+        .with_model(tiny_model())
+        .deploy(cluster)
+        .unwrap();
+        assert!(dep.tap("bb").is_some());
+        assert!(dep.tap("wb_tt").is_none());
+        assert!(dep.tap("wb_dn").is_none());
+    }
+
+    #[test]
+    fn white_box_only_deployment_needs_no_model() {
+        let cluster = Cluster::new(ClusterConfig::new(3, 7), Vec::new());
+        let mut dep = AsdfBuilder::new(AsdfOptions {
+            black_box: false,
+            window: 5,
+            slide: 5,
+            ..AsdfOptions::default()
+        })
+        .deploy(cluster)
+        .unwrap();
+        dep.run_for(15);
+        assert!(dep.tap("bb").is_none());
+        assert!(!dep.tap("wb_tt").unwrap().is_empty());
+    }
+
+    #[test]
+    fn too_few_slaves_fails_to_deploy() {
+        let cluster = Cluster::new(ClusterConfig::new(2, 8), Vec::new());
+        let err = AsdfBuilder::new(AsdfOptions::default())
+            .with_model(tiny_model())
+            .deploy(cluster);
+        assert!(err.is_err(), "peer comparison needs >= 3 nodes");
+    }
+}

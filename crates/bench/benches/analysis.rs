@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the analysis algorithms: model training, 1-NN
+//! classification, and the two peer-comparison fingerpointers driven
+//! end-to-end through the engine.
+
+use asdf_core::config::{Config, InstanceConfig};
+use asdf_core::dag::Dag;
+use asdf_core::engine::TickEngine;
+use asdf_core::error::ModuleError;
+use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+use asdf_modules::training::BlackBoxModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 120;
+
+fn training_set(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n)
+        .map(|i| {
+            let level = (i % 4) as f64 * 25.0;
+            (0..DIM)
+                .map(|_| (level + rng.gen::<f64>() * 10.0).max(0.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit");
+    group.sample_size(10);
+    for n in [2_000usize, 10_000] {
+        let data = training_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| BlackBoxModel::fit(data, 12, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let data = training_set(4_000);
+    let model = BlackBoxModel::fit(&data, 12, 1);
+    let sample = &data[17];
+    let mut group = c.benchmark_group("classify_1nn");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("120d_12states", |b| b.iter(|| model.classify(sample)));
+    group.finish();
+}
+
+/// Per-node source feeding the peer-comparison analyses.
+struct NodeFeed {
+    port: Option<PortId>,
+    rng: SmallRng,
+}
+impl Module for NodeFeed {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        let origin: String = ctx.require_param("origin")?.to_owned();
+        self.port = Some(ctx.declare_output_with_origin("out", origin));
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        ctx.emit(self.port.unwrap(), self.rng.gen_range(0..12) as i64);
+        Ok(())
+    }
+}
+
+fn bench_analysis_bb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_bb_50_nodes");
+    group.sample_size(20);
+    group.bench_function("600s_window60", |b| {
+        b.iter_batched(
+            || {
+                let mut reg = ModuleRegistry::new();
+                asdf_modules::register_analysis_modules(&mut reg);
+                let seed = std::sync::atomic::AtomicU64::new(0);
+                reg.register("nodefeed", move || {
+                    let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Box::new(NodeFeed {
+                        port: None,
+                        rng: SmallRng::seed_from_u64(s),
+                    })
+                });
+                let mut cfg = Config::new();
+                let mut bb = InstanceConfig::new("analysis_bb", "bb")
+                    .with_param("n_states", 12)
+                    .with_param("window", 60)
+                    .with_param("threshold", 40);
+                for i in 0..50 {
+                    cfg.push(
+                        InstanceConfig::new("nodefeed", format!("n{i}"))
+                            .with_param("origin", format!("slave{i}")),
+                    )
+                    .unwrap();
+                    bb = bb.with_input(format!("l{i}"), format!("n{i}"), "out");
+                }
+                cfg.push(bb).unwrap();
+                TickEngine::new(Dag::build(&reg, &cfg).unwrap())
+            },
+            |mut engine| engine.run_for(TickDuration::from_secs(600)).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_classify, bench_analysis_bb);
+criterion_main!(benches);

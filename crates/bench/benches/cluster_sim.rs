@@ -1,0 +1,50 @@
+//! Benchmarks of the Hadoop cluster simulator and the full fingerpointing
+//! deployment: simulated seconds per wall-clock second at paper scale.
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf::pipeline::{AsdfBuilder, AsdfOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+
+fn bench_cluster_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_advance_600s");
+    for slaves in [10usize, 20, 50] {
+        group.throughput(Throughput::Elements(600));
+        group.bench_function(BenchmarkId::from_parameter(slaves), |b| {
+            b.iter_batched(
+                || Cluster::new(ClusterConfig::new(slaves, 3), Vec::new()),
+                |mut cluster| cluster.advance(600),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_deployment(c: &mut Criterion) {
+    // Train once; model reuse matches the experiment protocol.
+    let cfg = CampaignConfig {
+        slaves: 20,
+        training_secs: 300,
+        ..CampaignConfig::smoke()
+    };
+    let model = experiments::train_model(&cfg);
+    let mut group = c.benchmark_group("deployment_600s_20_nodes");
+    group.sample_size(10);
+    group.bench_function("both_paths", |b| {
+        b.iter_batched(
+            || {
+                AsdfBuilder::new(AsdfOptions::default())
+                    .with_model(model.clone())
+                    .deploy(Cluster::new(ClusterConfig::new(20, 5), Vec::new()))
+                    .unwrap()
+            },
+            |mut dep| dep.run_for(600),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_tick, bench_full_deployment);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the `fpt-core` engine: DAG construction and tick
+//! throughput for fan-out pipelines of various widths.
+
+use asdf_core::config::{Config, InstanceConfig};
+use asdf_core::dag::Dag;
+use asdf_core::engine::TickEngine;
+use asdf_core::error::ModuleError;
+use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Src(Option<PortId>, f64);
+impl Module for Src {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.0 = Some(ctx.declare_output("out"));
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        self.1 += 1.0;
+        ctx.emit(self.0.unwrap(), vec![self.1; 32]);
+        Ok(())
+    }
+}
+
+struct Sum(Option<PortId>);
+impl Module for Sum {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.0 = Some(ctx.declare_output("out"));
+        Ok(())
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        let mut acc = 0.0;
+        for (_, env) in ctx.take_all() {
+            if let Some(v) = env.sample.value.as_vector() {
+                acc += v.iter().sum::<f64>();
+            }
+        }
+        ctx.emit(self.0.unwrap(), acc);
+        Ok(())
+    }
+}
+
+fn registry() -> ModuleRegistry {
+    let mut reg = ModuleRegistry::new();
+    reg.register("src", || Box::new(Src(None, 0.0)));
+    reg.register("sum", || Box::new(Sum(None)));
+    reg
+}
+
+fn fan_config(width: usize) -> Config {
+    let mut cfg = Config::new();
+    for i in 0..width {
+        cfg.push(InstanceConfig::new("src", format!("s{i}"))).unwrap();
+    }
+    let mut sink = InstanceConfig::new("sum", "sink");
+    for i in 0..width {
+        sink = sink.with_input(format!("i{i}"), format!("s{i}"), "out");
+    }
+    cfg.push(sink).unwrap();
+    cfg
+}
+
+fn bench_dag_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_build");
+    for width in [8usize, 64, 256] {
+        let cfg = fan_config(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &cfg, |b, cfg| {
+            b.iter(|| Dag::build(&registry(), cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ticks");
+    for width in [8usize, 64, 256] {
+        group.bench_function(BenchmarkId::from_parameter(width), |b| {
+            b.iter_batched(
+                || TickEngine::new(Dag::build(&registry(), &fan_config(width)).unwrap()),
+                |mut engine| engine.run_for(TickDuration::from_secs(100)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_config_parse(c: &mut Criterion) {
+    let text = fan_config(256).render();
+    c.bench_function("config_parse_256_instances", |b| {
+        b.iter(|| text.parse::<Config>().unwrap());
+    });
+}
+
+criterion_group!(benches, bench_dag_build, bench_engine_ticks, bench_config_parse);
+criterion_main!(benches);

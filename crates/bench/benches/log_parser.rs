@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the white-box log parser: line-recognition and
+//! state-tracking throughput on realistic simulator-generated logs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hadoop_logs::parser::LogParser;
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+
+/// Collects a realistic mixed log corpus from a simulated run.
+fn corpus() -> Vec<String> {
+    let mut cluster = Cluster::new(ClusterConfig::new(8, 42), Vec::new());
+    let mut lines = Vec::new();
+    for _ in 0..900 {
+        cluster.tick();
+        for node in 0..8 {
+            let (tt, dn) = cluster.drain_logs(node);
+            lines.extend(tt);
+            lines.extend(dn);
+        }
+    }
+    assert!(lines.len() > 1_000, "corpus too small: {}", lines.len());
+    lines
+}
+
+fn bench_parse_lines(c: &mut Criterion) {
+    let lines = corpus();
+    let mut group = c.benchmark_group("log_parser");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("feed_corpus", |b| {
+        b.iter(|| {
+            let mut p = LogParser::new();
+            p.feed_lines(lines.iter().map(String::as_str));
+            p.line_stats()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let lines = corpus();
+    c.bench_function("log_parser_sample_per_second", |b| {
+        let mut p = LogParser::new();
+        p.feed_lines(lines.iter().map(String::as_str));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            p.sample(t)
+        });
+    });
+}
+
+criterion_group!(benches, bench_parse_lines, bench_sample);
+criterion_main!(benches);

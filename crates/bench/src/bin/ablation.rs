@@ -1,0 +1,76 @@
+//! Ablation study of the design choices behind the paper's parameters:
+//! window size (the paper's windowSize = 60), the consecutive-window
+//! confirmation depth (the paper's "at least 3 consecutive windows"), and
+//! the number of black-box workload states (this reproduction's k-means k).
+//!
+//! For each knob value, the combined analysis is scored on one injected
+//! run (HADOOP-1036 by default — the strongest-manifesting fault, so the
+//! knob effect dominates run noise) and one fault-free control run.
+//!
+//! Usage: `cargo run -p bench --bin ablation --release [-- --slaves N --secs S]`
+
+use asdf::experiments::{self, AblationKnob, AblationRow};
+
+fn render(rows: &[AblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} | {:>8} | {:>8} | {:>8}",
+        rows.first().map_or("value", |r| r.parameter),
+        "BA-all%",
+        "latency",
+        "FP-all%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(48));
+    for r in rows {
+        let lat = r
+            .latency
+            .map(|s| format!("{s}s"))
+            .unwrap_or_else(|| "--".to_owned());
+        let _ = writeln!(
+            out,
+            "{:>12} | {:>8.1} | {:>8} | {:>8.2}",
+            r.value, r.ba_combined, lat, r.fp_rate
+        );
+    }
+    out
+}
+
+fn main() {
+    let cfg = bench::campaign_from_args("ablation");
+    let fault = hadoop_sim::faults::FaultKind::Hadoop1036;
+    eprintln!(
+        "[ablation] {} nodes, {} s runs, fault {fault}; sweeping window / consecutive / n_states ...",
+        cfg.slaves, cfg.run_secs
+    );
+
+    println!("=== window size (paper: 60) ===");
+    let rows = experiments::ablate(&cfg, AblationKnob::Window, &[15.0, 30.0, 60.0, 120.0], fault);
+    println!("{}", render(&rows));
+    println!(
+        "expected trade-off: small windows detect faster but with noisier histograms\n\
+         (higher FP); large windows smooth noise but stretch the latency floor.\n"
+    );
+
+    println!("=== consecutive-window confirmation (paper: 3) ===");
+    let rows = experiments::ablate(
+        &cfg,
+        AblationKnob::Consecutive,
+        &[1.0, 2.0, 3.0, 4.0],
+        fault,
+    );
+    println!("{}", render(&rows));
+    println!(
+        "expected trade-off: each extra confirmation window adds ~windowSize seconds\n\
+         of latency and suppresses one-window false positives.\n"
+    );
+
+    println!("=== black-box workload states / k-means k (reproduction default: 12) ===");
+    let rows = experiments::ablate(&cfg, AblationKnob::NStates, &[4.0, 8.0, 12.0, 24.0], fault);
+    println!("{}", render(&rows));
+    println!(
+        "expected trade-off: too few states quantize faulty and healthy behaviour into\n\
+         the same cell; too many states fragment healthy behaviour and add FP noise."
+    );
+}

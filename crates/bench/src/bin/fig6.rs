@@ -1,0 +1,64 @@
+//! Reproduces **Figure 6** of the paper: false-positive rates of the two
+//! analyses on fault-free GridMix runs.
+//!
+//! * Figure 6(a): black-box FP rate vs the L1 threshold, swept 0–70;
+//! * Figure 6(b): white-box FP rate vs the threshold multiplier k, swept
+//!   0–5.
+//!
+//! Usage: `cargo run -p bench --bin fig6 --release [-- --slaves N --secs S]`
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf::report;
+
+fn main() {
+    let cfg = bench::campaign_from_args("fig6");
+    eprintln!(
+        "[fig6] training on {} nodes x {} s, then {} fault-free run(s) of {} s ...",
+        cfg.slaves, cfg.training_secs, cfg.fault_free_runs, cfg.run_secs
+    );
+    let model = experiments::train_model(&cfg);
+
+    let thresholds: Vec<f64> = (0..=14).map(|i| i as f64 * 5.0).collect();
+    let sweep_a = experiments::fig6a(&cfg, &model, &thresholds);
+    println!(
+        "{}",
+        report::render_sweep(
+            "Figure 6(a): black-box false-positive rate vs L1 threshold",
+            "threshold",
+            &sweep_a
+        )
+    );
+
+    let ks: Vec<f64> = (0..=10).map(|i| i as f64 * 0.5).collect();
+    let sweep_b = experiments::fig6b(&cfg, &model, &ks);
+    println!(
+        "{}",
+        report::render_sweep(
+            "Figure 6(b): white-box false-positive rate vs k",
+            "k",
+            &sweep_b
+        )
+    );
+
+    // The paper's qualitative claims, checked on the spot.
+    let fp_at = |rows: &[(f64, f64)], x: f64| {
+        rows.iter()
+            .find(|(v, _)| (*v - x).abs() < 1e-9)
+            .map(|(_, fp)| *fp)
+            .unwrap_or(f64::NAN)
+    };
+    println!("shape checks:");
+    println!(
+        "  bb FP falls steeply then flattens: fp(0)={:.1}%  fp(40)={:.2}%  fp(70)={:.2}%",
+        fp_at(&sweep_a, 0.0),
+        fp_at(&sweep_a, 40.0),
+        fp_at(&sweep_a, 70.0)
+    );
+    println!(
+        "  wb FP low and flat beyond k=3:     fp(k=0)={:.2}%  fp(k=3)={:.2}%  fp(k=5)={:.2}%",
+        fp_at(&sweep_b, 0.0),
+        fp_at(&sweep_b, 3.0),
+        fp_at(&sweep_b, 5.0)
+    );
+    let _ = CampaignConfig::default();
+}

@@ -1,0 +1,47 @@
+//! Reproduces **Figure 7** of the paper: per-fault balanced accuracy (7a)
+//! and fingerpointing latency (7b) for the black-box, white-box, and
+//! combined analyses, across the six documented Hadoop problems of
+//! Table 2.
+//!
+//! Usage: `cargo run -p bench --bin fig7 --release [-- --slaves N --secs S]`
+
+use asdf::experiments;
+use asdf::report;
+
+fn main() {
+    let cfg = bench::campaign_from_args("fig7");
+    eprintln!(
+        "[fig7] training on {} nodes x {} s, then 6 faults x {} run(s) of {} s (inject at t={} on node {}) ...",
+        cfg.slaves, cfg.training_secs, cfg.fault_runs, cfg.run_secs, cfg.injection_at, cfg.fault_node
+    );
+    let model = experiments::train_model(&cfg);
+    let rows = experiments::fig7(&cfg, &model);
+    println!("{}", report::render_fig7(&rows));
+
+    // The paper's qualitative claims, checked on the spot.
+    let mean = |f: fn(&asdf::experiments::FaultResult) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    let bb = mean(|r| r.ba_black_box);
+    let wb = mean(|r| r.ba_white_box);
+    let all = mean(|r| r.ba_combined);
+    println!("shape checks (paper: bb 71%, wb 78%, combined 80%):");
+    println!("  mean balanced accuracy: bb {bb:.1}%  wb {wb:.1}%  combined {all:.1}%");
+    println!(
+        "  white box >= black box overall: {}",
+        if wb >= bb - 1.0 { "yes" } else { "NO" }
+    );
+    println!(
+        "  combining helps or ties:        {}",
+        if all + 1.0 >= bb.max(wb) { "yes" } else { "NO" }
+    );
+    let hangs: Vec<&asdf::experiments::FaultResult> = rows
+        .iter()
+        .filter(|r| r.fault.is_dormant())
+        .collect();
+    let wb_beats_bb_on_hangs = hangs.iter().all(|r| r.ba_white_box > r.ba_black_box);
+    println!(
+        "  wb beats bb on reduce hangs (HADOOP-1152/2080): {}",
+        if wb_beats_bb_on_hangs { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,64 @@
+//! Shared plumbing for the experiment harness binaries (`fig6`, `fig7`,
+//! `table3`, `table4`).
+
+use asdf::experiments::CampaignConfig;
+
+/// Builds the experiment campaign configuration from command-line flags.
+///
+/// Defaults reproduce the paper-scale setup scaled to run in seconds on a
+/// laptop; every knob can be overridden:
+///
+/// ```text
+/// --slaves N       slave nodes per cluster        (default 20)
+/// --secs S         seconds per evaluation run     (default 1800)
+/// --seed X         base RNG seed                  (default 1)
+/// --runs R         fault runs per fault / fault-free runs (default 3)
+/// --window W       analysis window samples        (default 60)
+/// --threshold T    black-box L1 threshold         (default 40)
+/// --k K            white-box multiplier           (default 3)
+/// ```
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags.
+pub fn campaign_from_args(tool: &str) -> CampaignConfig {
+    let mut cfg = CampaignConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut next = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{tool}: flag {what} needs a value"))
+        };
+        match flag.as_str() {
+            "--slaves" => cfg.slaves = next("--slaves").parse().expect("integer"),
+            "--secs" => cfg.run_secs = next("--secs").parse().expect("integer"),
+            "--seed" => cfg.base_seed = next("--seed").parse().expect("integer"),
+            "--runs" => {
+                let n: usize = next("--runs").parse().expect("integer");
+                cfg.fault_runs = n;
+                cfg.fault_free_runs = n;
+            }
+            "--window" => cfg.window = next("--window").parse().expect("integer"),
+            "--threshold" => cfg.bb_threshold = next("--threshold").parse().expect("number"),
+            "--k" => cfg.wb_k = next("--k").parse().expect("number"),
+            other => panic!("{tool}: unknown flag `{other}` (see crate docs)"),
+        }
+    }
+    // Keep the fault node and injection point inside the run.
+    cfg.fault_node = cfg.fault_node.min(cfg.slaves.saturating_sub(1));
+    cfg.injection_at = cfg.injection_at.min(cfg.run_secs / 3);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let cfg = campaign_from_args("test");
+        assert_eq!(cfg.window, 60);
+        assert_eq!(cfg.consecutive, 3);
+        assert!((cfg.wb_k - 3.0).abs() < 1e-12);
+    }
+}

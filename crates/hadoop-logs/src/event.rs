@@ -1,0 +1,325 @@
+//! Log-line → event extraction.
+//!
+//! Each Hadoop log entry corresponds to one event: a state-entrance, a
+//! state-exit, or an instant event (paper §4.4). [`parse_line`] recognizes
+//! the Hadoop 0.18 TaskTracker/DataNode formats and produces a
+//! [`LogLineEvent`]; unrecognized lines yield `None` (real logs are full of
+//! lines the DFA view does not care about, and the parser must skip them
+//! silently).
+
+use crate::states::HadoopState;
+
+/// The edge direction of an extracted event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Entering the state.
+    Start,
+    /// Leaving the state.
+    End,
+    /// Instant entrance-and-exit (e.g. a block deletion).
+    Instant,
+}
+
+/// One event extracted from one log line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogLineEvent {
+    /// Seconds-of-day of the log timestamp.
+    pub time_secs: u64,
+    /// Which state the event concerns.
+    pub state: HadoopState,
+    /// Entrance, exit, or instant.
+    pub edge: Edge,
+    /// The key identifying the state *instance*: a task attempt name for
+    /// TaskTracker states, a block id for DataNode states.
+    pub key: String,
+    /// Whether the line reports an attempt failure (ends every state held
+    /// by the attempt, not just `state`).
+    pub failure: bool,
+    /// Whether the line reports a jobtracker kill (ends every state held,
+    /// but does not count as a failure — e.g. a losing speculative
+    /// attempt).
+    pub killed: bool,
+}
+
+/// Parses a `YYYY-MM-DD HH:MM:SS,mmm` prefix into seconds-of-day.
+///
+/// Returns `None` when the prefix is not a well-formed timestamp.
+pub fn parse_timestamp(line: &str) -> Option<u64> {
+    // "2008-04-15 14:23:15,324" — 23 characters.
+    let ts = line.get(0..23)?;
+    let bytes = ts.as_bytes();
+    if bytes.get(4) != Some(&b'-')
+        || bytes.get(7) != Some(&b'-')
+        || bytes.get(10) != Some(&b' ')
+        || bytes.get(13) != Some(&b':')
+        || bytes.get(16) != Some(&b':')
+        || bytes.get(19) != Some(&b',')
+    {
+        return None;
+    }
+    let h: u64 = ts.get(11..13)?.parse().ok()?;
+    let m: u64 = ts.get(14..16)?.parse().ok()?;
+    let s: u64 = ts.get(17..19)?.parse().ok()?;
+    if h > 23 || m > 59 || s > 59 {
+        return None;
+    }
+    Some(h * 3600 + m * 60 + s)
+}
+
+/// Extracts the first whitespace-delimited token starting with `prefix`.
+fn token_starting_with<'a>(line: &'a str, prefix: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find(|t| t.starts_with(prefix))
+        .map(|t| t.trim_end_matches(['.', ',', ':', ';']))
+}
+
+/// Extracts one event from a log line, if the line is one the white-box
+/// DFA view cares about.
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_logs::event::{parse_line, Edge};
+/// use hadoop_logs::states::HadoopState;
+///
+/// let line = "2008-04-15 14:23:15,324 INFO org.apache.hadoop.mapred.TaskTracker: \
+///             LaunchTaskAction: task_0001_m_000096_0";
+/// let ev = parse_line(line).unwrap();
+/// assert_eq!(ev.state, HadoopState::MapTask);
+/// assert_eq!(ev.edge, Edge::Start);
+/// assert_eq!(ev.key, "task_0001_m_000096_0");
+/// ```
+pub fn parse_line(line: &str) -> Option<LogLineEvent> {
+    let time_secs = parse_timestamp(line)?;
+    let make = |state, edge, key: &str, failure| {
+        Some(LogLineEvent {
+            time_secs,
+            state,
+            edge,
+            key: key.to_owned(),
+            failure,
+            killed: false,
+        })
+    };
+
+    // --- TaskTracker / task JVM lines -----------------------------------
+    if line.contains("LaunchTaskAction:") {
+        let attempt = token_starting_with(line, "task_")?;
+        let state = kind_of_attempt(attempt)?;
+        return make(state, Edge::Start, attempt, false);
+    }
+    if line.contains(" is done.") {
+        let attempt = token_starting_with(line, "task_")?;
+        let state = kind_of_attempt(attempt)?;
+        return make(state, Edge::End, attempt, false);
+    }
+    if line.contains(" was killed.") {
+        let attempt = token_starting_with(line, "task_")?;
+        let state = kind_of_attempt(attempt)?;
+        let mut ev = make(state, Edge::End, attempt, false)?;
+        ev.killed = true;
+        return Some(ev);
+    }
+    if line.contains("Copying of all map outputs complete") {
+        let attempt = token_starting_with(line, "task_")?;
+        return make(HadoopState::ReduceCopy, Edge::End, attempt, false);
+    }
+    if line.contains("Copying map outputs") {
+        let attempt = token_starting_with(line, "task_")?;
+        return make(HadoopState::ReduceCopy, Edge::Start, attempt, false);
+    }
+    if line.contains("Merging map outputs") {
+        let attempt = token_starting_with(line, "task_")?;
+        return make(HadoopState::ReduceSort, Edge::Start, attempt, false);
+    }
+    if line.contains("Merge complete, reducing") {
+        // Exits the sort phase and enters the reducer phase; the parser
+        // layer synthesizes the ReduceReducer entrance from this exit.
+        let attempt = token_starting_with(line, "task_")?;
+        return make(HadoopState::ReduceSort, Edge::End, attempt, false);
+    }
+    if line.contains(" WARN ") && line.contains("task_") {
+        let attempt = token_starting_with(line, "task_")?;
+        let state = kind_of_attempt(attempt)?;
+        return make(state, Edge::End, attempt, true);
+    }
+
+    // --- DataNode lines ---------------------------------------------------
+    if line.contains("Serving block") {
+        let block = token_starting_with(line, "blk_")?;
+        return make(HadoopState::ReadBlock, Edge::Start, block, false);
+    }
+    if line.contains("Served block") {
+        let block = token_starting_with(line, "blk_")?;
+        return make(HadoopState::ReadBlock, Edge::End, block, false);
+    }
+    if line.contains("Receiving block") {
+        let block = token_starting_with(line, "blk_")?;
+        return make(HadoopState::WriteBlock, Edge::Start, block, false);
+    }
+    if line.contains("Received block") {
+        let block = token_starting_with(line, "blk_")?;
+        return make(HadoopState::WriteBlock, Edge::End, block, false);
+    }
+    if line.contains("Deleting block") {
+        let block = token_starting_with(line, "blk_")?;
+        return make(HadoopState::DeleteBlock, Edge::Instant, block, false);
+    }
+
+    None
+}
+
+/// Maps an attempt name to the coarse task state (MapTask / ReduceTask).
+fn kind_of_attempt(attempt: &str) -> Option<HadoopState> {
+    // task_<job>_<m|r>_<index>_<attempt>
+    let mut parts = attempt.split('_');
+    let _ = parts.next()?; // "task"
+    let _ = parts.next()?; // job
+    match parts.next()? {
+        "m" => Some(HadoopState::MapTask),
+        "r" => Some(HadoopState::ReduceTask),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TS: &str = "2008-04-15 14:23:15,324";
+
+    fn line(body: &str) -> String {
+        format!("{TS} {body}")
+    }
+
+    #[test]
+    fn timestamp_parsing() {
+        assert_eq!(parse_timestamp(&line("x")), Some(14 * 3600 + 23 * 60 + 15));
+        assert_eq!(parse_timestamp("2008-04-15 00:00:00,000 x"), Some(0));
+        assert_eq!(parse_timestamp("garbage"), None);
+        assert_eq!(parse_timestamp("2008-04-15 25:00:00,000 x"), None);
+        assert_eq!(parse_timestamp(""), None);
+        assert_eq!(parse_timestamp("2008-04-15T14:23:15,324 x"), None);
+    }
+
+    #[test]
+    fn map_launch_and_done() {
+        let ev = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_m_000096_0",
+        ))
+        .unwrap();
+        assert_eq!(
+            (ev.state, ev.edge, ev.failure),
+            (HadoopState::MapTask, Edge::Start, false)
+        );
+        let ev = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.TaskTracker: Task task_0001_m_000096_0 is done.",
+        ))
+        .unwrap();
+        assert_eq!((ev.state, ev.edge), (HadoopState::MapTask, Edge::End));
+        assert_eq!(ev.key, "task_0001_m_000096_0");
+    }
+
+    #[test]
+    fn reduce_lifecycle_events() {
+        let launch = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_r_000003_0",
+        ))
+        .unwrap();
+        assert_eq!((launch.state, launch.edge), (HadoopState::ReduceTask, Edge::Start));
+
+        let copy = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Copying map outputs",
+        ))
+        .unwrap();
+        assert_eq!((copy.state, copy.edge), (HadoopState::ReduceCopy, Edge::Start));
+
+        let copy_done = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Copying of all map outputs complete",
+        ))
+        .unwrap();
+        assert_eq!((copy_done.state, copy_done.edge), (HadoopState::ReduceCopy, Edge::End));
+
+        let sort = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Merging map outputs",
+        ))
+        .unwrap();
+        assert_eq!((sort.state, sort.edge), (HadoopState::ReduceSort, Edge::Start));
+
+        let sort_done = parse_line(&line(
+            "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Merge complete, reducing",
+        ))
+        .unwrap();
+        assert_eq!((sort_done.state, sort_done.edge), (HadoopState::ReduceSort, Edge::End));
+    }
+
+    #[test]
+    fn failure_lines_end_the_task_state() {
+        let ev = parse_line(&line(
+            "WARN org.apache.hadoop.mapred.TaskRunner: task_0002_r_000001_3 Map output copy failure: java.io.IOException: failed to rename map output",
+        ))
+        .unwrap();
+        assert!(ev.failure);
+        assert_eq!((ev.state, ev.edge), (HadoopState::ReduceTask, Edge::End));
+        assert_eq!(ev.key, "task_0002_r_000001_3");
+    }
+
+    #[test]
+    fn datanode_block_events() {
+        let s = parse_line(&line(
+            "INFO org.apache.hadoop.dfs.DataNode: Serving block blk_-42 to /10.1.0.5",
+        ))
+        .unwrap();
+        assert_eq!((s.state, s.edge), (HadoopState::ReadBlock, Edge::Start));
+        assert_eq!(s.key, "blk_-42");
+
+        let e = parse_line(&line(
+            "INFO org.apache.hadoop.dfs.DataNode: Served block blk_-42",
+        ))
+        .unwrap();
+        assert_eq!((e.state, e.edge), (HadoopState::ReadBlock, Edge::End));
+
+        let r = parse_line(&line(
+            "INFO org.apache.hadoop.dfs.DataNode: Receiving block blk_7 src: /10.1.0.4",
+        ))
+        .unwrap();
+        assert_eq!((r.state, r.edge), (HadoopState::WriteBlock, Edge::Start));
+
+        let rd = parse_line(&line(
+            "INFO org.apache.hadoop.dfs.DataNode: Received block blk_7 of size 67108864",
+        ))
+        .unwrap();
+        assert_eq!((rd.state, rd.edge), (HadoopState::WriteBlock, Edge::End));
+
+        let d = parse_line(&line(
+            "INFO org.apache.hadoop.dfs.DataNode: Deleting block blk_9 file dfs/data/current/blk_9",
+        ))
+        .unwrap();
+        assert_eq!((d.state, d.edge), (HadoopState::DeleteBlock, Edge::Instant));
+        assert_eq!(d.key, "blk_9");
+    }
+
+    #[test]
+    fn irrelevant_lines_are_skipped() {
+        for body in [
+            "INFO org.apache.hadoop.mapred.TaskTracker: heartbeat",
+            "INFO org.apache.hadoop.dfs.DataNode: starting up",
+            "DEBUG noise",
+            "",
+        ] {
+            assert_eq!(parse_line(&line(body)), None, "should skip: {body}");
+        }
+        // No timestamp at all:
+        assert_eq!(parse_line("LaunchTaskAction: task_0001_m_000001_0"), None);
+    }
+
+    #[test]
+    fn malformed_attempt_names_are_skipped() {
+        assert_eq!(
+            parse_line(&line(
+                "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_x_000001_0"
+            )),
+            None
+        );
+    }
+}

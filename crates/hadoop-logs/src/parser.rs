@@ -1,0 +1,371 @@
+//! The per-node log parser: lines in, per-second state vectors out.
+//!
+//! [`LogParser`] implements the paper's `hadoop-log-parser`: it performs
+//! "on-demand, lazy parsing of the logs ... to generate counts of event and
+//! state occurrences", keeping only "compact internal representations for
+//! just sufficiently long durations to infer the states" — concretely, a
+//! map from live state-instance keys (task attempts, block ids) to their
+//! held states, plus the current per-state active counts. Memory is
+//! bounded by the number of *concurrently live* instances, not by log
+//! length.
+
+use std::collections::HashMap;
+
+use crate::event::{parse_line, Edge, LogLineEvent};
+use crate::states::{HadoopState, StateVector};
+
+/// Streaming parser for one node's TaskTracker + DataNode logs.
+///
+/// Feed lines with [`LogParser::feed_line`] (in timestamp order, the order
+/// a log file is written), then sample per-second state vectors with
+/// [`LogParser::sample`].
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_logs::parser::LogParser;
+/// use hadoop_logs::states::HadoopState;
+///
+/// let mut p = LogParser::new();
+/// p.feed_line("2008-04-15 14:00:05,000 INFO org.apache.hadoop.mapred.TaskTracker: \
+///              LaunchTaskAction: task_0001_m_000001_0");
+/// let v = p.sample(14 * 3600 + 10);
+/// assert_eq!(v[HadoopState::MapTask], 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogParser {
+    /// Live state instances: key → states currently held.
+    live: HashMap<String, Vec<HadoopState>>,
+    /// Current number of active instances per state.
+    active: StateVector,
+    /// Timestamped instant events inside the rolling horizon:
+    /// `(sample index, state)`.
+    instant_events: std::collections::VecDeque<(u64, HadoopState)>,
+    /// Rolling horizon for instant-event counts, in samples.
+    instant_horizon: u64,
+    /// Monotone sample counter (bumped by [`LogParser::sample`]).
+    sample_idx: u64,
+    /// Lines seen / recognized, for diagnostics.
+    lines_seen: u64,
+    lines_parsed: u64,
+}
+
+impl Default for LogParser {
+    fn default() -> Self {
+        LogParser::new()
+    }
+}
+
+impl LogParser {
+    /// Creates a parser with the default 60-sample rolling horizon for
+    /// instant events.
+    ///
+    /// Duration-style states (MapTask, ReadBlock, ...) are reported as
+    /// concurrent-instance counts; *instant* events (block deletions, task
+    /// failures) are reported as occurrence counts over the last
+    /// `horizon` samples — a plain per-second count would dilute sparse
+    /// events (a failure every few seconds) to invisibility under
+    /// windowed averaging.
+    pub fn new() -> Self {
+        LogParser::with_instant_horizon(60)
+    }
+
+    /// Creates a parser with an explicit rolling horizon (in samples) for
+    /// instant-event counts.
+    pub fn with_instant_horizon(horizon: u64) -> Self {
+        LogParser {
+            live: HashMap::new(),
+            active: StateVector::zero(),
+            instant_events: std::collections::VecDeque::new(),
+            instant_horizon: horizon.max(1),
+            sample_idx: 0,
+            lines_seen: 0,
+            lines_parsed: 0,
+        }
+    }
+
+    /// Processes one raw log line. Unrecognized lines are counted and
+    /// skipped.
+    pub fn feed_line(&mut self, line: &str) {
+        self.lines_seen += 1;
+        let Some(event) = parse_line(line) else {
+            return;
+        };
+        self.lines_parsed += 1;
+        self.apply(event);
+    }
+
+    /// Processes a batch of lines.
+    pub fn feed_lines<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) {
+        for l in lines {
+            self.feed_line(l);
+        }
+    }
+
+    fn apply(&mut self, event: LogLineEvent) {
+        match event.edge {
+            Edge::Instant => {
+                self.instant_events.push_back((self.sample_idx, event.state));
+            }
+            Edge::Start => {
+                let held = self.live.entry(event.key).or_default();
+                held.push(event.state);
+                self.active[event.state] += 1.0;
+                // Entering the overall ReduceTask state does not enter any
+                // sub-phase; sub-phase entrances arrive as their own lines.
+            }
+            Edge::End => {
+                if event.killed {
+                    // A jobtracker kill ends every state the attempt holds
+                    // without counting as a failure.
+                    if let Some(held) = self.live.remove(&event.key) {
+                        for s in held {
+                            self.active[s] -= 1.0;
+                        }
+                    }
+                    return;
+                }
+                if event.failure {
+                    // A failure line ends *every* state the instance holds
+                    // (the attempt is gone) and counts as a TaskFailed
+                    // instant event.
+                    self.instant_events
+                        .push_back((self.sample_idx, HadoopState::TaskFailed));
+                    if let Some(held) = self.live.remove(&event.key) {
+                        for s in held {
+                            self.active[s] -= 1.0;
+                        }
+                    }
+                    return;
+                }
+                let mut remove_entry = false;
+                if let Some(held) = self.live.get_mut(&event.key) {
+                    if let Some(pos) = held.iter().position(|s| *s == event.state) {
+                        held.remove(pos);
+                        self.active[event.state] -= 1.0;
+                    }
+                    // Exiting the sort phase means the reducer phase begins
+                    // (paper Figure 5's DFA: transitions compose an exit
+                    // with the next entrance).
+                    if event.state == HadoopState::ReduceSort {
+                        held.push(HadoopState::ReduceReducer);
+                        self.active[HadoopState::ReduceReducer] += 1.0;
+                    }
+                    // A task-done line for the overall state also closes
+                    // any sub-phases still open (defensive: a reducer ends
+                    // while in ReduceReducer).
+                    if matches!(
+                        event.state,
+                        HadoopState::MapTask | HadoopState::ReduceTask
+                    ) {
+                        for s in held.drain(..) {
+                            self.active[s] -= 1.0;
+                        }
+                    }
+                    remove_entry = held.is_empty();
+                }
+                if remove_entry {
+                    self.live.remove(&event.key);
+                }
+            }
+        }
+    }
+
+    /// Returns the state vector for the second `_at`: currently-active
+    /// counts for duration states, plus instant-event counts over the
+    /// rolling horizon.
+    ///
+    /// Call once per second after feeding that second's lines.
+    pub fn sample(&mut self, _at: u64) -> StateVector {
+        self.sample_idx += 1;
+        // Expire instant events that fell off the horizon.
+        let cutoff = self.sample_idx.saturating_sub(self.instant_horizon);
+        while let Some(&(idx, _)) = self.instant_events.front() {
+            if idx < cutoff {
+                self.instant_events.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut v = self.active;
+        for &(_, s) in &self.instant_events {
+            v[s] += 1.0;
+        }
+        v
+    }
+
+    /// Number of state instances currently live (bounds parser memory).
+    pub fn live_instances(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `(lines seen, lines recognized)` counters.
+    pub fn line_stats(&self) -> (u64, u64) {
+        (self.lines_seen, self.lines_parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: u64 = 14 * 3600;
+
+    fn tt(sec: u64, body: &str) -> String {
+        let (h, m, s) = (sec / 3600, (sec % 3600) / 60, sec % 60);
+        format!("2008-04-15 {h:02}:{m:02}:{s:02},000 INFO org.apache.hadoop.mapred.{body}")
+    }
+
+    fn dn(sec: u64, body: &str) -> String {
+        let (h, m, s) = (sec / 3600, (sec % 3600) / 60, sec % 60);
+        format!("2008-04-15 {h:02}:{m:02}:{s:02},000 INFO org.apache.hadoop.dfs.DataNode: {body}")
+    }
+
+    #[test]
+    fn map_lifecycle_counts_rise_and_fall() {
+        let mut p = LogParser::new();
+        p.feed_line(&tt(T0 + 1, "TaskTracker: LaunchTaskAction: task_0001_m_000000_0"));
+        p.feed_line(&tt(T0 + 2, "TaskTracker: LaunchTaskAction: task_0001_m_000001_0"));
+        let v = p.sample(T0 + 2);
+        assert_eq!(v[HadoopState::MapTask], 2.0);
+        p.feed_line(&tt(T0 + 9, "TaskTracker: Task task_0001_m_000000_0 is done."));
+        let v = p.sample(T0 + 9);
+        assert_eq!(v[HadoopState::MapTask], 1.0);
+        assert_eq!(p.live_instances(), 1);
+    }
+
+    #[test]
+    fn reduce_sub_phases_transition_correctly() {
+        let mut p = LogParser::new();
+        let a = "task_0001_r_000000_0";
+        p.feed_line(&tt(T0, &format!("TaskTracker: LaunchTaskAction: {a}")));
+        p.feed_line(&tt(T0, &format!("ReduceTask: {a} Copying map outputs")));
+        let v = p.sample(T0);
+        assert_eq!(v[HadoopState::ReduceTask], 1.0);
+        assert_eq!(v[HadoopState::ReduceCopy], 1.0);
+        assert_eq!(v[HadoopState::ReduceSort], 0.0);
+
+        p.feed_line(&tt(T0 + 30, &format!("ReduceTask: {a} Copying of all map outputs complete")));
+        p.feed_line(&tt(T0 + 30, &format!("ReduceTask: {a} Merging map outputs")));
+        let v = p.sample(T0 + 30);
+        assert_eq!(v[HadoopState::ReduceCopy], 0.0);
+        assert_eq!(v[HadoopState::ReduceSort], 1.0);
+
+        p.feed_line(&tt(T0 + 40, &format!("ReduceTask: {a} Merge complete, reducing")));
+        let v = p.sample(T0 + 40);
+        assert_eq!(v[HadoopState::ReduceSort], 0.0);
+        assert_eq!(v[HadoopState::ReduceReducer], 1.0);
+        assert_eq!(v[HadoopState::ReduceTask], 1.0);
+
+        p.feed_line(&tt(T0 + 50, &format!("TaskTracker: Task {a} is done.")));
+        let v = p.sample(T0 + 50);
+        assert_eq!(v.total(), 0.0);
+        assert_eq!(p.live_instances(), 0);
+    }
+
+    #[test]
+    fn failure_clears_all_states_of_the_attempt() {
+        let mut p = LogParser::new();
+        let a = "task_0002_r_000001_0";
+        p.feed_line(&tt(T0, &format!("TaskTracker: LaunchTaskAction: {a}")));
+        p.feed_line(&tt(T0, &format!("ReduceTask: {a} Copying map outputs")));
+        assert_eq!(p.sample(T0).total(), 2.0);
+        p.feed_line(&format!(
+            "2008-04-15 14:01:00,000 WARN org.apache.hadoop.mapred.TaskRunner: {a} copy failure"
+        ));
+        let v = p.sample(T0 + 60);
+        assert_eq!(v[HadoopState::TaskFailed], 1.0, "failure counted as instant");
+        assert_eq!(v.total(), 1.0);
+        assert_eq!(p.live_instances(), 0);
+        // The failure stays visible across the rolling horizon, then ages
+        // out.
+        assert_eq!(p.sample(T0 + 61)[HadoopState::TaskFailed], 1.0);
+        for t in 0..60 {
+            p.sample(T0 + 62 + t);
+        }
+        assert_eq!(p.sample(T0 + 200)[HadoopState::TaskFailed], 0.0);
+    }
+
+    #[test]
+    fn datanode_reads_and_writes_are_tracked_per_block() {
+        let mut p = LogParser::new();
+        p.feed_line(&dn(T0, "Serving block blk_-1 to /10.1.0.5"));
+        p.feed_line(&dn(T0, "Serving block blk_-2 to /10.1.0.6"));
+        p.feed_line(&dn(T0, "Receiving block blk_-3 src: /10.1.0.7"));
+        let v = p.sample(T0);
+        assert_eq!(v[HadoopState::ReadBlock], 2.0);
+        assert_eq!(v[HadoopState::WriteBlock], 1.0);
+
+        p.feed_line(&dn(T0 + 5, "Served block blk_-1"));
+        p.feed_line(&dn(T0 + 6, "Received block blk_-3 of size 1024"));
+        let v = p.sample(T0 + 6);
+        assert_eq!(v[HadoopState::ReadBlock], 1.0);
+        assert_eq!(v[HadoopState::WriteBlock], 0.0);
+    }
+
+    #[test]
+    fn concurrent_reads_of_the_same_block_nest() {
+        let mut p = LogParser::new();
+        p.feed_line(&dn(T0, "Serving block blk_-9 to /10.1.0.5"));
+        p.feed_line(&dn(T0, "Serving block blk_-9 to /10.1.0.6"));
+        assert_eq!(p.sample(T0)[HadoopState::ReadBlock], 2.0);
+        p.feed_line(&dn(T0 + 1, "Served block blk_-9"));
+        assert_eq!(p.sample(T0 + 1)[HadoopState::ReadBlock], 1.0);
+        p.feed_line(&dn(T0 + 2, "Served block blk_-9"));
+        assert_eq!(p.sample(T0 + 2)[HadoopState::ReadBlock], 0.0);
+    }
+
+    #[test]
+    fn instant_events_roll_over_the_horizon() {
+        let mut p = LogParser::with_instant_horizon(3);
+        p.feed_line(&dn(T0, "Deleting block blk_-5 file x"));
+        p.feed_line(&dn(T0, "Deleting block blk_-6 file x"));
+        assert_eq!(p.sample(T0)[HadoopState::DeleteBlock], 2.0);
+        p.feed_line(&dn(T0 + 1, "Deleting block blk_-7 file x"));
+        assert_eq!(p.sample(T0 + 1)[HadoopState::DeleteBlock], 3.0);
+        // Horizon 3: the first two events age out after three more samples.
+        assert_eq!(p.sample(T0 + 2)[HadoopState::DeleteBlock], 3.0);
+        assert_eq!(p.sample(T0 + 3)[HadoopState::DeleteBlock], 1.0);
+        assert_eq!(p.sample(T0 + 4)[HadoopState::DeleteBlock], 0.0);
+    }
+
+    #[test]
+    fn unmatched_end_events_are_ignored() {
+        let mut p = LogParser::new();
+        p.feed_line(&dn(T0, "Served block blk_-404"));
+        p.feed_line(&tt(T0, "TaskTracker: Task task_0001_m_000000_0 is done."));
+        let v = p.sample(T0);
+        assert_eq!(v.total(), 0.0);
+        // Counts never go negative.
+        assert!(v.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn memory_is_bounded_by_live_instances() {
+        let mut p = LogParser::new();
+        for i in 0..1000 {
+            p.feed_line(&tt(
+                T0 + i,
+                &format!("TaskTracker: LaunchTaskAction: task_0001_m_{i:06}_0"),
+            ));
+            p.feed_line(&tt(
+                T0 + i,
+                &format!("TaskTracker: Task task_0001_m_{i:06}_0 is done."),
+            ));
+        }
+        assert_eq!(p.live_instances(), 0);
+        let (seen, parsed) = p.line_stats();
+        assert_eq!(seen, 2000);
+        assert_eq!(parsed, 2000);
+    }
+
+    #[test]
+    fn feed_lines_batches() {
+        let mut p = LogParser::new();
+        let lines = [tt(T0, "TaskTracker: LaunchTaskAction: task_0001_m_000000_0"),
+            "noise".to_owned()];
+        p.feed_lines(lines.iter().map(String::as_str));
+        assert_eq!(p.line_stats(), (2, 1));
+        assert_eq!(p.sample(T0)[HadoopState::MapTask], 1.0);
+    }
+}

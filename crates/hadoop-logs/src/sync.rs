@@ -1,0 +1,231 @@
+//! Cross-node timestamp alignment.
+//!
+//! The paper (§3.7): "the data analysis must operate on data at the same
+//! time points, \[so\] cross-instance synchronization is needed within the
+//! `hadoop_log` module ... The module waits for all nodes to reveal data
+//! with the same timestamp before updating its outputs, or, if one or more
+//! nodes does not contain data for a particular timestamp, this data is
+//! dropped."
+//!
+//! [`Aligner`] implements exactly that: per-node time-indexed buffers, a
+//! pop operation that releases a row only when *every* node has
+//! contributed that timestamp, and drop semantics for timestamps that some
+//! node skipped.
+
+use std::collections::BTreeMap;
+
+/// Aligns per-node time series so downstream peer comparison always sees
+/// one row per timestamp with a value from every node.
+///
+/// # Examples
+///
+/// ```
+/// use hadoop_logs::sync::Aligner;
+///
+/// let mut a: Aligner<f64> = Aligner::new(2);
+/// a.push(0, 10, 1.0);
+/// assert!(a.pop_aligned().is_none()); // node 1 hasn't reported t=10 yet
+/// a.push(1, 10, 2.0);
+/// assert_eq!(a.pop_aligned(), Some((10, vec![1.0, 2.0])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aligner<T> {
+    buffers: Vec<BTreeMap<u64, T>>,
+    /// Timestamps at or before this are gone (released or dropped).
+    released_through: Option<u64>,
+    dropped: u64,
+}
+
+impl<T: Clone> Aligner<T> {
+    /// Creates an aligner for `n_nodes` input streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "aligner needs at least one stream");
+        Aligner {
+            buffers: vec![BTreeMap::new(); n_nodes],
+            released_through: None,
+            dropped: 0,
+        }
+    }
+
+    /// Number of aligned streams.
+    pub fn n_nodes(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Records that `node` observed `value` at time `t`.
+    ///
+    /// Values at timestamps already released or dropped are discarded (a
+    /// straggler that shows up after its row was given up on).
+    pub fn push(&mut self, node: usize, t: u64, value: T) {
+        if let Some(thru) = self.released_through {
+            if t <= thru {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.buffers[node].insert(t, value);
+    }
+
+    /// Releases the earliest timestamp every node has contributed, dropping
+    /// any earlier, incomplete timestamps on the way (some node skipped
+    /// them, so they can never complete).
+    ///
+    /// Returns `(t, values-in-node-order)` or `None` when no timestamp is
+    /// complete yet.
+    pub fn pop_aligned(&mut self) -> Option<(u64, Vec<T>)> {
+        // The earliest candidate that *could* be complete is the maximum
+        // over nodes of each node's earliest buffered timestamp.
+        let mut candidate: u64 = 0;
+        for buf in &self.buffers {
+            let first = *buf.keys().next()?; // any empty buffer ⇒ nothing complete
+            candidate = candidate.max(first);
+        }
+        // Walk forward from the candidate until a timestamp is complete:
+        // a node may be missing `candidate` even though it has later data.
+        loop {
+            let mut all_have = true;
+            let mut next_candidate = None;
+            for buf in &self.buffers {
+                if buf.contains_key(&candidate) {
+                    continue;
+                }
+                all_have = false;
+                // The node's next timestamp after the failed candidate.
+                match buf.range(candidate..).next() {
+                    Some((&t, _)) => {
+                        next_candidate =
+                            Some(next_candidate.map_or(t, |c: u64| c.max(t)));
+                    }
+                    None => return None, // node has no data ≥ candidate yet
+                }
+            }
+            if all_have {
+                break;
+            }
+            candidate = next_candidate.expect("some node forced a later candidate");
+        }
+        // Release: extract values at `candidate`, drop everything earlier.
+        let mut row = Vec::with_capacity(self.buffers.len());
+        for buf in &mut self.buffers {
+            let mut stale = buf.range(..candidate).count() as u64;
+            while let Some((&t, _)) = buf.iter().next() {
+                if t < candidate {
+                    buf.remove(&t);
+                } else {
+                    break;
+                }
+            }
+            // `stale` rows were dropped because a peer skipped them.
+            self.dropped += std::mem::take(&mut stale);
+            row.push(buf.remove(&candidate).expect("candidate complete"));
+        }
+        self.released_through = Some(candidate);
+        Some((candidate, row))
+    }
+
+    /// Pops every complete row currently available.
+    pub fn drain_aligned(&mut self) -> Vec<(u64, Vec<T>)> {
+        let mut out = Vec::new();
+        while let Some(row) = self.pop_aligned() {
+            out.push(row);
+        }
+        out
+    }
+
+    /// Number of per-node values discarded because their timestamp was
+    /// incomplete (matches the paper's drop-on-missing semantics).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total buffered values awaiting alignment.
+    pub fn pending(&self) -> usize {
+        self.buffers.iter().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_release_only_when_all_nodes_report() {
+        let mut a: Aligner<i32> = Aligner::new(3);
+        a.push(0, 5, 10);
+        a.push(1, 5, 20);
+        assert_eq!(a.pop_aligned(), None);
+        a.push(2, 5, 30);
+        assert_eq!(a.pop_aligned(), Some((5, vec![10, 20, 30])));
+        assert_eq!(a.pop_aligned(), None);
+    }
+
+    #[test]
+    fn skipped_timestamps_are_dropped() {
+        let mut a: Aligner<i32> = Aligner::new(2);
+        // Node 0 reports t=1,2,3; node 1 skips t=1,2 and reports t=3.
+        a.push(0, 1, 1);
+        a.push(0, 2, 2);
+        a.push(0, 3, 3);
+        a.push(1, 3, 30);
+        assert_eq!(a.pop_aligned(), Some((3, vec![3, 30])));
+        assert_eq!(a.dropped(), 2, "node 0's t=1,2 were dropped");
+    }
+
+    #[test]
+    fn stragglers_after_release_are_discarded() {
+        let mut a: Aligner<i32> = Aligner::new(2);
+        a.push(0, 10, 1);
+        a.push(1, 10, 2);
+        assert!(a.pop_aligned().is_some());
+        a.push(0, 9, 99); // too late
+        a.push(1, 9, 99);
+        assert_eq!(a.pop_aligned(), None);
+        assert_eq!(a.dropped(), 2);
+    }
+
+    #[test]
+    fn interleaved_progress_releases_in_order() {
+        let mut a: Aligner<i32> = Aligner::new(2);
+        for t in 0..5 {
+            a.push(0, t, t as i32);
+        }
+        for t in 0..5 {
+            a.push(1, t, 10 + t as i32);
+        }
+        let rows = a.drain_aligned();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], (0, vec![0, 10]));
+        assert_eq!(rows[4], (4, vec![4, 14]));
+        assert_eq!(a.pending(), 0);
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    fn candidate_walks_forward_over_mutual_gaps() {
+        let mut a: Aligner<i32> = Aligner::new(2);
+        // Node 0 has {1, 4}; node 1 has {2, 4}: only 4 is mutual.
+        a.push(0, 1, 0);
+        a.push(0, 4, 40);
+        a.push(1, 2, 0);
+        a.push(1, 4, 41);
+        assert_eq!(a.pop_aligned(), Some((4, vec![40, 41])));
+        assert_eq!(a.dropped(), 2);
+    }
+
+    #[test]
+    fn single_stream_degenerates_to_passthrough() {
+        let mut a: Aligner<&str> = Aligner::new(1);
+        a.push(0, 7, "x");
+        assert_eq!(a.pop_aligned(), Some((7, vec!["x"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panics() {
+        let _: Aligner<i32> = Aligner::new(0);
+    }
+}

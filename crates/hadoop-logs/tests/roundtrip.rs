@@ -1,0 +1,72 @@
+//! Round-trip test: logs emitted by the cluster simulator are parsed back
+//! into state vectors by the log parser, with no shared code or knowledge
+//! between the two crates beyond the Hadoop 0.18 log format itself.
+
+use hadoop_logs::parser::LogParser;
+use hadoop_logs::states::HadoopState;
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+
+#[test]
+fn simulator_logs_parse_into_nonzero_state_vectors() {
+    let mut cluster = Cluster::new(ClusterConfig::new(4, 99), Vec::new());
+    let mut parsers: Vec<LogParser> = (0..4).map(|_| LogParser::new()).collect();
+    let mut saw_map = false;
+    let mut saw_reduce_phase = false;
+    let mut saw_block = false;
+
+    for _ in 0..600 {
+        cluster.tick();
+        let t = cluster.now();
+        #[allow(clippy::needless_range_loop)] // node indexes both cluster and parsers
+        for node in 0..4 {
+            let (tt, dn) = cluster.drain_logs(node);
+            for line in tt.iter().chain(dn.iter()) {
+                parsers[node].feed_line(line);
+            }
+            let v = parsers[node].sample(t);
+            // Counts must never go negative.
+            assert!(v.as_slice().iter().all(|&x| x >= 0.0), "negative count: {v}");
+            saw_map |= v[HadoopState::MapTask] > 0.0;
+            saw_reduce_phase |= v[HadoopState::ReduceCopy] > 0.0
+                || v[HadoopState::ReduceSort] > 0.0
+                || v[HadoopState::ReduceReducer] > 0.0;
+            saw_block |= v[HadoopState::ReadBlock] > 0.0 || v[HadoopState::WriteBlock] > 0.0;
+        }
+    }
+
+    assert!(saw_map, "map activity should be visible in parsed states");
+    assert!(saw_reduce_phase, "reduce phases should be visible");
+    assert!(saw_block, "HDFS block activity should be visible");
+
+    // After a long run most transient states come and go; the parser's live
+    // set must stay bounded by what is actually still running.
+    for (node, p) in parsers.iter().enumerate() {
+        let live = p.live_instances();
+        assert!(
+            live <= 64,
+            "node {node}: live instances should stay bounded, got {live}"
+        );
+        let (seen, parsed) = p.line_stats();
+        assert!(seen > 0);
+        assert!(parsed > 0, "some lines must be recognized");
+    }
+}
+
+#[test]
+fn every_launch_line_is_recognized_by_the_parser() {
+    let mut cluster = Cluster::new(ClusterConfig::new(3, 123), Vec::new());
+    cluster.advance(300);
+    let mut parser = LogParser::new();
+    for node in 0..3 {
+        let (tt, dn) = cluster.drain_logs(node);
+        for line in tt.iter().chain(dn.iter()) {
+            let before = parser.line_stats().1;
+            parser.feed_line(line);
+            let after = parser.line_stats().1;
+            // Every line the simulator writes is DFA-relevant except none —
+            // the simulator only emits state-transition lines today, so the
+            // parser must recognize all of them.
+            assert_eq!(after, before + 1, "unrecognized simulator line: {line}");
+        }
+    }
+}

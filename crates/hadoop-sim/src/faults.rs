@@ -1,0 +1,241 @@
+//! Fault injection: the six documented Hadoop problems from Table 2 of the
+//! paper.
+//!
+//! Faults are *behaviours*, not labels: each one perturbs the simulation
+//! (competing resource demand, collapsed network goodput, hung or failing
+//! task attempts), and the diagnosis pipeline sees only the resulting
+//! metric and log deviations. Nothing downstream ever reads the fault flag.
+
+use procsim::Activity;
+
+/// Which documented problem to inject (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `[CPUHog]` — "Emulate a CPU-intensive task that consumes 70% CPU
+    /// utilization" (Hadoop mailing list, Sep 13 2007: master and slave
+    /// daemons on the same node).
+    CpuHog,
+    /// `[DiskHog]` — "Sequential disk workload wrote 20GB of data to
+    /// filesystem" (Hadoop mailing list, Sep 26 2007: excessive logging).
+    DiskHog,
+    /// `[PacketLoss]` — "Induce 50% packet loss" (HADOOP-2956: degraded
+    /// network connectivity between datanodes).
+    PacketLoss,
+    /// `[HADOOP-1036]` — "Infinite loop at slave node due to an unhandled
+    /// exception": map tasks on the node hang in a CPU spin and never
+    /// complete.
+    Hadoop1036,
+    /// `[HADOOP-1152]` — "Reduce tasks fail while copying map output due to
+    /// an attempt to rename a deleted file": reduce attempts die early in
+    /// the copy phase and are retried forever.
+    Hadoop1152,
+    /// `[HADOOP-2080]` — "Reduce tasks hang due to a miscalculated
+    /// checksum": the reducer freezes at the end of the copy/merge step.
+    Hadoop2080,
+}
+
+impl FaultKind {
+    /// All six faults, in the paper's Table 2 / Figure 7 order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::CpuHog,
+        FaultKind::DiskHog,
+        FaultKind::Hadoop1036,
+        FaultKind::Hadoop1152,
+        FaultKind::Hadoop2080,
+        FaultKind::PacketLoss,
+    ];
+
+    /// The paper's fault name, as used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CpuHog => "CPUHog",
+            FaultKind::DiskHog => "DiskHog",
+            FaultKind::PacketLoss => "PacketLoss",
+            FaultKind::Hadoop1036 => "HADOOP-1036",
+            FaultKind::Hadoop1152 => "HADOOP-1152",
+            FaultKind::Hadoop2080 => "HADOOP-2080",
+        }
+    }
+
+    /// Whether the fault manifests only when the faulty code path runs
+    /// (the paper's explanation for HADOOP-1152/2080's long fingerpointing
+    /// latencies: "the fault remained dormant for several minutes").
+    pub fn is_dormant(self) -> bool {
+        matches!(self, FaultKind::Hadoop1152 | FaultKind::Hadoop2080)
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fault injection: which node, which fault, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Slave node index to afflict.
+    pub node: usize,
+    /// The problem to inject.
+    pub kind: FaultKind,
+    /// Injection time, in cluster seconds.
+    pub start_at: u64,
+}
+
+/// Runtime state of an injected fault on its node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveFault {
+    /// The injection being simulated.
+    pub spec: FaultSpec,
+    /// DiskHog: KB still to write before the hog finishes.
+    pub disk_remaining_kb: f64,
+}
+
+impl ActiveFault {
+    /// Instantiates runtime state for `spec`.
+    pub fn new(spec: FaultSpec) -> Self {
+        ActiveFault {
+            spec,
+            // 20 GB, per the reported failure.
+            disk_remaining_kb: 20.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Whether the fault is active at `now` (injection time reached and,
+    /// for DiskHog, data still left to write).
+    pub fn is_active(&self, now: u64) -> bool {
+        if now < self.spec.start_at {
+            return false;
+        }
+        match self.spec.kind {
+            FaultKind::DiskHog => self.disk_remaining_kb > 0.0,
+            _ => true,
+        }
+    }
+
+    /// The *environmental* resource demand this fault adds on its node for
+    /// the next second (CPU hogs, disk hogs). Task-level misbehaviour
+    /// (hangs, copy failures) is applied by the tasktracker model instead.
+    ///
+    /// `cores` is the node's core count; `disk_kbps` its disk bandwidth.
+    pub fn background_demand(&self, now: u64, cores: f64, disk_kbps: f64) -> Activity {
+        if !self.is_active(now) {
+            return Activity::idle();
+        }
+        match self.spec.kind {
+            FaultKind::CpuHog => Activity::idle()
+                .with_cpu_user(0.7 * cores)
+                .with_running_tasks(1.0)
+                .with_mem_used_mb(50.0),
+            FaultKind::DiskHog => Activity::idle()
+                .with_disk_write_kb(disk_kbps) // wants the whole disk
+                .with_cpu_user(0.1)
+                .with_running_tasks(1.0)
+                .with_mem_used_mb(20.0),
+            // PacketLoss and the application bugs add no background load.
+            _ => Activity::idle(),
+        }
+    }
+
+    /// Inbound packet-loss fraction this fault imposes (0 when inactive).
+    pub fn packet_loss(&self, now: u64) -> f64 {
+        if self.is_active(now) && self.spec.kind == FaultKind::PacketLoss {
+            0.5
+        } else {
+            0.0
+        }
+    }
+
+    /// Records that the disk hog actually wrote `kb` this second.
+    pub fn consume_disk(&mut self, kb: f64) {
+        self.disk_remaining_kb = (self.disk_remaining_kb - kb).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            node: 3,
+            kind,
+            start_at: 100,
+        }
+    }
+
+    #[test]
+    fn faults_are_inert_before_injection() {
+        for kind in FaultKind::ALL {
+            let f = ActiveFault::new(spec(kind));
+            assert!(!f.is_active(99));
+            assert_eq!(f.background_demand(99, 4.0, 80_000.0), Activity::idle());
+            assert_eq!(f.packet_loss(99), 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_hog_consumes_70_percent() {
+        let f = ActiveFault::new(spec(FaultKind::CpuHog));
+        let d = f.background_demand(100, 4.0, 80_000.0);
+        assert!((d.cpu_user - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_hog_finishes_after_20_gb() {
+        let mut f = ActiveFault::new(spec(FaultKind::DiskHog));
+        assert!(f.is_active(100));
+        let d = f.background_demand(100, 4.0, 80_000.0);
+        assert_eq!(d.disk_write_kb, 80_000.0);
+        // Write the full 20 GB.
+        f.consume_disk(20.0 * 1024.0 * 1024.0);
+        assert!(!f.is_active(100));
+        assert_eq!(f.background_demand(100, 4.0, 80_000.0), Activity::idle());
+    }
+
+    #[test]
+    fn packet_loss_is_half_when_active() {
+        let f = ActiveFault::new(spec(FaultKind::PacketLoss));
+        assert_eq!(f.packet_loss(100), 0.5);
+        assert_eq!(f.packet_loss(0), 0.0);
+        // Packet loss adds no background demand.
+        assert_eq!(f.background_demand(100, 4.0, 80_000.0), Activity::idle());
+    }
+
+    #[test]
+    fn application_bugs_add_no_background_demand() {
+        for kind in [
+            FaultKind::Hadoop1036,
+            FaultKind::Hadoop1152,
+            FaultKind::Hadoop2080,
+        ] {
+            let f = ActiveFault::new(spec(kind));
+            assert_eq!(f.background_demand(200, 4.0, 80_000.0), Activity::idle());
+        }
+    }
+
+    #[test]
+    fn dormancy_classification_matches_the_paper() {
+        assert!(FaultKind::Hadoop1152.is_dormant());
+        assert!(FaultKind::Hadoop2080.is_dormant());
+        assert!(!FaultKind::CpuHog.is_dormant());
+        assert!(!FaultKind::Hadoop1036.is_dormant());
+        assert!(!FaultKind::PacketLoss.is_dormant());
+    }
+
+    #[test]
+    fn names_match_figure_7() {
+        let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "CPUHog",
+                "DiskHog",
+                "HADOOP-1036",
+                "HADOOP-1152",
+                "HADOOP-2080",
+                "PacketLoss"
+            ]
+        );
+    }
+}

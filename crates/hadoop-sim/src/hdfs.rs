@@ -1,0 +1,213 @@
+//! A minimal HDFS model: namenode block placement plus per-block replica
+//! tracking.
+//!
+//! The diagnosis pipeline never sees file *contents* — what matters is
+//! which datanodes serve and receive blocks (driving disk/network activity
+//! and DataNode log events). This model tracks exactly that.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::types::{BlockId, NodeIndex};
+
+/// Namenode-side state: block → replica locations.
+#[derive(Debug, Clone)]
+pub struct Hdfs {
+    rng: SmallRng,
+    replication: usize,
+    n_nodes: usize,
+    blocks: HashMap<BlockId, Vec<NodeIndex>>,
+    next_raw_id: i64,
+}
+
+impl Hdfs {
+    /// Creates a namenode for a cluster of `n_nodes` datanodes with the
+    /// given replication factor (Hadoop's default is 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero or `replication` is zero.
+    pub fn new(n_nodes: usize, replication: usize, seed: u64) -> Self {
+        assert!(n_nodes > 0, "cluster needs at least one datanode");
+        assert!(replication > 0, "replication factor must be positive");
+        Hdfs {
+            rng: SmallRng::seed_from_u64(seed ^ 0x4d46_5348_4446_5321),
+            replication: replication.min(n_nodes),
+            n_nodes,
+            blocks: HashMap::new(),
+            next_raw_id: 1,
+        }
+    }
+
+    /// Allocates `n_blocks` new blocks with random replica placement,
+    /// returning their ids — the namenode side of writing a file.
+    pub fn create_file(&mut self, n_blocks: usize) -> Vec<BlockId> {
+        (0..n_blocks).map(|_| self.allocate_block()).collect()
+    }
+
+    /// Allocates a single block placed on `replication` distinct random
+    /// nodes. Block ids are negative, Hadoop-style.
+    pub fn allocate_block(&mut self) -> BlockId {
+        let id = BlockId(-(self.next_raw_id) * 104_729 - self.rng.gen_range(0..1000));
+        self.next_raw_id += 1;
+        let mut nodes: Vec<NodeIndex> = (0..self.n_nodes).collect();
+        nodes.shuffle(&mut self.rng);
+        nodes.truncate(self.replication);
+        self.blocks.insert(id, nodes);
+        id
+    }
+
+    /// The replica locations of `block` (empty if unknown/deleted).
+    pub fn replicas(&self, block: BlockId) -> &[NodeIndex] {
+        self.blocks.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Picks the replica a reader on `reader` should fetch from: a local
+    /// replica when one exists, otherwise a random replica.
+    ///
+    /// Returns `None` for unknown blocks.
+    pub fn pick_replica(&mut self, block: BlockId, reader: NodeIndex) -> Option<NodeIndex> {
+        let replicas = self.blocks.get(&block)?;
+        if replicas.contains(&reader) {
+            return Some(reader);
+        }
+        replicas.choose(&mut self.rng).copied()
+    }
+
+    /// Picks `n` distinct pipeline targets for a writer on `writer`,
+    /// excluding the writer itself (the writer always keeps the first
+    /// replica locally).
+    pub fn pick_pipeline(&mut self, writer: NodeIndex, n: usize) -> Vec<NodeIndex> {
+        self.pick_pipeline_excluding(writer, n, &[])
+    }
+
+    /// Like [`Hdfs::pick_pipeline`], but also avoiding `excluded` nodes
+    /// (HDFS clients carry an exclude list of datanodes that failed them).
+    /// Falls back to excluded nodes only when nothing else is left.
+    pub fn pick_pipeline_excluding(
+        &mut self,
+        writer: NodeIndex,
+        n: usize,
+        excluded: &[NodeIndex],
+    ) -> Vec<NodeIndex> {
+        let mut preferred: Vec<NodeIndex> = (0..self.n_nodes)
+            .filter(|&i| i != writer && !excluded.contains(&i))
+            .collect();
+        preferred.shuffle(&mut self.rng);
+        if preferred.len() < n {
+            let mut fallback: Vec<NodeIndex> = excluded
+                .iter()
+                .copied()
+                .filter(|&i| i != writer && i < self.n_nodes)
+                .collect();
+            fallback.shuffle(&mut self.rng);
+            preferred.extend(fallback);
+        }
+        preferred.truncate(n);
+        preferred
+    }
+
+    /// Forgets a block (namenode-side deletion).
+    pub fn delete(&mut self, block: BlockId) -> bool {
+        self.blocks.remove(&block).is_some()
+    }
+
+    /// Number of live blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_uses_distinct_nodes_at_the_requested_factor() {
+        let mut h = Hdfs::new(10, 3, 1);
+        for _ in 0..50 {
+            let b = h.allocate_block();
+            let reps = h.replicas(b);
+            assert_eq!(reps.len(), 3);
+            let set: std::collections::HashSet<_> = reps.iter().collect();
+            assert_eq!(set.len(), 3, "replicas must be distinct");
+        }
+        assert_eq!(h.block_count(), 50);
+    }
+
+    #[test]
+    fn replication_is_capped_at_cluster_size() {
+        let mut h = Hdfs::new(2, 3, 1);
+        let b = h.allocate_block();
+        assert_eq!(h.replicas(b).len(), 2);
+    }
+
+    #[test]
+    fn local_replica_is_preferred() {
+        let mut h = Hdfs::new(5, 3, 1);
+        let b = h.allocate_block();
+        let local = h.replicas(b)[0];
+        assert_eq!(h.pick_replica(b, local), Some(local));
+    }
+
+    #[test]
+    fn remote_reader_gets_some_replica() {
+        let mut h = Hdfs::new(10, 3, 1);
+        let b = h.allocate_block();
+        let replicas: Vec<usize> = h.replicas(b).to_vec();
+        let outsider = (0..10).find(|i| !replicas.contains(i)).unwrap();
+        let picked = h.pick_replica(b, outsider).unwrap();
+        assert!(replicas.contains(&picked));
+        assert_ne!(picked, outsider);
+    }
+
+    #[test]
+    fn pipeline_excludes_the_writer() {
+        let mut h = Hdfs::new(6, 3, 1);
+        for writer in 0..6 {
+            let pipe = h.pick_pipeline(writer, 2);
+            assert_eq!(pipe.len(), 2);
+            assert!(!pipe.contains(&writer));
+            assert_ne!(pipe[0], pipe[1]);
+        }
+    }
+
+    #[test]
+    fn delete_forgets_blocks() {
+        let mut h = Hdfs::new(4, 2, 1);
+        let b = h.allocate_block();
+        assert!(h.delete(b));
+        assert!(!h.delete(b));
+        assert!(h.replicas(b).is_empty());
+        assert_eq!(h.pick_replica(b, 0), None);
+    }
+
+    #[test]
+    fn block_ids_are_unique_and_negative() {
+        let mut h = Hdfs::new(4, 2, 1);
+        let ids = h.create_file(100);
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(ids.iter().all(|b| b.0 < 0), "Hadoop-style negative ids");
+    }
+
+    #[test]
+    fn placement_spreads_load_across_the_cluster() {
+        let mut h = Hdfs::new(10, 3, 7);
+        let mut counts = [0usize; 10];
+        for _ in 0..300 {
+            let b = h.allocate_block();
+            for &r in h.replicas(b) {
+                counts[r] += 1;
+            }
+        }
+        // 900 replicas over 10 nodes: each should be within a loose band of
+        // the 90 average.
+        for (i, c) in counts.iter().enumerate() {
+            assert!((50..=140).contains(c), "node {i} got {c} replicas");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Long-run invariant checks on the cluster simulator: whatever the
+//! workload and fault mix, the observable surfaces stay physically sane.
+
+use hadoop_sim::cluster::{Cluster, ClusterConfig, ClusterStats};
+use hadoop_sim::faults::{FaultKind, FaultSpec};
+use procsim::metrics::node_idx;
+
+fn check_frames_sane(cluster: &Cluster, n: usize, label: &str) {
+    for node in 0..n {
+        let Some(frame) = cluster.latest_frame(node) else {
+            continue;
+        };
+        let flat = frame.flatten();
+        for (i, &x) in flat.iter().enumerate() {
+            assert!(
+                x.is_finite() && x >= 0.0,
+                "{label}: node {node} metric {i} is insane: {x}"
+            );
+        }
+        let cpu_sum: f64 = frame.node[0..6].iter().sum();
+        assert!(
+            (50.0..=160.0).contains(&cpu_sum),
+            "{label}: node {node} cpu percentages sum to {cpu_sum}"
+        );
+        assert!(
+            frame.node[node_idx::PCT_MEMUSED] <= 100.0,
+            "{label}: memory over 100%"
+        );
+    }
+}
+
+fn stats_monotone(prev: ClusterStats, cur: ClusterStats) {
+    assert!(cur.jobs_completed >= prev.jobs_completed);
+    assert!(cur.maps_done >= prev.maps_done);
+    assert!(cur.reduces_done >= prev.reduces_done);
+    assert!(cur.task_failures >= prev.task_failures);
+}
+
+#[test]
+fn fault_free_long_run_stays_sane_and_makes_progress() {
+    let n = 8;
+    let mut cluster = Cluster::new(ClusterConfig::new(n, 77), Vec::new());
+    let mut prev = cluster.stats();
+    for chunk in 0..20 {
+        cluster.advance(120);
+        check_frames_sane(&cluster, n, &format!("chunk {chunk}"));
+        let cur = cluster.stats();
+        stats_monotone(prev, cur);
+        prev = cur;
+    }
+    let s = cluster.stats();
+    assert!(s.jobs_completed >= 10, "2400 s should complete jobs: {s:?}");
+    assert_eq!(s.task_failures, 0, "no failures without faults: {s:?}");
+}
+
+#[test]
+fn every_fault_keeps_the_simulation_sane() {
+    let n = 6;
+    for kind in FaultKind::ALL {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(n, 13),
+            vec![FaultSpec {
+                node: 2,
+                kind,
+                start_at: 120,
+            }],
+        );
+        let mut prev = cluster.stats();
+        for chunk in 0..10 {
+            cluster.advance(120);
+            check_frames_sane(&cluster, n, &format!("{kind} chunk {chunk}"));
+            let cur = cluster.stats();
+            stats_monotone(prev, cur);
+            prev = cur;
+        }
+        // Even with a sick node, the cluster as a whole makes progress
+        // (timeouts, blacklisting and retries route around it).
+        assert!(
+            cluster.stats().maps_done > 50,
+            "{kind}: cluster starved: {:?}",
+            cluster.stats()
+        );
+    }
+}
+
+#[test]
+fn log_volume_stays_bounded() {
+    // Logging is event-driven; a quiet or sick cluster must not spam.
+    let n = 4;
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(n, 5),
+        vec![FaultSpec {
+            node: 1,
+            kind: FaultKind::Hadoop1152,
+            start_at: 60,
+        }],
+    );
+    cluster.advance(600);
+    for node in 0..n {
+        let (tt, dn) = cluster.drain_logs(node);
+        let total = tt.len() + dn.len();
+        assert!(
+            total < 4000,
+            "node {node} wrote {total} lines in 600 s — runaway logging"
+        );
+    }
+}
+
+#[test]
+fn decommissioned_cluster_still_renders_metrics() {
+    let n = 4;
+    let mut cluster = Cluster::new(ClusterConfig::new(n, 9), Vec::new());
+    cluster.advance(60);
+    cluster.decommission(0);
+    cluster.advance(120);
+    // Monitoring continues on the decommissioned node.
+    let frame = cluster.latest_frame(0).unwrap();
+    assert!(frame.node[node_idx::CPU_IDLE] > 50.0, "node 0 should idle");
+    assert!(cluster.latest_tt_syscalls(0).is_some());
+    cluster.recommission(0);
+    assert!(!cluster.is_decommissioned(0));
+}

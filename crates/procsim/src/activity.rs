@@ -1,0 +1,242 @@
+//! Activity demands: what the cluster simulation reports as *actual
+//! resource usage* for one node, one second at a time.
+//!
+//! `procsim` is purely observational: contention and scheduling decisions
+//! are made by the cluster simulator (`hadoop-sim`), which then reports the
+//! realized usage here. [`Activity`] values are additive, so independent
+//! contributors (map tasks, HDFS transfers, daemons, injected fault
+//! processes) each build their own `Activity` and the node sums them.
+
+use std::ops::{Add, AddAssign};
+
+/// Realized node-level resource usage for one second.
+///
+/// All rates are per-second quantities; CPU is measured in core-seconds
+/// (so a node with 4 cores can absorb up to 4.0 per second).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Activity {
+    /// Core-seconds of user-mode CPU consumed.
+    pub cpu_user: f64,
+    /// Core-seconds of kernel-mode CPU consumed.
+    pub cpu_system: f64,
+    /// Average number of tasks blocked on I/O during the second.
+    pub io_wait_tasks: f64,
+    /// Kilobytes read from disk.
+    pub disk_read_kb: f64,
+    /// Kilobytes written to disk.
+    pub disk_write_kb: f64,
+    /// Kilobytes received from the network.
+    pub net_rx_kb: f64,
+    /// Kilobytes transmitted to the network.
+    pub net_tx_kb: f64,
+    /// Application memory in use, in megabytes (a level, not a rate;
+    /// contributors sum their resident footprints).
+    pub mem_used_mb: f64,
+    /// Processes spawned during the second.
+    pub procs_spawned: f64,
+    /// Average number of runnable tasks.
+    pub running_tasks: f64,
+    /// TCP connections opened (active + passive).
+    pub tcp_conns_opened: f64,
+    /// Currently open TCP sockets attributable to this activity.
+    pub tcp_socks: f64,
+    /// Fraction of inbound packets dropped (fault knob; the *maximum*
+    /// across contributors is used rather than the sum).
+    pub packet_loss: f64,
+}
+
+impl Activity {
+    /// No activity at all (the baseline OS hum is added by the node model).
+    pub fn idle() -> Self {
+        Activity::default()
+    }
+
+    /// Total CPU core-seconds (user + system).
+    pub fn cpu_total(&self) -> f64 {
+        self.cpu_user + self.cpu_system
+    }
+
+    /// Builder-style setter for user CPU.
+    #[must_use]
+    pub fn with_cpu_user(mut self, v: f64) -> Self {
+        self.cpu_user = v;
+        self
+    }
+
+    /// Builder-style setter for system CPU.
+    #[must_use]
+    pub fn with_cpu_system(mut self, v: f64) -> Self {
+        self.cpu_system = v;
+        self
+    }
+
+    /// Builder-style setter for disk reads.
+    #[must_use]
+    pub fn with_disk_read_kb(mut self, v: f64) -> Self {
+        self.disk_read_kb = v;
+        self
+    }
+
+    /// Builder-style setter for disk writes.
+    #[must_use]
+    pub fn with_disk_write_kb(mut self, v: f64) -> Self {
+        self.disk_write_kb = v;
+        self
+    }
+
+    /// Builder-style setter for network receive volume.
+    #[must_use]
+    pub fn with_net_rx_kb(mut self, v: f64) -> Self {
+        self.net_rx_kb = v;
+        self
+    }
+
+    /// Builder-style setter for network transmit volume.
+    #[must_use]
+    pub fn with_net_tx_kb(mut self, v: f64) -> Self {
+        self.net_tx_kb = v;
+        self
+    }
+
+    /// Builder-style setter for memory footprint.
+    #[must_use]
+    pub fn with_mem_used_mb(mut self, v: f64) -> Self {
+        self.mem_used_mb = v;
+        self
+    }
+
+    /// Builder-style setter for runnable tasks.
+    #[must_use]
+    pub fn with_running_tasks(mut self, v: f64) -> Self {
+        self.running_tasks = v;
+        self
+    }
+}
+
+impl Add for Activity {
+    type Output = Activity;
+
+    fn add(mut self, rhs: Activity) -> Activity {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Activity {
+    fn add_assign(&mut self, rhs: Activity) {
+        self.cpu_user += rhs.cpu_user;
+        self.cpu_system += rhs.cpu_system;
+        self.io_wait_tasks += rhs.io_wait_tasks;
+        self.disk_read_kb += rhs.disk_read_kb;
+        self.disk_write_kb += rhs.disk_write_kb;
+        self.net_rx_kb += rhs.net_rx_kb;
+        self.net_tx_kb += rhs.net_tx_kb;
+        self.mem_used_mb += rhs.mem_used_mb;
+        self.procs_spawned += rhs.procs_spawned;
+        self.running_tasks += rhs.running_tasks;
+        self.tcp_conns_opened += rhs.tcp_conns_opened;
+        self.tcp_socks += rhs.tcp_socks;
+        // Loss fractions do not add; the worst contributor dominates.
+        self.packet_loss = self.packet_loss.max(rhs.packet_loss);
+    }
+}
+
+/// Realized per-process resource usage for one second, for processes the
+/// monitoring pipeline tracks individually (in the Hadoop deployment: the
+/// DataNode and TaskTracker JVMs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProcessActivity {
+    /// Core-seconds of user-mode CPU.
+    pub cpu_user: f64,
+    /// Core-seconds of kernel-mode CPU.
+    pub cpu_system: f64,
+    /// Kilobytes read from disk.
+    pub read_kb: f64,
+    /// Kilobytes written to disk.
+    pub write_kb: f64,
+    /// Resident set size, in megabytes.
+    pub rss_mb: f64,
+    /// Thread count.
+    pub threads: f64,
+    /// Open file descriptors.
+    pub fds: f64,
+}
+
+impl Add for ProcessActivity {
+    type Output = ProcessActivity;
+
+    fn add(mut self, rhs: ProcessActivity) -> ProcessActivity {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ProcessActivity {
+    fn add_assign(&mut self, rhs: ProcessActivity) {
+        self.cpu_user += rhs.cpu_user;
+        self.cpu_system += rhs.cpu_system;
+        self.read_kb += rhs.read_kb;
+        self.write_kb += rhs.write_kb;
+        self.rss_mb += rhs.rss_mb;
+        self.threads += rhs.threads;
+        self.fds += rhs.fds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_addition_is_componentwise() {
+        let a = Activity::idle()
+            .with_cpu_user(1.0)
+            .with_disk_read_kb(100.0)
+            .with_running_tasks(2.0);
+        let b = Activity::idle()
+            .with_cpu_user(0.5)
+            .with_cpu_system(0.25)
+            .with_disk_read_kb(50.0);
+        let sum = a + b;
+        assert_eq!(sum.cpu_user, 1.5);
+        assert_eq!(sum.cpu_system, 0.25);
+        assert_eq!(sum.disk_read_kb, 150.0);
+        assert_eq!(sum.running_tasks, 2.0);
+        assert_eq!(sum.cpu_total(), 1.75);
+    }
+
+    #[test]
+    fn packet_loss_takes_the_maximum_not_the_sum() {
+        let mut a = Activity::idle();
+        a.packet_loss = 0.5;
+        let mut b = Activity::idle();
+        b.packet_loss = 0.2;
+        assert_eq!((a + b).packet_loss, 0.5);
+        assert_eq!((b + a).packet_loss, 0.5);
+    }
+
+    #[test]
+    fn process_activity_adds() {
+        let a = ProcessActivity {
+            cpu_user: 0.2,
+            rss_mb: 100.0,
+            threads: 10.0,
+            ..Default::default()
+        };
+        let b = ProcessActivity {
+            cpu_user: 0.3,
+            write_kb: 64.0,
+            ..Default::default()
+        };
+        let s = a + b;
+        assert_eq!(s.cpu_user, 0.5);
+        assert_eq!(s.rss_mb, 100.0);
+        assert_eq!(s.write_kb, 64.0);
+    }
+
+    #[test]
+    fn idle_is_all_zero() {
+        assert_eq!(Activity::idle(), Activity::default());
+        assert_eq!(Activity::idle().cpu_total(), 0.0);
+    }
+}

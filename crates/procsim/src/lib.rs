@@ -1,0 +1,36 @@
+//! `procsim` — a simulated sysstat/`/proc` substrate.
+//!
+//! ASDF's black-box fingerpointing consumes OS performance counters sampled
+//! once per second by the `sadc` utility from the sysstat package. This
+//! crate stands in for `/proc` on a simulated cluster: each node is a
+//! [`node::NodeSim`] that turns realized resource usage
+//! ([`activity::Activity`], reported by the cluster simulator) into the
+//! full metric inventory the paper cites — 64 node-level metrics, 18 per
+//! network interface, and 19 per tracked process
+//! (see [`metrics`]).
+//!
+//! The synthesis is deterministic per seed, which is what makes the
+//! reproduction's end-to-end experiments exactly repeatable.
+//!
+//! # Examples
+//!
+//! ```
+//! use procsim::activity::Activity;
+//! use procsim::node::{NodeSim, NodeSpec};
+//!
+//! let mut node = NodeSim::new(NodeSpec::ec2_large("slave-1"), 1);
+//! let frame = node.tick(&Activity::idle().with_cpu_user(1.5), &[]);
+//! assert_eq!(frame.node.len(), 64);
+//! assert_eq!(frame.ifaces[0].1.len(), 18);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod activity;
+pub mod metrics;
+pub mod node;
+pub mod syscalls;
+
+pub use activity::{Activity, ProcessActivity};
+pub use node::{MetricFrame, NodeSim, NodeSpec};

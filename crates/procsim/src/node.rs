@@ -1,0 +1,575 @@
+//! The per-node metric synthesizer.
+//!
+//! [`NodeSim`] turns a stream of realized [`Activity`] reports (one per
+//! second) into the full sysstat-style metric inventory of
+//! [`crate::metrics`]: 64 node-level metrics, 18 metrics per network
+//! interface, and 19 metrics per tracked process. The synthesis is
+//! deterministic for a given seed; measurement noise is multiplicative with
+//! a small configurable amplitude, mirroring the jitter of real `/proc`
+//! sampling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::activity::{Activity, ProcessActivity};
+use crate::metrics::{IFACE_METRIC_COUNT, NODE_METRIC_COUNT, PROCESS_METRIC_COUNT};
+use crate::metrics::{iface_idx, node_idx, process_idx};
+
+/// Static description of a simulated node's hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Hostname, used as sample origin throughout the pipeline.
+    pub name: String,
+    /// Number of CPU cores.
+    pub cores: u32,
+    /// Physical memory, in megabytes.
+    pub mem_mb: u64,
+    /// Sequential disk bandwidth, in KB/s.
+    pub disk_kbps: f64,
+    /// Network line rate, in KB/s.
+    pub net_kbps: f64,
+}
+
+impl NodeSpec {
+    /// The paper's evaluation hardware: Amazon EC2 "Large" instances with
+    /// 7.5 GB of RAM and two dual-core CPUs.
+    pub fn ec2_large(name: impl Into<String>) -> Self {
+        NodeSpec {
+            name: name.into(),
+            cores: 4,
+            mem_mb: 7_680,
+            disk_kbps: 80_000.0,  // ~80 MB/s sequential
+            net_kbps: 125_000.0,  // ~1 Gbit/s
+        }
+    }
+}
+
+/// One second's worth of rendered metrics for a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFrame {
+    /// The 64 node-level metrics, ordered as [`crate::metrics::NODE_METRICS`].
+    pub node: Vec<f64>,
+    /// Per-interface metric vectors (18 each), ordered as
+    /// [`crate::metrics::IFACE_METRICS`].
+    pub ifaces: Vec<(String, Vec<f64>)>,
+    /// Per-process metric vectors (19 each), ordered as
+    /// [`crate::metrics::PROCESS_METRICS`].
+    pub procs: Vec<(String, Vec<f64>)>,
+}
+
+impl MetricFrame {
+    /// Concatenates node, interface, and process metrics into one flat
+    /// vector — the form the black-box `sadc` collector ships to analysis.
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.flat_len());
+        out.extend_from_slice(&self.node);
+        for (_, vals) in &self.ifaces {
+            out.extend_from_slice(vals);
+        }
+        for (_, vals) in &self.procs {
+            out.extend_from_slice(vals);
+        }
+        out
+    }
+
+    /// Length of [`MetricFrame::flatten`]'s output.
+    pub fn flat_len(&self) -> usize {
+        NODE_METRIC_COUNT
+            + self.ifaces.len() * IFACE_METRIC_COUNT
+            + self.procs.len() * PROCESS_METRIC_COUNT
+    }
+
+    /// Names matching [`MetricFrame::flatten`], qualified by interface and
+    /// process (e.g. `eth0.rxkB/s`, `tasktracker.%CPU`).
+    pub fn flat_names(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.flat_len());
+        out.extend(crate::metrics::NODE_METRICS.iter().map(|s| (*s).to_owned()));
+        for (iface, _) in &self.ifaces {
+            out.extend(
+                crate::metrics::IFACE_METRICS
+                    .iter()
+                    .map(|s| format!("{iface}.{s}")),
+            );
+        }
+        for (proc_name, _) in &self.procs {
+            out.extend(
+                crate::metrics::PROCESS_METRICS
+                    .iter()
+                    .map(|s| format!("{proc_name}.{s}")),
+            );
+        }
+        out
+    }
+}
+
+/// Deterministic synthesizer of sysstat metrics for one node.
+///
+/// # Examples
+///
+/// ```
+/// use procsim::activity::Activity;
+/// use procsim::node::{NodeSim, NodeSpec};
+/// use procsim::metrics::node_idx;
+///
+/// let mut node = NodeSim::new(NodeSpec::ec2_large("node1"), 42);
+/// let busy = Activity::idle().with_cpu_user(3.0); // 3 of 4 cores busy
+/// let frame = node.tick(&busy, &[]);
+/// assert!(frame.node[node_idx::CPU_USER] > 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeSim {
+    spec: NodeSpec,
+    rng: SmallRng,
+    /// Separate stream for syscall-trace jitter so that enabling syscall
+    /// tracing does not perturb the metric noise sequence.
+    sys_rng: SmallRng,
+    noise_amp: f64,
+    // Slow state carried across ticks.
+    load1: f64,
+    load5: f64,
+    load15: f64,
+    cached_kb: f64,
+    dirty_kb: f64,
+    tick_count: u64,
+}
+
+impl NodeSim {
+    /// Creates a node simulator with the default 3% measurement noise.
+    pub fn new(spec: NodeSpec, seed: u64) -> Self {
+        // Per-node seed mixing keeps distinct nodes decorrelated even when a
+        // cluster constructs them from sequential seeds.
+        let mixed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(spec.name.bytes().map(u64::from).sum::<u64>());
+        NodeSim {
+            rng: SmallRng::seed_from_u64(mixed),
+            sys_rng: SmallRng::seed_from_u64(mixed ^ 0x5ca1_1ab1_e5ca_11ab),
+            noise_amp: 0.03,
+            load1: 0.1,
+            load5: 0.1,
+            load15: 0.1,
+            cached_kb: 400_000.0,
+            dirty_kb: 2_000.0,
+            tick_count: 0,
+            spec,
+        }
+    }
+
+    /// Overrides the multiplicative noise amplitude (0 disables noise,
+    /// useful for exact-value tests).
+    #[must_use]
+    pub fn with_noise(mut self, amp: f64) -> Self {
+        self.noise_amp = amp;
+        self
+    }
+
+    /// The node's hardware description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Advances one second: renders the metric frame implied by `activity`
+    /// plus the per-process frames for `procs`.
+    pub fn tick(&mut self, activity: &Activity, procs: &[(&str, ProcessActivity)]) -> MetricFrame {
+        self.tick_count += 1;
+        let node = self.render_node(activity);
+        let iface = self.render_iface(activity);
+        let proc_frames: Vec<(String, Vec<f64>)> = procs
+            .iter()
+            .map(|(name, pa)| ((*name).to_owned(), self.render_process(name, pa)))
+            .collect();
+        MetricFrame {
+            node,
+            ifaces: vec![("eth0".to_owned(), iface)],
+            procs: proc_frames,
+        }
+    }
+
+    /// Synthesizes one second of per-category syscall counts for a
+    /// process with realized activity `p`
+    /// (see [`crate::syscalls::syscall_rates`]).
+    pub fn syscall_rates(&mut self, p: &ProcessActivity) -> Vec<f64> {
+        crate::syscalls::syscall_rates(p, &mut self.sys_rng)
+    }
+
+    /// Multiplicative jitter around `x`.
+    fn noisy(&mut self, x: f64) -> f64 {
+        if self.noise_amp == 0.0 || x == 0.0 {
+            return x;
+        }
+        let jitter = 1.0 + self.noise_amp * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        (x * jitter).max(0.0)
+    }
+
+    /// Additive non-negative jitter for near-zero baselines.
+    fn hum(&mut self, scale: f64) -> f64 {
+        if self.noise_amp == 0.0 {
+            return 0.0;
+        }
+        self.rng.gen::<f64>() * scale
+    }
+
+    fn render_node(&mut self, a: &Activity) -> Vec<f64> {
+        let cores = f64::from(self.spec.cores);
+        let mut m = vec![0.0; NODE_METRIC_COUNT];
+
+        // --- CPU ---
+        // Baseline OS hum of ~0.5% plus realized usage, clamped to capacity.
+        let user_frac = ((a.cpu_user / cores) * 100.0).min(100.0);
+        let sys_frac = ((a.cpu_system / cores) * 100.0 + 0.4).min(100.0);
+        // iowait: time cores sat idle while IO was pending.
+        let busy = (user_frac + sys_frac).min(100.0);
+        let iowait = ((a.io_wait_tasks / cores) * 100.0).min(100.0 - busy);
+        let user = self.noisy(user_frac);
+        let system = self.noisy(sys_frac);
+        let iowait = self.noisy(iowait);
+        let nice = self.hum(0.2);
+        let steal = self.hum(0.1);
+        let idle = (100.0 - user - system - iowait - nice - steal).max(0.0);
+        m[node_idx::CPU_USER] = user;
+        m[node_idx::CPU_NICE] = nice;
+        m[node_idx::CPU_SYSTEM] = system;
+        m[node_idx::CPU_IOWAIT] = iowait;
+        m[node_idx::CPU_STEAL] = steal;
+        m[node_idx::CPU_IDLE] = idle;
+
+        // --- Tasks and switching ---
+        m[node_idx::PROCS_PER_SEC] = self.noisy(0.5 + a.procs_spawned);
+        m[node_idx::CSWCH_PER_SEC] =
+            self.noisy(900.0 + 2500.0 * a.cpu_total() + 0.8 * (a.net_rx_kb + a.net_tx_kb) / 16.0);
+
+        // --- Queues and load ---
+        let runq = a.running_tasks + self.hum(0.3);
+        let blocked = a.io_wait_tasks;
+        m[node_idx::RUNQ_SZ] = runq;
+        m[node_idx::PLIST_SZ] = self.noisy(130.0 + 3.0 * a.running_tasks);
+        // Exponentially-weighted load averages with 60/300/900 s constants.
+        let inst = runq + blocked;
+        self.load1 += (inst - self.load1) / 60.0;
+        self.load5 += (inst - self.load5) / 300.0;
+        self.load15 += (inst - self.load15) / 900.0;
+        m[node_idx::LDAVG_1] = self.load1;
+        m[node_idx::LDAVG_5] = self.load5;
+        m[node_idx::LDAVG_15] = self.load15;
+        m[node_idx::BLOCKED] = blocked;
+
+        // --- Memory ---
+        let total_kb = self.spec.mem_mb as f64 * 1024.0;
+        // Page cache grows with I/O traffic and decays slowly.
+        self.cached_kb += 0.25 * (a.disk_read_kb + a.disk_write_kb) - self.cached_kb * 0.001;
+        self.cached_kb = self.cached_kb.clamp(100_000.0, total_kb * 0.5);
+        self.dirty_kb += 0.5 * a.disk_write_kb - self.dirty_kb * 0.2;
+        self.dirty_kb = self.dirty_kb.max(0.0);
+        let base_used_kb = 450_000.0; // kernel + daemons
+        let app_kb = a.mem_used_mb * 1024.0;
+        let used_kb = (base_used_kb + app_kb + self.cached_kb).min(total_kb * 0.98);
+        m[node_idx::KBMEMFREE] = self.noisy(total_kb - used_kb);
+        m[node_idx::KBMEMUSED] = self.noisy(used_kb);
+        m[node_idx::PCT_MEMUSED] = (used_kb / total_kb) * 100.0;
+        m[17] = self.noisy(90_000.0); // kbbuffers
+        m[node_idx::KBCACHED] = self.noisy(self.cached_kb);
+        m[19] = self.noisy(base_used_kb + app_kb * 1.2); // kbcommit
+        m[20] = (m[19] / total_kb) * 100.0; // %commit
+        m[21] = self.noisy(used_kb * 0.6); // kbactive
+        m[22] = self.noisy(used_kb * 0.25); // kbinact
+        m[node_idx::KBDIRTY] = self.noisy(self.dirty_kb);
+
+        // --- Swap: quiescent unless memory pressure exceeds capacity ---
+        let swap_total_kb = 2_097_152.0; // 2 GB swap partition
+        let overshoot_kb = (base_used_kb + app_kb - total_kb * 0.95).max(0.0);
+        let swp_used = overshoot_kb.min(swap_total_kb);
+        m[24] = swap_total_kb - swp_used; // kbswpfree
+        m[25] = swp_used; // kbswpused
+        m[26] = swp_used / swap_total_kb * 100.0; // %swpused
+        m[27] = swp_used * 0.1; // kbswpcad
+        m[28] = if swp_used > 0.0 { 10.0 } else { 0.0 }; // %swpcad
+        m[38] = if overshoot_kb > 0.0 { self.noisy(overshoot_kb / 4.0) } else { 0.0 }; // pswpin/s
+        m[39] = if overshoot_kb > 0.0 { self.noisy(overshoot_kb / 4.0) } else { 0.0 }; // pswpout/s
+
+        // --- Paging ---
+        m[node_idx::PGPGIN] = self.noisy(a.disk_read_kb);
+        m[node_idx::PGPGOUT] = self.noisy(a.disk_write_kb);
+        m[node_idx::FAULTS] = self.noisy(250.0 + 400.0 * a.cpu_total());
+        m[node_idx::MAJFLT] = self.hum(0.5);
+        m[33] = self.noisy(300.0 + 0.5 * (a.disk_read_kb + a.disk_write_kb)); // pgfree/s
+        m[34] = self.hum(1.0); // pgscank/s
+        m[35] = self.hum(1.0); // pgscand/s
+        m[36] = self.hum(0.5); // pgsteal/s
+        m[37] = if m[34] + m[35] > 0.0 { 90.0 + self.hum(10.0) } else { 0.0 }; // %vmeff
+
+        // --- Block I/O ---
+        // Average request ~128 KB sequential, ~16 KB random; blend.
+        let rtps = a.disk_read_kb / 48.0;
+        let wtps = a.disk_write_kb / 48.0;
+        m[node_idx::RTPS] = self.noisy(rtps);
+        m[node_idx::WTPS] = self.noisy(wtps);
+        m[node_idx::TPS] = self.noisy(rtps + wtps + 1.0);
+        m[node_idx::BREAD] = self.noisy(a.disk_read_kb * 2.0); // 512 B sectors
+        m[node_idx::BWRTN] = self.noisy(a.disk_write_kb * 2.0);
+
+        // --- Kernel tables ---
+        m[45] = self.noisy(24_000.0); // dentunusd
+        m[46] = self.noisy(3_200.0 + 8.0 * a.running_tasks); // file-nr
+        m[47] = self.noisy(52_000.0); // inode-nr
+        m[48] = 4.0; // pty-nr
+
+        // --- TCP / UDP ---
+        m[node_idx::TCP_ACTIVE] = self.noisy(0.2 + a.tcp_conns_opened * 0.6);
+        m[node_idx::TCP_PASSIVE] = self.noisy(0.2 + a.tcp_conns_opened * 0.4);
+        // ~1.4 KB of payload per segment.
+        m[node_idx::TCP_ISEG] = self.noisy(6.0 + a.net_rx_kb / 1.4);
+        m[node_idx::TCP_OSEG] = self.noisy(6.0 + a.net_tx_kb / 1.4);
+        m[53] = self.noisy(1.0); // idgm/s
+        m[54] = self.noisy(1.0); // odgm/s
+        m[55] = self.hum(0.2); // noport/s
+        m[56] = self.hum(0.1); // idgmerr/s
+
+        // --- Sockets ---
+        let socks = 160.0 + a.tcp_socks;
+        m[node_idx::TOTSCK] = self.noisy(socks + 40.0);
+        m[node_idx::TCPSCK] = self.noisy(socks);
+        m[59] = self.noisy(12.0); // udpsck
+        m[60] = 0.0; // rawsck
+        m[61] = 0.0; // ip-frag
+        m[62] = self.noisy(2.0 + a.tcp_conns_opened * 0.5); // tcp-tw
+
+        // --- Interrupts ---
+        m[node_idx::INTR] = self.noisy(
+            600.0
+                + (a.net_rx_kb + a.net_tx_kb) / 1.4
+                + (a.disk_read_kb + a.disk_write_kb) / 48.0
+                + 800.0 * a.cpu_total(),
+        );
+
+        m
+    }
+
+    fn render_iface(&mut self, a: &Activity) -> Vec<f64> {
+        let mut m = vec![0.0; IFACE_METRIC_COUNT];
+        let rx_pkts = a.net_rx_kb / 1.4;
+        let tx_pkts = a.net_tx_kb / 1.4;
+        m[iface_idx::RXPCK] = self.noisy(4.0 + rx_pkts);
+        m[iface_idx::TXPCK] = self.noisy(4.0 + tx_pkts);
+        m[iface_idx::RXKB] = self.noisy(a.net_rx_kb);
+        m[iface_idx::TXKB] = self.noisy(a.net_tx_kb);
+        m[4] = 0.0; // rxcmp/s
+        m[5] = 0.0; // txcmp/s
+        m[6] = self.noisy(0.5); // rxmcst/s
+        m[iface_idx::IFUTIL] =
+            ((a.net_rx_kb + a.net_tx_kb) / self.spec.net_kbps * 100.0).min(100.0);
+        // Error counters are ~zero on a healthy interface; packet-loss
+        // faults surface as inbound drops.
+        m[iface_idx::RXERR] = self.hum(0.05);
+        m[iface_idx::TXERR] = self.hum(0.05);
+        m[10] = 0.0; // coll/s
+        m[iface_idx::RXDROP] = if a.packet_loss > 0.0 {
+            self.noisy((4.0 + rx_pkts) * a.packet_loss)
+        } else {
+            self.hum(0.05)
+        };
+        m[iface_idx::TXDROP] = self.hum(0.05);
+        m[13] = 0.0; // txcarr/s
+        m[14] = 0.0; // rxfram/s
+        m[15] = 0.0; // rxfifo/s
+        m[16] = 0.0; // txfifo/s
+        m[iface_idx::IFUP] = 1.0;
+        m
+    }
+
+    fn render_process(&mut self, name: &str, p: &ProcessActivity) -> Vec<f64> {
+        let cores = f64::from(self.spec.cores);
+        let total_kb = self.spec.mem_mb as f64 * 1024.0;
+        let mut m = vec![0.0; PROCESS_METRIC_COUNT];
+        let usr_pct = (p.cpu_user / cores * 100.0).min(100.0);
+        let sys_pct = (p.cpu_system / cores * 100.0).min(100.0);
+        m[process_idx::PCT_USR] = self.noisy(usr_pct);
+        m[process_idx::PCT_SYSTEM] = self.noisy(sys_pct);
+        m[process_idx::PCT_CPU] = (m[0] + m[1]).min(100.0);
+        m[3] = self.noisy(20.0 + 100.0 * (p.cpu_user + p.cpu_system)); // minflt/s
+        m[4] = self.hum(0.2); // majflt/s
+        let rss_kb = p.rss_mb * 1024.0;
+        m[5] = self.noisy(rss_kb * 2.2); // vsz_kb (JVM virtual >> resident)
+        m[process_idx::RSS_KB] = self.noisy(rss_kb);
+        m[7] = rss_kb / total_kb * 100.0; // %MEM
+        m[process_idx::KB_RD] = self.noisy(p.read_kb);
+        m[process_idx::KB_WR] = self.noisy(p.write_kb);
+        m[10] = self.noisy(p.write_kb * 0.02); // kB_ccwr/s (cancelled writes)
+        m[process_idx::IODELAY] = self.noisy((p.read_kb + p.write_kb) / self.spec.disk_kbps * 100.0);
+        m[12] = self.noisy(40.0 + 400.0 * (p.cpu_user + p.cpu_system)); // cswch/s
+        m[13] = self.noisy(5.0 + 60.0 * (p.cpu_user + p.cpu_system)); // nvcswch/s
+        m[process_idx::THREADS] = p.threads.max(1.0);
+        m[15] = p.fds.max(8.0); // fds
+        // Reported as a per-interval rate (CPU seconds consumed this
+        // second), like sadc's per-interval deltas — a cumulative counter
+        // would make samples time-dependent and unusable for clustering.
+        let _ = name;
+        m[process_idx::CPU_SECS] = p.cpu_user + p.cpu_system;
+        m[17] = self.noisy(p.read_kb / 48.0); // rd_ops/s
+        m[18] = self.noisy(p.write_kb / 48.0); // wr_ops/s
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_activity() -> Activity {
+        let mut a = Activity::idle()
+            .with_cpu_user(2.0)
+            .with_cpu_system(0.5)
+            .with_disk_read_kb(4_000.0)
+            .with_disk_write_kb(2_000.0)
+            .with_net_rx_kb(1_000.0)
+            .with_net_tx_kb(800.0)
+            .with_mem_used_mb(2_000.0)
+            .with_running_tasks(3.0);
+        a.tcp_conns_opened = 4.0;
+        a.tcp_socks = 30.0;
+        a
+    }
+
+    #[test]
+    fn same_seed_same_frames() {
+        let spec = NodeSpec::ec2_large("n1");
+        let mut a = NodeSim::new(spec.clone(), 7);
+        let mut b = NodeSim::new(spec, 7);
+        let act = busy_activity();
+        for _ in 0..10 {
+            assert_eq!(a.tick(&act, &[]), b.tick(&act, &[]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = NodeSpec::ec2_large("n1");
+        let mut a = NodeSim::new(spec.clone(), 7);
+        let mut b = NodeSim::new(spec, 8);
+        let act = busy_activity();
+        assert_ne!(a.tick(&act, &[]), b.tick(&act, &[]));
+    }
+
+    #[test]
+    fn cpu_percentages_sum_to_about_100() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        for _ in 0..50 {
+            let f = node.tick(&busy_activity(), &[]);
+            let sum: f64 = f.node[0..6].iter().sum();
+            assert!((85.0..=115.0).contains(&sum), "cpu sum {sum}");
+        }
+    }
+
+    #[test]
+    fn idle_node_is_mostly_idle() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        let f = node.tick(&Activity::idle(), &[]);
+        assert!(f.node[node_idx::CPU_IDLE] > 95.0);
+        assert!(f.node[node_idx::CPU_USER] < 3.0);
+        assert_eq!(f.ifaces[0].1[iface_idx::IFUP], 1.0);
+    }
+
+    #[test]
+    fn disk_metrics_track_activity() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3).with_noise(0.0);
+        let f = node.tick(&busy_activity(), &[]);
+        assert_eq!(f.node[node_idx::BREAD], 8_000.0);
+        assert_eq!(f.node[node_idx::BWRTN], 4_000.0);
+        assert_eq!(f.node[node_idx::PGPGIN], 4_000.0);
+    }
+
+    #[test]
+    fn packet_loss_inflates_rxdrop() {
+        let mut healthy = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        let mut lossy = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        let act = busy_activity();
+        let mut lossy_act = act;
+        lossy_act.packet_loss = 0.5;
+        let hf = healthy.tick(&act, &[]);
+        let lf = lossy.tick(&lossy_act, &[]);
+        assert!(lf.ifaces[0].1[iface_idx::RXDROP] > 100.0 * hf.ifaces[0].1[iface_idx::RXDROP]);
+    }
+
+    #[test]
+    fn load_average_rises_under_sustained_load_and_lags() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        let act = busy_activity();
+        let first = node.tick(&act, &[]).node[node_idx::LDAVG_1];
+        let mut last = first;
+        for _ in 0..120 {
+            last = node.tick(&act, &[]).node[node_idx::LDAVG_1];
+        }
+        assert!(last > first, "load1 should climb: {first} -> {last}");
+        // 15-minute average must lag the 1-minute average.
+        let f = node.tick(&act, &[]);
+        assert!(f.node[node_idx::LDAVG_15] < f.node[node_idx::LDAVG_1]);
+    }
+
+    #[test]
+    fn frame_flattening_and_names_align() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        let procs = [
+            (
+                "datanode",
+                ProcessActivity {
+                    cpu_user: 0.2,
+                    rss_mb: 300.0,
+                    threads: 40.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "tasktracker",
+                ProcessActivity {
+                    cpu_user: 0.4,
+                    rss_mb: 500.0,
+                    threads: 60.0,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let f = node.tick(&busy_activity(), &procs);
+        let flat = f.flatten();
+        let names = f.flat_names();
+        assert_eq!(flat.len(), 64 + 18 + 2 * 19);
+        assert_eq!(names.len(), flat.len());
+        assert_eq!(names[0], "%user");
+        assert_eq!(names[64], "eth0.rxpck/s");
+        assert_eq!(names[64 + 18], "datanode.%usr");
+        assert_eq!(names[64 + 18 + 19], "tasktracker.%usr");
+    }
+
+    #[test]
+    fn process_cpu_seconds_are_a_rate_not_a_counter() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3).with_noise(0.0);
+        let pa = ProcessActivity {
+            cpu_user: 0.5,
+            cpu_system: 0.5,
+            ..Default::default()
+        };
+        let f1 = node.tick(&Activity::idle(), &[("dn", pa)]);
+        let f2 = node.tick(&Activity::idle(), &[("dn", pa)]);
+        // Identical activity ⇒ identical sample: no time dependence.
+        assert_eq!(f1.procs[0].1[process_idx::CPU_SECS], 1.0);
+        assert_eq!(f2.procs[0].1[process_idx::CPU_SECS], 1.0);
+    }
+
+    #[test]
+    fn memory_pressure_triggers_swap_activity() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3).with_noise(0.0);
+        let calm = node.tick(&busy_activity(), &[]);
+        assert_eq!(calm.node[39], 0.0, "no swapping when memory fits");
+        let hog = Activity::idle().with_mem_used_mb(9_000.0);
+        let pressured = node.tick(&hog, &[]);
+        assert!(pressured.node[39] > 0.0, "pswpout under pressure");
+        assert!(pressured.node[25] > 0.0, "kbswpused under pressure");
+    }
+
+    #[test]
+    fn cpu_demand_is_clamped_to_capacity() {
+        let mut node = NodeSim::new(NodeSpec::ec2_large("n1"), 3);
+        let over = Activity::idle().with_cpu_user(40.0);
+        let f = node.tick(&over, &[]);
+        assert!(f.node[node_idx::CPU_USER] <= 103.1); // noise margin
+        assert!(f.node[node_idx::CPU_IDLE] >= 0.0);
+    }
+}

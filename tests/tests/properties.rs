@@ -1,0 +1,133 @@
+//! Cross-crate property-based tests on the invariants the diagnosis
+//! pipeline relies on.
+
+use hadoop_logs::sync::Aligner;
+use hadoop_sim::resources::{allocate_flows, fair_share, loss_goodput_factor, Flow};
+use proptest::prelude::*;
+
+proptest! {
+    /// Max-min fair share: feasible (sum ≤ capacity), honest (grant ≤
+    /// demand), and work-conserving when oversubscribed.
+    #[test]
+    fn fair_share_is_feasible_honest_and_work_conserving(
+        capacity in 0.0f64..1000.0,
+        demands in proptest::collection::vec(0.0f64..500.0, 0..12),
+    ) {
+        let grants = fair_share(capacity, &demands);
+        prop_assert_eq!(grants.len(), demands.len());
+        let total_grant: f64 = grants.iter().sum();
+        let total_demand: f64 = demands.iter().sum();
+        prop_assert!(total_grant <= capacity + 1e-6);
+        for (g, d) in grants.iter().zip(&demands) {
+            prop_assert!(*g <= d + 1e-9, "grant exceeds demand");
+            prop_assert!(*g >= 0.0);
+        }
+        if total_demand > capacity && capacity > 0.0 && !demands.is_empty() {
+            prop_assert!(
+                (total_grant - capacity).abs() < 1e-6,
+                "oversubscribed capacity must be fully used: {} vs {}",
+                total_grant,
+                capacity
+            );
+        }
+        if total_demand <= capacity {
+            prop_assert!((total_grant - total_demand).abs() < 1e-6);
+        }
+    }
+
+    /// Flow allocation never violates either endpoint's capacity.
+    #[test]
+    fn flow_allocation_is_always_feasible(
+        flows in proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..1000.0), 0..24),
+        caps in proptest::collection::vec(1.0f64..500.0, 6),
+    ) {
+        let flows: Vec<Flow> = flows
+            .into_iter()
+            .map(|(src, dst, wanted_kb)| Flow { src, dst, wanted_kb })
+            .collect();
+        let rates = allocate_flows(&flows, &caps, &caps);
+        let mut tx = [0.0; 6];
+        let mut rx = [0.0; 6];
+        for (f, r) in flows.iter().zip(&rates) {
+            prop_assert!(*r >= 0.0 && *r <= f.wanted_kb + 1e-9);
+            tx[f.src] += r;
+            rx[f.dst] += r;
+        }
+        for i in 0..6 {
+            prop_assert!(tx[i] <= caps[i] + 1e-6, "tx overflow at node {i}");
+            prop_assert!(rx[i] <= caps[i] + 1e-6, "rx overflow at node {i}");
+        }
+    }
+
+    /// Goodput collapse is monotone in loss and bounded by (1 - loss).
+    #[test]
+    fn goodput_factor_is_monotone_and_bounded(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(loss_goodput_factor(lo) >= loss_goodput_factor(hi));
+        prop_assert!(loss_goodput_factor(a) <= 1.0 - a + 1e-12);
+        prop_assert!(loss_goodput_factor(a) >= 0.0);
+    }
+
+    /// The cross-node aligner releases complete rows in strictly
+    /// increasing time order, each row carrying exactly the values pushed.
+    #[test]
+    fn aligner_releases_complete_rows_in_order(
+        pushes in proptest::collection::vec((0usize..3, 0u64..40), 1..120),
+    ) {
+        let mut aligner: Aligner<u64> = Aligner::new(3);
+        let mut pushed: std::collections::HashMap<(usize, u64), u64> =
+            std::collections::HashMap::new();
+        for (i, &(node, t)) in pushes.iter().enumerate() {
+            // Value encodes (node, t) so rows can be verified.
+            let value = t * 10 + node as u64;
+            // Later duplicate pushes overwrite earlier ones in the aligner.
+            aligner.push(node, t, value);
+            let _ = i;
+            pushed.insert((node, t), value);
+        }
+        let rows = aligner.drain_aligned();
+        let mut last_t = None;
+        for (t, values) in rows {
+            if let Some(prev) = last_t {
+                prop_assert!(t > prev, "timestamps must strictly increase");
+            }
+            last_t = Some(t);
+            prop_assert_eq!(values.len(), 3);
+            for (node, v) in values.iter().enumerate() {
+                prop_assert_eq!(*v, t * 10 + node as u64, "row value mismatch");
+                prop_assert!(pushed.contains_key(&(node, t)));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The log parser never produces negative state counts, no matter how
+    /// log lines are interleaved or truncated.
+    #[test]
+    fn parser_counts_are_never_negative(
+        ops in proptest::collection::vec((0u8..6, 0u32..4, 0u32..3), 0..80),
+    ) {
+        use hadoop_logs::parser::LogParser;
+        let mut p = LogParser::new();
+        for (i, (op, task, attempt)) in ops.iter().enumerate() {
+            let name = format!("task_0001_r_{task:06}_{attempt}");
+            let sec = i as u64 % 60;
+            let line = match op {
+                0 => format!("2008-04-15 14:00:{sec:02},000 INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: {name}"),
+                1 => format!("2008-04-15 14:00:{sec:02},000 INFO org.apache.hadoop.mapred.TaskTracker: Task {name} is done."),
+                2 => format!("2008-04-15 14:00:{sec:02},000 INFO org.apache.hadoop.mapred.ReduceTask: {name} Copying map outputs"),
+                3 => format!("2008-04-15 14:00:{sec:02},000 INFO org.apache.hadoop.mapred.ReduceTask: {name} Merge complete, reducing"),
+                4 => format!("2008-04-15 14:00:{sec:02},000 WARN org.apache.hadoop.mapred.TaskRunner: {name} failed"),
+                _ => format!("2008-04-15 14:00:{sec:02},000 INFO org.apache.hadoop.dfs.DataNode: Served block blk_{task}"),
+            };
+            p.feed_line(&line);
+            let v = p.sample(i as u64);
+            for &count in v.as_slice() {
+                prop_assert!(count >= 0.0, "negative count after `{line}`: {v}");
+            }
+        }
+    }
+}
