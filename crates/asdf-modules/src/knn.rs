@@ -20,12 +20,15 @@ use asdf_core::error::ModuleError;
 use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
 use asdf_core::value::{Sample, Value};
 
-use crate::training::BlackBoxModel;
+use crate::training::{BlackBoxModel, Classifier};
 
 /// 1-NN / k-NN workload-state classifier.
+///
+/// Holds a [`Classifier`] context so the per-tick path reuses its scaling
+/// and ranking buffers instead of allocating per sample.
 #[derive(Debug, Default)]
 pub struct Knn {
-    model: Option<BlackBoxModel>,
+    classifier: Option<Classifier>,
     k: usize,
     out: Option<PortId>,
 }
@@ -53,12 +56,12 @@ impl Module for Knn {
         ctx.expect_input_count(1)?;
         let origin = ctx.input_slots()[0].1[0].origin.clone();
         self.out = Some(ctx.declare_output_with_origin("output0", origin));
-        self.model = Some(model);
+        self.classifier = Some(model.into_classifier());
         Ok(())
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        let model = self.model.as_ref().expect("initialized");
+        let classifier = self.classifier.as_mut().expect("initialized");
         for (_, env) in ctx.take_all() {
             let Some(raw) = env.sample.value.as_vector() else {
                 return Err(ModuleError::Other(format!(
@@ -66,23 +69,19 @@ impl Module for Knn {
                     env.sample.value.type_name()
                 )));
             };
-            if raw.len() != model.stddev.len() {
+            if raw.len() != classifier.dim() {
                 return Err(ModuleError::Other(format!(
                     "knn dimension mismatch: sample {} vs model {}",
                     raw.len(),
-                    model.stddev.len()
+                    classifier.dim()
                 )));
             }
             let ts = env.sample.timestamp;
             if self.k == 1 {
-                let idx = model.classify(raw) as i64;
+                let idx = classifier.classify(raw) as i64;
                 ctx.emit_sample(self.out.unwrap(), Sample::new(ts, idx));
             } else {
-                let idxs: Vec<f64> = model
-                    .classify_k(raw, self.k)
-                    .into_iter()
-                    .map(|i| i as f64)
-                    .collect();
+                let idxs: Vec<f64> = classifier.classify_k(raw, self.k).map(|i| i as f64).collect();
                 ctx.emit_sample(self.out.unwrap(), Sample::new(ts, Value::from(idxs)));
             }
         }

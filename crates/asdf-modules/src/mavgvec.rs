@@ -14,6 +14,7 @@
 //!   `output0` = mean, `output1` = stddev).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use asdf_core::error::ModuleError;
 use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
@@ -28,13 +29,22 @@ enum Emit {
 }
 
 /// Moving mean/variance over a sliding window of vector samples.
+///
+/// Vector samples are buffered by sharing the engine's `Arc<[f64]>`
+/// allocation (no per-sample copy); the per-emission statistics are
+/// accumulated in reusable scratch buffers.
 #[derive(Debug, Default)]
 pub struct MavgVec {
     window: usize,
     slide: usize,
     emit: Option<Emit>,
-    buf: VecDeque<(asdf_core::time::Timestamp, Vec<f64>)>,
+    buf: VecDeque<(asdf_core::time::Timestamp, Arc<[f64]>)>,
     since_emit: usize,
+    /// Per-emission mean scratch.
+    mean: Vec<f64>,
+    /// Per-emission variance scratch (transformed to stddev in place when
+    /// that is what gets emitted).
+    var: Vec<f64>,
     out_a: Option<PortId>,
     out_b: Option<PortId>,
 }
@@ -87,10 +97,12 @@ impl Module for MavgVec {
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
         for (_, env) in ctx.take_all() {
-            let vec: Vec<f64> = match &env.sample.value {
-                Value::Vector(v) => v.to_vec(),
-                Value::Float(x) => vec![*x],
-                Value::Int(x) => vec![*x as f64],
+            // Vector samples share the engine's allocation; only scalar
+            // promotions copy (one element).
+            let vec: Arc<[f64]> = match &env.sample.value {
+                Value::Vector(v) => Arc::clone(v),
+                Value::Float(x) => Arc::from(vec![*x]),
+                Value::Int(x) => Arc::from(vec![*x as f64]),
                 other => {
                     return Err(ModuleError::Other(format!(
                         "mavgvec expects numeric samples, got {}",
@@ -114,24 +126,25 @@ impl Module for MavgVec {
                 self.since_emit = 0;
                 let dim = self.buf.back().expect("non-empty").1.len();
                 let n = self.window as f64;
-                let window_iter = || self.buf.iter().rev().take(self.window);
-                let mut mean = vec![0.0; dim];
-                for (_, v) in window_iter() {
-                    for (m, x) in mean.iter_mut().zip(v) {
+                self.mean.clear();
+                self.mean.resize(dim, 0.0);
+                for (_, v) in self.buf.iter().rev().take(self.window) {
+                    for (m, x) in self.mean.iter_mut().zip(v.iter()) {
                         *m += x;
                     }
                 }
-                for m in &mut mean {
+                for m in &mut self.mean {
                     *m /= n;
                 }
-                let mut var = vec![0.0; dim];
-                for (_, v) in window_iter() {
-                    for ((s, m), x) in var.iter_mut().zip(&mean).zip(v) {
+                self.var.clear();
+                self.var.resize(dim, 0.0);
+                for (_, v) in self.buf.iter().rev().take(self.window) {
+                    for ((s, m), x) in self.var.iter_mut().zip(&self.mean).zip(v.iter()) {
                         let d = x - m;
                         *s += d * d;
                     }
                 }
-                for s in &mut var {
+                for s in &mut self.var {
                     *s /= n;
                 }
                 // Stamp outputs with the window-end sample's timestamp so
@@ -140,19 +153,23 @@ impl Module for MavgVec {
                 let emit = self.emit.expect("configured in init");
                 match emit {
                     Emit::Mean => {
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, mean));
+                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.mean[..]));
                     }
                     Emit::Var => {
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, var));
+                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.var[..]));
                     }
                     Emit::StdDev => {
-                        let sd: Vec<f64> = var.iter().map(|v| v.sqrt()).collect();
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, sd));
+                        for s in &mut self.var {
+                            *s = s.sqrt();
+                        }
+                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.var[..]));
                     }
                     Emit::Both => {
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, mean));
-                        let sd: Vec<f64> = var.iter().map(|v| v.sqrt()).collect();
-                        ctx.emit_sample(self.out_b.unwrap(), Sample::new(ts, sd));
+                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.mean[..]));
+                        for s in &mut self.var {
+                            *s = s.sqrt();
+                        }
+                        ctx.emit_sample(self.out_b.unwrap(), Sample::new(ts, &self.var[..]));
                     }
                 }
                 // Trim history we can never need again.

@@ -1,0 +1,99 @@
+//! Property tests: the optimized classification paths (early-exit argmin,
+//! single-distance ranking, and the buffer-reusing [`Classifier`] context)
+//! agree with a naive reference implementation, including on exact
+//! distance ties and zero-σ scaling components.
+
+use asdf_modules::training::{scale_log, BlackBoxModel};
+use proptest::prelude::*;
+
+/// Chosen to leave a remainder chunk in the early-exit distance kernel
+/// (which accumulates in blocks of 16).
+const DIM: usize = 19;
+
+fn naive_dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Reference 1-NN: scale by division, then the double-`dist2` `min_by`
+/// scan the optimized path replaced.
+fn naive_classify(model: &BlackBoxModel, raw: &[f64]) -> usize {
+    let x = scale_log(raw, &model.stddev);
+    (0..model.centroids.len())
+        .min_by(|&i, &j| {
+            naive_dist2(&x, &model.centroids[i])
+                .partial_cmp(&naive_dist2(&x, &model.centroids[j]))
+                .expect("finite")
+        })
+        .expect("non-empty")
+}
+
+/// Reference k-NN: stable index sort recomputing distances in the
+/// comparator (ties keep the lower index, like the optimized path).
+fn naive_classify_k(model: &BlackBoxModel, raw: &[f64], k: usize) -> Vec<usize> {
+    let x = scale_log(raw, &model.stddev);
+    let mut idx: Vec<usize> = (0..model.centroids.len()).collect();
+    idx.sort_by(|&i, &j| {
+        naive_dist2(&x, &model.centroids[i])
+            .partial_cmp(&naive_dist2(&x, &model.centroids[j]))
+            .expect("finite")
+    });
+    idx.truncate(k);
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four optimized entry points against the reference, with σ drawn
+    /// from {0} ∪ powers of two so the `Classifier`'s reciprocal multiply
+    /// is bit-identical to the reference's division (zero exercises the
+    /// clamp-to-1 branch), and with the first centroid duplicated so exact
+    /// distance ties occur on every case.
+    #[test]
+    fn optimized_paths_match_naive_reference(
+        mut centroids in proptest::collection::vec(
+            proptest::collection::vec(-40.0f64..40.0, DIM),
+            2..6,
+        ),
+        sigma_idx in proptest::collection::vec(0usize..6, DIM),
+        raws in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..2000.0, DIM),
+            1..10,
+        ),
+        k_pick in 0usize..64,
+    ) {
+        centroids.push(centroids[0].clone());
+        let stddev: Vec<f64> = sigma_idx
+            .iter()
+            .map(|&i| [0.0, 0.25, 0.5, 1.0, 2.0, 4.0][i])
+            .collect();
+        let model = BlackBoxModel { stddev, centroids };
+        let k = 1 + k_pick % model.centroids.len();
+        let mut ctx = model.clone().into_classifier();
+        for raw in &raws {
+            prop_assert_eq!(model.classify(raw), naive_classify(&model, raw));
+            prop_assert_eq!(model.classify_k(raw, k), naive_classify_k(&model, raw, k));
+            prop_assert_eq!(ctx.classify(raw), naive_classify(&model, raw));
+            let got: Vec<usize> = ctx.classify_k(raw, k).collect();
+            prop_assert_eq!(got, naive_classify_k(&model, raw, k));
+        }
+    }
+
+    /// The division-scaled model paths for arbitrary continuous σ (the
+    /// early-exit argmin and single-distance sort are exact regardless of
+    /// the scaling values).
+    #[test]
+    fn model_paths_match_for_arbitrary_sigma(
+        centroids in proptest::collection::vec(
+            proptest::collection::vec(-40.0f64..40.0, DIM),
+            1..7,
+        ),
+        stddev in proptest::collection::vec(0.01f64..5.0, DIM),
+        raw in proptest::collection::vec(0.0f64..2000.0, DIM),
+    ) {
+        let model = BlackBoxModel { stddev, centroids };
+        prop_assert_eq!(model.classify(&raw), naive_classify(&model, &raw));
+        let k = model.centroids.len();
+        prop_assert_eq!(model.classify_k(&raw, k), naive_classify_k(&model, &raw, k));
+    }
+}

@@ -1,0 +1,113 @@
+//! Bounded worker pool for fanning out independent campaign runs.
+//!
+//! Every experiment in [`crate::experiments`] decomposes into runs that are
+//! fully independent: each builds its own simulated cluster from its own
+//! seed, so runs share no mutable state. [`run_indexed`] executes such a job
+//! list on scoped threads and reassembles the results **in job order**, so a
+//! campaign produces byte-identical output no matter how many workers it
+//! uses — including one, where it degrades to a plain serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolves a requested worker count: `0` means "ask the OS", anything else
+/// is taken literally. Falls back to 1 when parallelism cannot be queried.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..jobs)` across at most `threads` scoped workers and returns the
+/// results in index order.
+///
+/// `threads == 0` resolves to the machine's available parallelism. With an
+/// effective worker count of one (or one job) the closure runs on the
+/// calling thread with no pool at all, so single-threaded behaviour is
+/// *literally* the serial loop, not an emulation of it.
+///
+/// Work is pulled from a shared atomic counter, so long and short jobs
+/// balance across workers; ordering is restored on collection, so the
+/// schedule never leaks into the results.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_zero_to_a_positive_count() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn preserves_job_order_at_any_width() {
+        let jobs = 37;
+        let expected: Vec<usize> = (0..jobs).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = run_indexed(jobs, threads, |i| i * i);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_job_lists() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        assert_eq!(run_indexed(2, 16, |i| i), vec![0, 1]);
+    }
+}

@@ -11,6 +11,13 @@
 //!
 //! Tables 3 and 4 (collection overhead, RPC bandwidth) are measured by
 //! [`table3`] and [`table4`].
+//!
+//! Runs within a campaign are independent (each builds its own cluster
+//! from its own seed), so the drivers fan them out across the
+//! [`crate::campaign`] worker pool; [`CampaignConfig::threads`] bounds the
+//! pool and results are byte-identical at any setting.
+
+use std::sync::Arc;
 
 use asdf_modules::training::BlackBoxModel;
 use asdf_rpc::daemons::{ClusterHandle, HadoopLogRpcd, LogDaemon, SadcRpcd};
@@ -53,6 +60,10 @@ pub struct CampaignConfig {
     /// Base RNG seed; training, evaluation and fault runs derive distinct
     /// seeds from it.
     pub base_seed: u64,
+    /// Worker threads for fanning out independent runs (`0` = all
+    /// available parallelism). Campaign output is byte-identical at any
+    /// setting; this only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +82,7 @@ impl Default for CampaignConfig {
             wb_k: 3.0,
             consecutive: 3,
             base_seed: 1,
+            threads: 0,
         }
     }
 }
@@ -92,6 +104,7 @@ impl CampaignConfig {
             wb_k: 3.0,
             consecutive: 2,
             base_seed: 11,
+            threads: 0,
         }
     }
 
@@ -110,8 +123,10 @@ impl CampaignConfig {
 
 /// Trains the black-box workload model on a fault-free run.
 ///
-/// Every node contributes one flattened metric vector per second.
-pub fn train_model(cfg: &CampaignConfig) -> BlackBoxModel {
+/// Every node contributes one flattened metric vector per second. The
+/// model is returned behind an [`Arc`] so campaign workers share one copy
+/// instead of cloning the centroid matrix per run.
+pub fn train_model(cfg: &CampaignConfig) -> Arc<BlackBoxModel> {
     let mut cluster = Cluster::new(
         ClusterConfig::new(cfg.slaves, cfg.base_seed ^ 0x7e57_7e57),
         Vec::new(),
@@ -125,7 +140,7 @@ pub fn train_model(cfg: &CampaignConfig) -> BlackBoxModel {
             }
         }
     }
-    BlackBoxModel::fit(&samples, cfg.n_states, cfg.base_seed)
+    Arc::new(BlackBoxModel::fit(&samples, cfg.n_states, cfg.base_seed))
 }
 
 /// The analysis traces of one evaluation run.
@@ -162,7 +177,7 @@ impl RunTraces {
 /// optionally injecting `fault`, and extracts the traces.
 pub fn run_once(
     cfg: &CampaignConfig,
-    model: &BlackBoxModel,
+    model: &Arc<BlackBoxModel>,
     fault: Option<FaultKind>,
     seed: u64,
 ) -> RunTraces {
@@ -184,7 +199,7 @@ pub fn run_once(
     };
     let cluster = Cluster::new(ClusterConfig::new(cfg.slaves, seed), faults);
     let mut dep = AsdfBuilder::new(cfg.options())
-        .with_model(model.clone())
+        .with_model(Arc::clone(model))
         .deploy(cluster)
         .expect("campaign pipeline deploys");
     dep.run_for(cfg.run_secs);
@@ -205,7 +220,7 @@ pub fn run_once(
 /// fault-free runs.
 ///
 /// Returns `(threshold, FP rate percent)` pairs.
-pub fn fig6a(cfg: &CampaignConfig, model: &BlackBoxModel, thresholds: &[f64]) -> Vec<(f64, f64)> {
+pub fn fig6a(cfg: &CampaignConfig, model: &Arc<BlackBoxModel>, thresholds: &[f64]) -> Vec<(f64, f64)> {
     let traces = fault_free_traces(cfg, model);
     thresholds
         .iter()
@@ -226,7 +241,7 @@ pub fn fig6a(cfg: &CampaignConfig, model: &BlackBoxModel, thresholds: &[f64]) ->
 /// over fault-free runs.
 ///
 /// Returns `(k, FP rate percent)` pairs.
-pub fn fig6b(cfg: &CampaignConfig, model: &BlackBoxModel, ks: &[f64]) -> Vec<(f64, f64)> {
+pub fn fig6b(cfg: &CampaignConfig, model: &Arc<BlackBoxModel>, ks: &[f64]) -> Vec<(f64, f64)> {
     let traces = fault_free_traces(cfg, model);
     ks.iter()
         .map(|&k| {
@@ -243,10 +258,10 @@ pub fn fig6b(cfg: &CampaignConfig, model: &BlackBoxModel, ks: &[f64]) -> Vec<(f6
         .collect()
 }
 
-fn fault_free_traces(cfg: &CampaignConfig, model: &BlackBoxModel) -> Vec<RunTraces> {
-    (0..cfg.fault_free_runs)
-        .map(|i| run_once(cfg, model, None, cfg.base_seed + 1000 + i as u64))
-        .collect()
+fn fault_free_traces(cfg: &CampaignConfig, model: &Arc<BlackBoxModel>) -> Vec<RunTraces> {
+    crate::campaign::run_indexed(cfg.fault_free_runs, cfg.threads, |i| {
+        run_once(cfg, model, None, cfg.base_seed + 1000 + i as u64)
+    })
 }
 
 /// One fault's scores for Figure 7.
@@ -274,24 +289,36 @@ pub struct FaultResult {
 /// Each fault is injected in [`CampaignConfig::fault_runs`] independent
 /// runs; balanced accuracies are averaged, latencies averaged over the
 /// runs that detected the culprit.
-pub fn fig7(cfg: &CampaignConfig, model: &BlackBoxModel) -> Vec<FaultResult> {
+pub fn fig7(cfg: &CampaignConfig, model: &Arc<BlackBoxModel>) -> Vec<FaultResult> {
+    // Every (fault, repetition) pair is an independent job; flattening the
+    // two loops into one job list keeps all workers busy even when
+    // fault_runs is small. Seeds depend only on the pair's indices, and
+    // results come back in job order, so the averaged rows are identical
+    // to the serial nested loops.
+    let per_fault = cfg.fault_runs.max(1);
+    let scored = crate::campaign::run_indexed(
+        FaultKind::ALL.len() * per_fault,
+        cfg.threads,
+        |j| {
+            let (i, r) = (j / per_fault, j % per_fault);
+            let fault = FaultKind::ALL[i];
+            let seed = cfg.base_seed + 2000 + i as u64 + 100 * r as u64;
+            let tr = run_once(cfg, model, Some(fault), seed);
+            score_run(&tr, fault)
+        },
+    );
     FaultKind::ALL
         .iter()
         .enumerate()
-        .map(|(i, &fault)| {
-            let runs: Vec<FaultResult> = (0..cfg.fault_runs.max(1))
-                .map(|r| {
-                    let seed = cfg.base_seed + 2000 + i as u64 + 100 * r as u64;
-                    let tr = run_once(cfg, model, Some(fault), seed);
-                    score_run(&tr, fault)
-                })
-                .collect();
-            average_results(fault, &runs)
-        })
+        .map(|(i, &fault)| average_results(fault, &scored[i * per_fault..(i + 1) * per_fault]))
         .collect()
 }
 
 /// Averages per-run scores into one Figure-7 row.
+///
+/// Balanced accuracies are arithmetic means over all runs. Latencies are
+/// averaged over the runs that detected the culprit and rounded to the
+/// nearest whole second (half-up), since window times are whole seconds.
 fn average_results(fault: FaultKind, runs: &[FaultResult]) -> FaultResult {
     let n = runs.len().max(1) as f64;
     let mean = |f: fn(&FaultResult) -> f64| runs.iter().map(f).sum::<f64>() / n;
@@ -300,7 +327,7 @@ fn average_results(fault: FaultKind, runs: &[FaultResult]) -> FaultResult {
         if hits.is_empty() {
             None
         } else {
-            Some(hits.iter().sum::<u64>() / hits.len() as u64)
+            Some((hits.iter().sum::<u64>() as f64 / hits.len() as f64).round() as u64)
         }
     };
     FaultResult {
@@ -383,34 +410,33 @@ pub fn ablate(
     values: &[f64],
     fault: FaultKind,
 ) -> Vec<AblationRow> {
-    values
-        .iter()
-        .map(|&value| {
-            let mut c = cfg.clone();
-            match knob {
-                AblationKnob::Window => c.window = value as usize,
-                AblationKnob::Consecutive => c.consecutive = value as usize,
-                AblationKnob::NStates => c.n_states = value as usize,
-            }
-            // n_states changes require retraining; for uniformity every row
-            // retrains (training is cheap at these scales).
-            let model = train_model(&c);
-            let faulty = run_once(&c, &model, Some(fault), c.base_seed + 9000);
-            let clean = run_once(&c, &model, None, c.base_seed + 9500);
-            let (alarms, times) = faulty.combined_alarms();
-            let conf = Confusion::tally(&alarms, &times, faulty.truth);
-            let (clean_alarms, clean_times) = clean.combined_alarms();
-            let clean_conf =
-                Confusion::tally(&clean_alarms, &clean_times, GroundTruth::fault_free());
-            AblationRow {
-                parameter: knob.name(),
-                value,
-                ba_combined: conf.balanced_accuracy() * 100.0,
-                latency: crate::eval::fingerpointing_latency(&alarms, &times, faulty.truth),
-                fp_rate: clean_conf.fpr() * 100.0,
-            }
-        })
-        .collect()
+    // Each knob value retrains and reruns from scratch, so rows are
+    // independent jobs for the worker pool.
+    crate::campaign::run_indexed(values.len(), cfg.threads, |vi| {
+        let value = values[vi];
+        let mut c = cfg.clone();
+        match knob {
+            AblationKnob::Window => c.window = value as usize,
+            AblationKnob::Consecutive => c.consecutive = value as usize,
+            AblationKnob::NStates => c.n_states = value as usize,
+        }
+        // n_states changes require retraining; for uniformity every row
+        // retrains (training is cheap at these scales).
+        let model = train_model(&c);
+        let faulty = run_once(&c, &model, Some(fault), c.base_seed + 9000);
+        let clean = run_once(&c, &model, None, c.base_seed + 9500);
+        let (alarms, times) = faulty.combined_alarms();
+        let conf = Confusion::tally(&alarms, &times, faulty.truth);
+        let (clean_alarms, clean_times) = clean.combined_alarms();
+        let clean_conf = Confusion::tally(&clean_alarms, &clean_times, GroundTruth::fault_free());
+        AblationRow {
+            parameter: knob.name(),
+            value,
+            ba_combined: conf.balanced_accuracy() * 100.0,
+            latency: crate::eval::fingerpointing_latency(&alarms, &times, faulty.truth),
+            fp_rate: clean_conf.fpr() * 100.0,
+        }
+    })
 }
 
 /// One row of Table 3: measured cost of a collection component.

@@ -20,6 +20,8 @@
 //! * [`experiments`] — the campaign driver for every table and figure
 //!   (training, fault-free sweeps, six fault injections, overhead and
 //!   bandwidth measurements);
+//! * [`campaign`] — the bounded worker pool that fans independent runs
+//!   out across threads with deterministic, order-preserving collection;
 //! * [`report`] — plain-text rendering in the shape of the paper's
 //!   tables.
 //!
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod eval;
 pub mod experiments;
 pub mod pipeline;

@@ -15,6 +15,7 @@
 //! deployment.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use asdf_core::config::{Config, InstanceConfig};
 use asdf_core::dag::Dag;
@@ -65,7 +66,7 @@ impl Default for AsdfOptions {
 #[derive(Debug)]
 pub struct AsdfBuilder {
     options: AsdfOptions,
-    model: Option<BlackBoxModel>,
+    model: Option<Arc<BlackBoxModel>>,
 }
 
 impl AsdfBuilder {
@@ -79,9 +80,13 @@ impl AsdfBuilder {
 
     /// Supplies the trained black-box workload model (required when
     /// `options.black_box` is set).
+    ///
+    /// Accepts an owned model or an [`Arc`]; campaigns hand the same
+    /// `Arc` to many concurrent deployments without copying the centroid
+    /// matrix.
     #[must_use]
-    pub fn with_model(mut self, model: BlackBoxModel) -> Self {
-        self.model = Some(model);
+    pub fn with_model(mut self, model: impl Into<Arc<BlackBoxModel>>) -> Self {
+        self.model = Some(model.into());
         self
     }
 
@@ -104,6 +109,10 @@ impl AsdfBuilder {
                 .model
                 .as_ref()
                 .expect("black-box pipeline requires a trained model");
+            // Rendering the centroid matrix to text is O(n_states × dim);
+            // do it once, not once per node.
+            let centroids_text = model.centroids_param();
+            let stddev_text = model.stddev_param();
             for i in 0..n_nodes {
                 push(
                     &mut cfg,
@@ -114,14 +123,14 @@ impl AsdfBuilder {
                 push(
                     &mut cfg,
                     InstanceConfig::new("knn", format!("onenn{i}"))
-                        .with_param("centroids", model.centroids_param())
-                        .with_param("stddev", model.stddev_param())
+                        .with_param("centroids", centroids_text.clone())
+                        .with_param("stddev", stddev_text.clone())
                         .with_param("k", 1)
                         .with_input("input", format!("sadc{i}"), "output0"),
                 );
             }
             let mut bb = InstanceConfig::new("analysis_bb", "bb")
-                .with_param("n_states", self.model.as_ref().expect("checked").n_states())
+                .with_param("n_states", model.n_states())
                 .with_param("window", o.window)
                 .with_param("slide", o.slide)
                 .with_param("threshold", o.bb_threshold)

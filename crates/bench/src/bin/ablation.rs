@@ -7,7 +7,11 @@
 //! run (HADOOP-1036 by default — the strongest-manifesting fault, so the
 //! knob effect dominates run noise) and one fault-free control run.
 //!
-//! Usage: `cargo run -p bench --bin ablation --release [-- --slaves N --secs S]`
+//! Usage: `cargo run -p bench --bin ablation --release [-- --slaves N --secs S --threads T]`
+//!
+//! Knob values are independent (each retrains and reruns) and fan out over
+//! `--threads` workers (default: all cores); results are byte-identical
+//! at any thread count.
 
 use asdf::experiments::{self, AblationKnob, AblationRow};
 

@@ -5,7 +5,10 @@
 //! * Figure 6(b): white-box FP rate vs the threshold multiplier k, swept
 //!   0–5.
 //!
-//! Usage: `cargo run -p bench --bin fig6 --release [-- --slaves N --secs S]`
+//! Usage: `cargo run -p bench --bin fig6 --release [-- --slaves N --secs S --threads T]`
+//!
+//! Fault-free runs are independent and fan out over `--threads` workers
+//! (default: all cores); results are byte-identical at any thread count.
 
 use asdf::experiments::{self, CampaignConfig};
 use asdf::report;

@@ -3,7 +3,11 @@
 //! combined analyses, across the six documented Hadoop problems of
 //! Table 2.
 //!
-//! Usage: `cargo run -p bench --bin fig7 --release [-- --slaves N --secs S]`
+//! Usage: `cargo run -p bench --bin fig7 --release [-- --slaves N --secs S --threads T]`
+//!
+//! The 6 faults × `--runs` injected runs are independent and fan out over
+//! `--threads` workers (default: all cores); results are byte-identical
+//! at any thread count.
 
 use asdf::experiments;
 use asdf::report;
@@ -11,8 +15,9 @@ use asdf::report;
 fn main() {
     let cfg = bench::campaign_from_args("fig7");
     eprintln!(
-        "[fig7] training on {} nodes x {} s, then 6 faults x {} run(s) of {} s (inject at t={} on node {}) ...",
-        cfg.slaves, cfg.training_secs, cfg.fault_runs, cfg.run_secs, cfg.injection_at, cfg.fault_node
+        "[fig7] training on {} nodes x {} s, then 6 faults x {} run(s) of {} s (inject at t={} on node {}) on {} worker(s) ...",
+        cfg.slaves, cfg.training_secs, cfg.fault_runs, cfg.run_secs, cfg.injection_at, cfg.fault_node,
+        asdf::campaign::resolve_threads(cfg.threads)
     );
     let model = experiments::train_model(&cfg);
     let rows = experiments::fig7(&cfg, &model);

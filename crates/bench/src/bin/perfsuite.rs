@@ -1,0 +1,171 @@
+//! One-shot performance suite: times the smoke evaluation campaign end to
+//! end (serial vs. the worker pool) plus the hot analysis and parsing
+//! kernels, and writes machine-readable results to `BENCH_campaign.json`
+//! at the repository root.
+//!
+//! Usage: `cargo run -p bench --bin perfsuite --release [-- --threads N]`
+//!
+//! Unlike the Criterion benches (statistical, minutes-long), this suite is
+//! a quick regression tripwire: one warm run per measurement, wall-clock
+//! seconds, a single JSON artifact that diffs cleanly across commits.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf_modules::training::BlackBoxModel;
+use hadoop_logs::LogParser;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 120;
+const N_STATES: usize = 12;
+
+fn training_set(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n)
+        .map(|i| {
+            let level = (i % 4) as f64 * 25.0;
+            (0..DIM)
+                .map(|_| (level + rng.gen::<f64>() * 10.0).max(0.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Times `iters` calls of `f` after a short warmup; returns ns per call.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..100 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Times one smoke campaign (train + fig6a sweep + fig7) and returns its
+/// results so the caller can check pool runs against the serial run.
+fn campaign(cfg: &CampaignConfig) -> (f64, Vec<(f64, f64)>, Vec<experiments::FaultResult>) {
+    let start = Instant::now();
+    let model = experiments::train_model(cfg);
+    let sweep = experiments::fig6a(cfg, &model, &[0.0, 25.0, 50.0]);
+    let rows = experiments::fig7(cfg, &model);
+    (start.elapsed().as_secs_f64(), sweep, rows)
+}
+
+fn synthetic_log_lines(n_tasks: usize) -> Vec<String> {
+    let mut lines = Vec::with_capacity(n_tasks * 2);
+    for i in 0..n_tasks {
+        lines.push(format!(
+            "2008-04-15 14:23:15,324 INFO org.apache.hadoop.mapred.TaskTracker: \
+             LaunchTaskAction: task_0001_m_{i:06}_0"
+        ));
+        lines.push(format!(
+            "2008-04-15 14:23:55,101 INFO org.apache.hadoop.mapred.TaskTracker: \
+             Task task_0001_m_{i:06}_0 is done."
+        ));
+    }
+    lines
+}
+
+fn main() {
+    let (_, threads) =
+        bench::secs_and_threads_from_iter("perfsuite", 0, std::env::args().skip(1));
+
+    // --- Campaign wall-clock: serial vs worker pool -----------------------
+    let serial_cfg = CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::smoke()
+    };
+    let pool_cfg = CampaignConfig {
+        threads,
+        ..CampaignConfig::smoke()
+    };
+    let workers = asdf::campaign::resolve_threads(pool_cfg.threads);
+    eprintln!("[perfsuite] smoke campaign, serial ...");
+    let (serial_secs, serial_sweep, serial_rows) = campaign(&serial_cfg);
+    eprintln!("[perfsuite] smoke campaign, {workers} worker(s) ...");
+    let (pool_secs, pool_sweep, pool_rows) = campaign(&pool_cfg);
+    let deterministic = serial_rows == pool_rows && serial_sweep == pool_sweep;
+    assert!(deterministic, "worker pool changed campaign results");
+
+    // --- Analysis kernels -------------------------------------------------
+    eprintln!("[perfsuite] analysis kernels ...");
+    let data = training_set(4_000);
+    let model = BlackBoxModel::fit(&data, N_STATES, 1);
+    let sample = data[17].clone();
+    // Reference implementation (what the optimized paths replaced): full
+    // distance recomputed for both sides of every `min_by` comparison.
+    // Kept here so the JSON shows the kernel speedup, not just a number.
+    let naive_dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    let naive_ns = time_ns(20_000, || {
+        let x = asdf_modules::training::scale_log(std::hint::black_box(&sample), &model.stddev);
+        let best = model
+            .centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                naive_dist2(&x, a).partial_cmp(&naive_dist2(&x, b)).expect("finite")
+            })
+            .map(|(i, _)| i);
+        std::hint::black_box(best);
+    });
+    let model_ns = time_ns(20_000, || {
+        std::hint::black_box(model.classify(std::hint::black_box(&sample)));
+    });
+    let mut ctx = model.clone().into_classifier();
+    let ctx_ns = time_ns(20_000, || {
+        std::hint::black_box(ctx.classify(std::hint::black_box(&sample)));
+    });
+    let ctx_k3_ns = time_ns(20_000, || {
+        let last = ctx.classify_k(std::hint::black_box(&sample), 3).last();
+        std::hint::black_box(last);
+    });
+
+    // --- Log-parser kernel ------------------------------------------------
+    eprintln!("[perfsuite] log parser ...");
+    let lines = synthetic_log_lines(50_000);
+    let mut parser = LogParser::new();
+    let start = Instant::now();
+    for line in &lines {
+        parser.feed_line(line);
+    }
+    let parse_secs = start.elapsed().as_secs_f64();
+    let lines_per_sec = lines.len() as f64 / parse_secs;
+    assert_eq!(parser.live_instances(), 0, "all tasks should have finished");
+
+    // --- Report -----------------------------------------------------------
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"suite\": \"perfsuite\",").unwrap();
+    writeln!(json, "  \"workers\": {workers},").unwrap();
+    writeln!(json, "  \"campaign\": {{").unwrap();
+    writeln!(json, "    \"serial_secs\": {serial_secs:.3},").unwrap();
+    writeln!(json, "    \"pool_secs\": {pool_secs:.3},").unwrap();
+    writeln!(
+        json,
+        "    \"speedup\": {:.3},",
+        serial_secs / pool_secs.max(1e-9)
+    )
+    .unwrap();
+    writeln!(json, "    \"deterministic\": {deterministic}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"kernels\": {{").unwrap();
+    writeln!(json, "    \"classify_1nn_naive_ns\": {naive_ns:.1},").unwrap();
+    writeln!(json, "    \"classify_1nn_model_ns\": {model_ns:.1},").unwrap();
+    writeln!(json, "    \"classify_1nn_context_ns\": {ctx_ns:.1},").unwrap();
+    writeln!(json, "    \"classify_k3_context_ns\": {ctx_k3_ns:.1},").unwrap();
+    writeln!(json, "    \"parser_lines_per_sec\": {lines_per_sec:.0}").unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    // CARGO_MANIFEST_DIR is crates/bench; the artifact lives at the root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(out, &json).expect("write BENCH_campaign.json");
+    println!("{json}");
+    eprintln!("[perfsuite] wrote {out}");
+}

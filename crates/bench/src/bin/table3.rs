@@ -7,26 +7,18 @@
 //! (paper reference values: `hadoop_log_rpcd` ≈ 0.02% CPU / 2.4 MB,
 //! `sadc_rpcd` ≈ 0.36% / 0.77 MB, `fpt-core` ≈ 0.81% / 5.1 MB).
 //!
-//! Usage: `cargo run -p bench --bin table3 --release [-- --secs S]`
+//! Usage: `cargo run -p bench --bin table3 --release [-- --secs S --threads N]`
+//!
+//! The CPU/memory meters themselves are single-threaded by design (they
+//! read per-process counters); `--threads` only affects campaign-layer
+//! work such as model training.
 
 use asdf::experiments;
 use asdf::report;
 
 fn main() {
-    let mut secs: u64 = 600;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--secs" => {
-                secs = args
-                    .next()
-                    .expect("--secs needs a value")
-                    .parse()
-                    .expect("integer");
-            }
-            other => panic!("table3: unknown flag `{other}`"),
-        }
-    }
+    let (secs, _threads) =
+        bench::secs_and_threads_from_iter("table3", 600, std::env::args().skip(1));
     eprintln!("[table3] metering collectors over {secs} monitored seconds ...");
     let rows = experiments::table3(secs);
     println!("{}", report::render_table3(&rows));

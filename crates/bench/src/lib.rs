@@ -3,6 +3,12 @@
 
 use asdf::experiments::CampaignConfig;
 
+/// Builds the experiment campaign configuration from the process's
+/// command-line flags (see [`campaign_from_iter`]).
+pub fn campaign_from_args(tool: &str) -> CampaignConfig {
+    campaign_from_iter(tool, std::env::args().skip(1))
+}
+
 /// Builds the experiment campaign configuration from command-line flags.
 ///
 /// Defaults reproduce the paper-scale setup scaled to run in seconds on a
@@ -16,14 +22,22 @@ use asdf::experiments::CampaignConfig;
 /// --window W       analysis window samples        (default 60)
 /// --threshold T    black-box L1 threshold         (default 40)
 /// --k K            white-box multiplier           (default 3)
+/// --threads N      campaign worker threads        (default 0 = all cores)
 /// ```
+///
+/// `--threads` only changes wall-clock time: independent runs fan out over
+/// the `asdf::campaign` pool, and results are byte-identical at any
+/// setting (`--threads 1` is the serial reference).
 ///
 /// # Panics
 ///
 /// Panics with a usage message on malformed flags.
-pub fn campaign_from_args(tool: &str) -> CampaignConfig {
+pub fn campaign_from_iter(
+    tool: &str,
+    args: impl IntoIterator<Item = String>,
+) -> CampaignConfig {
     let mut cfg = CampaignConfig::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(flag) = args.next() {
         let mut next = |what: &str| -> String {
             args.next()
@@ -41,6 +55,7 @@ pub fn campaign_from_args(tool: &str) -> CampaignConfig {
             "--window" => cfg.window = next("--window").parse().expect("integer"),
             "--threshold" => cfg.bb_threshold = next("--threshold").parse().expect("number"),
             "--k" => cfg.wb_k = next("--k").parse().expect("number"),
+            "--threads" => cfg.threads = next("--threads").parse().expect("integer"),
             other => panic!("{tool}: unknown flag `{other}` (see crate docs)"),
         }
     }
@@ -50,15 +65,80 @@ pub fn campaign_from_args(tool: &str) -> CampaignConfig {
     cfg
 }
 
+/// Parses the `--secs S` / `--threads N` flags of the measurement binaries
+/// (`table3`, `table4`), returning `(secs, threads)`.
+///
+/// The overhead and bandwidth meters are inherently single-threaded —
+/// concurrent metering would corrupt the per-process CPU accounting — so
+/// `--threads` is accepted for CLI uniformity with the campaign binaries
+/// and forwarded to any campaign-layer work the tool performs.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags.
+pub fn secs_and_threads_from_iter(
+    tool: &str,
+    default_secs: u64,
+    args: impl IntoIterator<Item = String>,
+) -> (u64, usize) {
+    let mut secs = default_secs;
+    let mut threads = 0usize;
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut next = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{tool}: flag {what} needs a value"))
+        };
+        match flag.as_str() {
+            "--secs" => secs = next("--secs").parse().expect("integer"),
+            "--threads" => threads = next("--threads").parse().expect("integer"),
+            other => panic!("{tool}: unknown flag `{other}`"),
+        }
+    }
+    (secs, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(flags: &[&str]) -> CampaignConfig {
+        campaign_from_iter("test", flags.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn defaults_are_paper_scale() {
-        let cfg = campaign_from_args("test");
+        let cfg = parse(&[]);
         assert_eq!(cfg.window, 60);
         assert_eq!(cfg.consecutive, 3);
         assert!((cfg.wb_k - 3.0).abs() < 1e-12);
+        assert_eq!(cfg.threads, 0, "default = all available parallelism");
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let cfg = parse(&["--slaves", "8", "--threads", "3", "--runs", "2"]);
+        assert_eq!(cfg.slaves, 8);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.fault_runs, 2);
+        assert_eq!(cfg.fault_free_runs, 2);
+    }
+
+    #[test]
+    fn measurement_flags_parse() {
+        let (secs, threads) = secs_and_threads_from_iter(
+            "test",
+            600,
+            ["--secs", "30", "--threads", "2"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!((secs, threads), (30, 2));
+        let (secs, threads) = secs_and_threads_from_iter("test", 600, std::iter::empty());
+        assert_eq!((secs, threads), (600, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flags_are_rejected() {
+        parse(&["--bogus"]);
     }
 }

@@ -21,8 +21,12 @@ pub enum Edge {
 }
 
 /// One event extracted from one log line.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LogLineEvent {
+///
+/// Borrows the instance key from the line it was parsed from, so the
+/// per-line fast path allocates nothing; consumers that retain the key
+/// beyond the line's lifetime copy it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogLineEvent<'a> {
     /// Seconds-of-day of the log timestamp.
     pub time_secs: u64,
     /// Which state the event concerns.
@@ -31,7 +35,7 @@ pub struct LogLineEvent {
     pub edge: Edge,
     /// The key identifying the state *instance*: a task attempt name for
     /// TaskTracker states, a block id for DataNode states.
-    pub key: String,
+    pub key: &'a str,
     /// Whether the line reports an attempt failure (ends every state held
     /// by the attempt, not just `state`).
     pub failure: bool,
@@ -89,14 +93,14 @@ fn token_starting_with<'a>(line: &'a str, prefix: &str) -> Option<&'a str> {
 /// assert_eq!(ev.edge, Edge::Start);
 /// assert_eq!(ev.key, "task_0001_m_000096_0");
 /// ```
-pub fn parse_line(line: &str) -> Option<LogLineEvent> {
+pub fn parse_line(line: &str) -> Option<LogLineEvent<'_>> {
     let time_secs = parse_timestamp(line)?;
-    let make = |state, edge, key: &str, failure| {
+    let make = |state, edge, key, failure| {
         Some(LogLineEvent {
             time_secs,
             state,
             edge,
-            key: key.to_owned(),
+            key,
             failure,
             killed: false,
         })
@@ -188,8 +192,10 @@ mod tests {
 
     const TS: &str = "2008-04-15 14:23:15,324";
 
-    fn line(body: &str) -> String {
-        format!("{TS} {body}")
+    /// Leaked so the returned event (which borrows its key from the line)
+    /// can outlive the call expression.
+    fn line(body: &str) -> &'static str {
+        Box::leak(format!("{TS} {body}").into_boxed_str())
     }
 
     #[test]

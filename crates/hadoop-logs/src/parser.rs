@@ -102,14 +102,21 @@ impl LogParser {
         }
     }
 
-    fn apply(&mut self, event: LogLineEvent) {
+    fn apply(&mut self, event: LogLineEvent<'_>) {
         match event.edge {
             Edge::Instant => {
                 self.instant_events.push_back((self.sample_idx, event.state));
             }
             Edge::Start => {
-                let held = self.live.entry(event.key).or_default();
-                held.push(event.state);
+                // The event borrows its key from the line; only the first
+                // Start for an instance copies it into the map — repeated
+                // entrances and every later lookup stay allocation-free.
+                match self.live.get_mut(event.key) {
+                    Some(held) => held.push(event.state),
+                    None => {
+                        self.live.insert(event.key.to_owned(), vec![event.state]);
+                    }
+                }
                 self.active[event.state] += 1.0;
                 // Entering the overall ReduceTask state does not enter any
                 // sub-phase; sub-phase entrances arrive as their own lines.
@@ -118,7 +125,7 @@ impl LogParser {
                 if event.killed {
                     // A jobtracker kill ends every state the attempt holds
                     // without counting as a failure.
-                    if let Some(held) = self.live.remove(&event.key) {
+                    if let Some(held) = self.live.remove(event.key) {
                         for s in held {
                             self.active[s] -= 1.0;
                         }
@@ -131,7 +138,7 @@ impl LogParser {
                     // instant event.
                     self.instant_events
                         .push_back((self.sample_idx, HadoopState::TaskFailed));
-                    if let Some(held) = self.live.remove(&event.key) {
+                    if let Some(held) = self.live.remove(event.key) {
                         for s in held {
                             self.active[s] -= 1.0;
                         }
@@ -139,7 +146,7 @@ impl LogParser {
                     return;
                 }
                 let mut remove_entry = false;
-                if let Some(held) = self.live.get_mut(&event.key) {
+                if let Some(held) = self.live.get_mut(event.key) {
                     if let Some(pos) = held.iter().position(|s| *s == event.state) {
                         held.remove(pos);
                         self.active[event.state] -= 1.0;
@@ -165,7 +172,7 @@ impl LogParser {
                     remove_entry = held.is_empty();
                 }
                 if remove_entry {
-                    self.live.remove(&event.key);
+                    self.live.remove(event.key);
                 }
             }
         }

@@ -1,0 +1,35 @@
+//! The parallel campaign engine must be invisible in the results: any
+//! worker count produces byte-identical figures, because per-run seeds
+//! depend only on job indices and the pool reassembles results in job
+//! order.
+
+use asdf::experiments::{self, CampaignConfig};
+
+#[test]
+fn parallel_campaigns_match_serial_byte_for_byte() {
+    let serial = CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::smoke()
+    };
+    let parallel = CampaignConfig {
+        threads: 4,
+        ..CampaignConfig::smoke()
+    };
+
+    let model_s = experiments::train_model(&serial);
+    let model_p = experiments::train_model(&parallel);
+    assert_eq!(model_s, model_p, "training is campaign-independent");
+
+    // Figure 7: every averaged row must match exactly — f64 equality, not
+    // tolerance, since the parallel path must not reorder or re-seed runs.
+    let rows_s = experiments::fig7(&serial, &model_s);
+    let rows_p = experiments::fig7(&parallel, &model_p);
+    assert_eq!(rows_s, rows_p);
+
+    // Figure 6(a): the fault-free trace set behind the sweep is produced
+    // by the same pool.
+    let thresholds = [0.0, 25.0, 50.0];
+    let sweep_s = experiments::fig6a(&serial, &model_s, &thresholds);
+    let sweep_p = experiments::fig6a(&parallel, &model_p, &thresholds);
+    assert_eq!(sweep_s, sweep_p);
+}

@@ -43,9 +43,14 @@ fn online_engine_runs_the_full_pipeline_in_compressed_time() {
         .start()
         .expect("starts");
 
-    // Let ~100 compressed seconds elapse: several analysis windows.
+    // Let ~100 compressed seconds elapse: several analysis windows. The
+    // engine clock is wall-derived while the cluster advances on a module
+    // thread, so under scheduler load the simulation can trail the clock
+    // briefly — wait on both, bounded by the deadline.
     let deadline = std::time::Instant::now() + Duration::from_secs(20);
-    while engine.now().as_secs() < 100 && std::time::Instant::now() < deadline {
+    while (engine.now().as_secs() < 100 || handle.now() < 90)
+        && std::time::Instant::now() < deadline
+    {
         std::thread::sleep(Duration::from_millis(20));
         assert!(!engine.has_failed(), "no module may fail online");
     }

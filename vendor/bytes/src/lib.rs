@@ -1,0 +1,262 @@
+//! Offline, in-tree stand-in for the subset of the `bytes` crate this
+//! workspace uses: [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`]
+//! traits with little-endian scalar accessors. Backed by plain `Vec<u8>`
+//! with a read cursor instead of refcounted slices — the workspace only
+//! builds messages and reads them front to back.
+
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+/// Read access to a byte buffer, front to back.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copies out and consumes `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Reads a `u8`.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow: {} < {n}", self.len());
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N));
+        out
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            pos: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes {
+            data: Arc::from(self.take(n)),
+            pos: 0,
+        }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_scalar_round_trip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(0xab);
+        b.put_u16_le(0x1234);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(u64::MAX - 7);
+        b.put_f64_le(-1.5);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 8);
+
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 7);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn copy_to_bytes_advances_cursor() {
+        let mut r = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = r.copy_to_bytes(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r = Bytes::from_static(&[1]);
+        r.get_u32_le();
+    }
+}

@@ -1,0 +1,135 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// A collection size: an exact count or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        if self.min + 1 == self.max_exclusive {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max_exclusive)
+        }
+    }
+}
+
+/// Generates `Vec`s of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `HashSet`s of values from `element`, sized within `size`.
+/// Duplicates are resampled a bounded number of times, so a narrow value
+/// space may yield a smaller set than requested.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 10 + 16 {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::__test_rng;
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut rng = __test_rng("vec_sizes");
+        let exact = vec(0u8..10, 4);
+        let ranged = vec(0u8..10, 1..5);
+        for _ in 0..100 {
+            assert_eq!(exact.sample(&mut rng).len(), 4);
+            assert!((1..5).contains(&ranged.sample(&mut rng).len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_deduplicates() {
+        let mut rng = __test_rng("hash_set");
+        let s = hash_set(0u8..3, 0..4);
+        for _ in 0..100 {
+            let set = s.sample(&mut rng);
+            assert!(set.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline, in-tree property-testing harness exposing the subset of the
+//! `proptest` 1.x API this workspace uses.
+//!
+//! Differences from real proptest, accepted for an offline build:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs left in
+//!   the assertion message; it is not minimized.
+//! * **No persistence.** Failures are not recorded to `proptest-regressions`.
+//! * **Deterministic RNG.** Every test function derives its stream from a
+//!   fixed seed, so failures reproduce exactly on re-run.
+//!
+//! Supported surface: numeric-range and `&str`-regex strategies,
+//! `prop_map`/`prop_flat_map`, tuples and `Vec<S>` of strategies,
+//! [`collection::vec`]/[`collection::hash_set`], [`any`],
+//! [`ProptestConfig::with_cases`], and the `proptest!`, `prop_compose!`,
+//! `prop_assert!`, `prop_assert_eq!` macros.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform};
+
+pub mod collection;
+mod regex;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.start.clone()..self.end.clone())
+    }
+}
+
+/// String strategy from a regex-like pattern (character classes, literal
+/// characters, and `{m,n}`/`{m}` repetition — the subset this workspace's
+/// patterns use).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        regex::sample_pattern(self, rng)
+    }
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Strategy for "any value" of a type (the `Standard` distribution).
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Generates arbitrary values of `T` (uniform over the value space).
+pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines a function returning a composed strategy:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point(scale: f64)(x in 0.0..1.0, y in 0.0..1.0) -> (f64, f64) {
+///         (x * scale, y * scale)
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($argn:ident: $argt:ty),* $(,)?)
+        ($($bind:pat_param in $strat:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($bind,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($bind:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                // Seed derived from the test name for stream independence;
+                // fixed across runs so failures reproduce.
+                let mut rng = $crate::__test_rng(stringify!($name));
+                for __case in 0..config.cases {
+                    let ($($bind,)+) = $crate::Strategy::sample(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+pub fn __test_rng(name: &str) -> SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name: stable, dependency-free.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            a in 0usize..5,
+            (x, flag) in (-1.0f64..1.0, any::<bool>()),
+            items in collection::vec(0u8..10, 2..6),
+        ) {
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(flag || !flag);
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(items.iter().all(|&b| b < 10));
+        }
+    }
+
+    prop_compose! {
+        fn arb_scaled(scale: u32)(raw in 0u32..10) -> u32 { raw * scale }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn compose_applies_outer_args(v in arb_scaled(3)) {
+            prop_assert_eq!(v % 3, 0);
+            prop_assert!(v < 30);
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(s in "[a-z][a-z0-9_]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '_'));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains_strategies() {
+        let strat = (1usize..4).prop_flat_map(|n| collection::vec(0u64..100, n..n + 1));
+        let mut rng = __test_rng("flat_map");
+        for _ in 0..64 {
+            let v = strat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

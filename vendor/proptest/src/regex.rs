@@ -1,0 +1,112 @@
+//! A tiny regex-pattern sampler covering the subset this workspace's string
+//! strategies use: literal characters, `[...]` character classes with
+//! ranges (a trailing `-` is a literal), and `{m}` / `{m,n}` repetition.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+struct Element {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut elements = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut class: Vec<char> = Vec::new();
+                for d in it.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    class.push(d);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    // `a-z` is a range unless `-` is the last character.
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i], class[i + 2]);
+                        assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern:?}");
+                        set.extend((lo..=hi).map(|u| u as u8 as char).filter(|ch| {
+                            (lo as u32) <= (*ch as u32) && (*ch as u32) <= (hi as u32)
+                        }));
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            '\\' => vec![it.next().expect("dangling escape")],
+            _ => vec![c],
+        };
+        // Optional {m} or {m,n} quantifier.
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for d in it.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad {m,n}"),
+                    n.trim().parse().expect("bad {m,n}"),
+                ),
+                None => {
+                    let m: usize = spec.trim().parse().expect("bad {m}");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        elements.push(Element { chars, min, max });
+    }
+    elements
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let mut out = String::new();
+    for el in parse(pattern) {
+        let n = if el.min == el.max {
+            el.min
+        } else {
+            rng.gen_range(el.min..=el.max)
+        };
+        for _ in 0..n {
+            out.push(el.chars[rng.gen_range(0..el.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_range_literal_and_quantifier() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-zA-Z0-9_.:/ -]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || "_.:/ -".contains(c)));
+        }
+        let s = sample_pattern("ab[0-3]{2}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| ('0'..='3').contains(&c)));
+    }
+}

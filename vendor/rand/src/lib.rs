@@ -1,0 +1,240 @@
+//! Offline, in-tree reimplementation of the subset of the `rand` 0.8 API
+//! this workspace uses.
+//!
+//! The build environment has no network access and no crates-io registry
+//! cache, so the real `rand` crate cannot be fetched. This vendored stand-in
+//! reimplements, **bit-exactly**, the algorithms behind the API surface the
+//! workspace depends on, so that seeded simulations reproduce the same
+//! streams the original dependency produced:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the 64-bit `SmallRng` of rand 0.8);
+//! * [`SeedableRng::seed_from_u64`] — the PCG32-based seed expansion of
+//!   `rand_core` 0.6;
+//! * [`Rng::gen`] for `f64`/`u64`/`u32`/`bool`/`usize` — the `Standard`
+//!   distribution;
+//! * [`Rng::gen_range`] — Lemire widening-multiply rejection sampling for
+//!   integers (`UniformInt`), and the `[1, 2)`-mantissa method for floats
+//!   (`UniformFloat`);
+//! * [`seq::SliceRandom::choose`] / [`seq::SliceRandom::shuffle`] —
+//!   Fisher–Yates with the `u32`-narrowed index sampling of rand 0.8.
+//!
+//! Only the APIs the workspace actually calls are provided.
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Core RNG interface: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full-size seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it exactly as `rand_core` 0.6
+    /// does (a PCG32 stream keyed by the seed fills the seed bytes in
+    /// little-endian 4-byte chunks).
+    fn seed_from_u64(state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut state = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// The value-level sampling interface (`gen`, `gen_range`).
+pub trait Rng: RngCore {
+    /// Samples a value from the `Standard` distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let x: f64 = self.gen();
+        x < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the `Standard` distribution (uniform over the whole
+/// value space; `[0, 1)` for floats).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` f64: 53 mantissa bits, multiply method.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // rand 0.8 compares the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5usize..=8);
+            assert!((5..=8).contains(&y));
+            let z = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,170 @@
+//! Uniform range sampling, reimplementing rand 0.8's `UniformInt`
+//! (Lemire widening-multiply rejection) and `UniformFloat` (mantissa-in-
+//! `[1, 2)` method) `sample_single` paths bit-for-bit.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Marker for types [`crate::Rng::gen_range`] can sample.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types acceptable to [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_single_inclusive(start, end, rng)
+    }
+}
+
+/// 64×64→128 widening multiply, as rand's `wmul` for `u64`.
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let full = (a as u128) * (b as u128);
+    ((full >> 64) as u64, full as u64)
+}
+
+/// 32×32→64 widening multiply, as rand's `wmul` for `u32`.
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let full = (a as u64) * (b as u64);
+    ((full >> 32) as u32, full as u32)
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high);
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                // range > 0 here (low < high), so no full-range branch.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = rng.$gen() as $u_large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low <= high);
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let range = range.wrapping_add(1);
+                if range == 0 {
+                    // The full integer range: every word is uniform.
+                    return rng.$gen() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = rng.$gen() as $u_large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u8, u8, u32, wmul32, next_u32 }
+uniform_int_impl! { u16, u16, u32, wmul32, next_u32 }
+uniform_int_impl! { u32, u32, u32, wmul32, next_u32 }
+uniform_int_impl! { u64, u64, u64, wmul64, next_u64 }
+uniform_int_impl! { usize, usize, u64, wmul64, next_u64 }
+uniform_int_impl! { i8, u8, u32, wmul32, next_u32 }
+uniform_int_impl! { i16, u16, u32, wmul32, next_u32 }
+uniform_int_impl! { i32, u32, u32, wmul32, next_u32 }
+uniform_int_impl! { i64, u64, u64, wmul64, next_u64 }
+uniform_int_impl! { isize, usize, u64, wmul64, next_u64 }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $mantissa_bits:expr, $exponent_bias:expr, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high);
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): random mantissa, fixed exponent.
+                    let mantissa = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(($exponent_bias << $mantissa_bits) | mantissa);
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                // Floats treat `..=` as `..`; the boundary has measure ~0.
+                if low == high {
+                    return low;
+                }
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+// f64: discard 12 bits, exponent bias 1023 placed at bit 52.
+uniform_float_impl! { f64, u64, 12, 52, 1023u64, next_u64 }
+// f32: discard 9 bits, exponent bias 127 placed at bit 23.
+uniform_float_impl! { f32, u32, 9, 23, 127u32, next_u32 }
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn float_range_stays_inside_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(1e-6f64..1.0);
+            assert!(x >= 1e-6 && x < 1.0, "{x}");
+        }
+    }
+
+    #[test]
+    fn negative_float_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-100.0f64..100.0);
+            assert!((-100.0..100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_int_range_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..500 {
+            match rng.gen_range(2u64..=4) {
+                2 => lo_seen = true,
+                4 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}
