@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use asdf_obs::{Gauge, SpanHandle};
 use parking_lot::Mutex;
 
 use crate::dag::{Dag, DagNode};
@@ -76,6 +77,12 @@ struct RuntimeNode {
     pending: usize,
     next_periodic: Option<Timestamp>,
     taps: Vec<TapHandle>,
+    /// Times every `Module::run` into `engine.run_ns.<id>` (and the trace
+    /// recorder while capture is on).
+    span: SpanHandle,
+    /// Post-run pending input depth, `engine.queue_depth.<id>` (current +
+    /// high-water).
+    queue_gauge: Arc<Gauge>,
 }
 
 /// Deterministic simulated-time executor for a module [`Dag`].
@@ -118,22 +125,43 @@ pub struct TickEngine {
     nodes: Vec<RuntimeNode>,
     now: Timestamp,
     scratch: Vec<(PortId, Sample)>,
+    /// Wraps each whole [`TickEngine::tick`], so per-module spans nest
+    /// under it in exported traces.
+    tick_span: SpanHandle,
+    /// Decides once per tick whether that tick's module runs are timed,
+    /// so the per-run cost in unsampled ticks is a plain branch. While
+    /// tracing is on, every tick is observed (traces stay complete).
+    tick_sampler: asdf_obs::Sampler,
+    obs_this_tick: bool,
 }
 
 impl TickEngine {
     /// Wraps a constructed DAG in a fresh engine positioned at the epoch.
+    ///
+    /// Metric handles are resolved here, once — ticking never touches the
+    /// registry. Engines running the same configuration (e.g. campaign
+    /// repetitions) share the same named metrics and aggregate.
     pub fn new(dag: Dag) -> Self {
+        let reg = asdf_obs::registry();
         let nodes = dag
             .nodes
             .into_iter()
             .map(|node| {
                 let n_slots = node.slots.len();
+                let span = SpanHandle::new(
+                    "engine",
+                    node.id.as_str(),
+                    reg.histogram(&format!("engine.run_ns.{}", node.id)),
+                );
+                let queue_gauge = reg.gauge(&format!("engine.queue_depth.{}", node.id));
                 RuntimeNode {
                     next_periodic: node.schedule.periodic.map(|_| Timestamp::EPOCH),
                     node,
                     queues: vec![VecDeque::new(); n_slots],
                     pending: 0,
                     taps: Vec::new(),
+                    span,
+                    queue_gauge,
                 }
             })
             .collect();
@@ -141,6 +169,9 @@ impl TickEngine {
             nodes,
             now: Timestamp::EPOCH,
             scratch: Vec::new(),
+            tick_span: SpanHandle::new("engine", "tick", reg.histogram("engine.tick_ns")),
+            tick_sampler: asdf_obs::Sampler::new(),
+            obs_this_tick: false,
         }
     }
 
@@ -173,6 +204,10 @@ impl TickEngine {
     /// Propagates the first module failure as a [`RunEngineError`]; the
     /// engine should be discarded afterwards.
     pub fn tick(&mut self) -> Result<(), RunEngineError> {
+        self.obs_this_tick = asdf_obs::enabled()
+            && (asdf_obs::tracing_on() || self.tick_sampler.sample());
+        let tick_span = self.tick_span.clone();
+        let _tick_timer = self.obs_this_tick.then(|| tick_span.enter_forced());
         let now = self.now;
         for idx in 0..self.nodes.len() {
             // Periodic run, if due.
@@ -216,9 +251,16 @@ impl TickEngine {
         reason: RunReason,
     ) -> Result<(), RunEngineError> {
         debug_assert!(self.scratch.is_empty());
+        let obs_this_tick = self.obs_this_tick;
         let mut emitted = std::mem::take(&mut self.scratch);
         {
             let rt = &mut self.nodes[idx];
+            // Queue depth peaks right before a run consumes the backlog, so
+            // one set here captures the high-water mark without a gauge
+            // write on every single delivery in the routing loop below.
+            if obs_this_tick {
+                rt.queue_gauge.set(rt.pending as i64);
+            }
             let slot_names: Vec<String> =
                 rt.node.slots.iter().map(|s| s.name.clone()).collect();
             let mut ctx = RunCtx {
@@ -228,7 +270,10 @@ impl TickEngine {
                 emitted: &mut emitted,
                 n_outputs: rt.node.outputs.len(),
             };
-            let result = rt.node.module.run(&mut ctx, reason);
+            let result = {
+                let _timer = obs_this_tick.then(|| rt.span.enter_forced());
+                rt.node.module.run(&mut ctx, reason)
+            };
             rt.pending = rt.queues.iter().map(VecDeque::len).sum();
             if let Err(source) = result {
                 return Err(RunEngineError {
@@ -438,6 +483,25 @@ mod tests {
         assert_eq!(tap_a.snapshot().len(), 2);
         tap_a.drain();
         assert!(tap_a.is_empty());
+    }
+
+    #[test]
+    fn module_runs_feed_the_obs_layer() {
+        // Unique ids so the registry entries belong to this test alone.
+        let mut eng = engine(
+            "[source]\nid = obs_probe_src\n\n[acc]\nid = obs_probe_acc\ntrigger = 3\ninput[i] = obs_probe_src.out\n",
+        );
+        // Time every execution so the count assertions below are exact.
+        let was = asdf_obs::set_span_sample_period(1);
+        eng.run_for(TickDuration::from_secs(6)).unwrap();
+        asdf_obs::set_span_sample_period(was);
+        let reg = asdf_obs::registry();
+        // The periodic source ran every tick; each run was timed.
+        assert!(reg.histogram("engine.run_ns.obs_probe_src").count() >= 6);
+        assert!(reg.histogram("engine.tick_ns").count() >= 6);
+        // The accumulator's queue reached depth 2 before its trigger of 3
+        // fired, and that high-water mark was captured.
+        assert!(reg.gauge("engine.queue_depth.obs_probe_acc").high_water() >= 2);
     }
 
     #[test]

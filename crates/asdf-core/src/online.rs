@@ -13,11 +13,12 @@
 //! can compress time (e.g. 5 ms per tick) without changing module behavior.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use asdf_obs::SpanHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -32,6 +33,51 @@ enum Cmd {
     Periodic(Timestamp),
     Deliver { slot: usize, env: Envelope },
     Stop,
+}
+
+/// Scheduler-health telemetry shared by one engine's module threads.
+///
+/// The lockstep between the ticker and the per-module threads is exactly
+/// where an online deployment silently falls behind: a module whose run
+/// takes longer than its period starts its next periodic run late. That
+/// lag is surfaced as the `online.scheduler_lag_ticks` gauge and the
+/// `online.tick_overruns_total` counter (global registry), mirrored into
+/// per-engine atomics for [`OnlineEngine::scheduler_lag_ticks`] and
+/// [`OnlineEngine::tick_overruns`].
+struct SchedulerStats {
+    last_lag_ticks: AtomicI64,
+    overruns: AtomicU64,
+    lag_gauge: Arc<asdf_obs::Gauge>,
+    overrun_counter: Arc<asdf_obs::Counter>,
+}
+
+impl SchedulerStats {
+    fn new() -> Self {
+        let reg = asdf_obs::registry();
+        SchedulerStats {
+            last_lag_ticks: AtomicI64::new(0),
+            overruns: AtomicU64::new(0),
+            lag_gauge: reg.gauge("online.scheduler_lag_ticks"),
+            overrun_counter: reg.counter("online.tick_overruns_total"),
+        }
+    }
+
+    /// Records how late a periodic run started, warning on overrun
+    /// (log volume is bounded: only power-of-two occurrence counts log).
+    fn observe(&self, instance: &str, lag_ticks: i64) {
+        self.last_lag_ticks.store(lag_ticks, Ordering::Relaxed);
+        self.lag_gauge.set(lag_ticks);
+        if lag_ticks >= 1 {
+            let n = self.overruns.fetch_add(1, Ordering::Relaxed) + 1;
+            self.overrun_counter.inc();
+            if n.is_power_of_two() {
+                eprintln!(
+                    "warning: [online] periodic module `{instance}` started {lag_ticks} tick(s) \
+                     late ({n} overrun(s) so far) — modules are not keeping up with the ticker"
+                );
+            }
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -99,6 +145,7 @@ impl Builder {
             start: Instant::now(),
             wall_per_tick,
         };
+        let sched = Arc::new(SchedulerStats::new());
         let stop = Arc::new(AtomicBool::new(false));
         let first_error: Arc<Mutex<Option<RunEngineError>>> = Arc::new(Mutex::new(None));
 
@@ -141,10 +188,20 @@ impl Builder {
             };
             let stop = Arc::clone(&stop);
             let first_error = Arc::clone(&first_error);
+            let span = SpanHandle::new(
+                "online",
+                node.id.as_str(),
+                asdf_obs::registry().histogram(&format!("online.run_ns.{}", node.id)),
+            );
+            let node_clock = clock.clone();
+            let node_sched = Arc::clone(&sched);
             let handle = std::thread::Builder::new()
                 .name(format!("asdf-{}", node.id))
                 .spawn(move || {
-                    node_thread(node, rx, downstream, node_taps, stop, first_error);
+                    node_thread(
+                        node, rx, downstream, node_taps, stop, first_error, node_clock,
+                        node_sched, span,
+                    );
                 })
                 .expect("spawn module thread");
             handles.push(handle);
@@ -190,10 +247,12 @@ impl Builder {
             first_error,
             tap_handles,
             clock,
+            sched,
         })
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn node_thread(
     mut node: crate::dag::DagNode,
     rx: Receiver<Cmd>,
@@ -201,6 +260,9 @@ fn node_thread(
     taps: Vec<TapHandle>,
     stop: Arc<AtomicBool>,
     first_error: Arc<Mutex<Option<RunEngineError>>>,
+    clock: WallClock,
+    sched: Arc<SchedulerStats>,
+    span: SpanHandle,
 ) {
     use std::collections::VecDeque;
 
@@ -215,7 +277,14 @@ fn node_thread(
         }
         let (run_now, reason) = match cmd {
             Cmd::Stop => break,
-            Cmd::Periodic(ts) => (Some(ts), RunReason::Periodic),
+            Cmd::Periodic(ts) => {
+                // How late did this periodic run start? A healthy engine
+                // dequeues the tick within the same logical second it was
+                // dispatched for; anything later is an overrun.
+                let lag = clock.now().as_secs() as i64 - ts.as_secs() as i64;
+                sched.observe(&node.id, lag.max(0));
+                (Some(ts), RunReason::Periodic)
+            }
             Cmd::Deliver { slot, env } => {
                 let ts = env.sample.timestamp;
                 queues[slot].push_back(env);
@@ -236,7 +305,11 @@ fn node_thread(
             emitted: &mut emitted,
             n_outputs: node.outputs.len(),
         };
-        if let Err(source) = node.module.run(&mut ctx, reason) {
+        let run_result = {
+            let _timer = span.enter();
+            node.module.run(&mut ctx, reason)
+        };
+        if let Err(source) = run_result {
             let mut guard = first_error.lock();
             if guard.is_none() {
                 *guard = Some(RunEngineError {
@@ -276,6 +349,7 @@ pub struct OnlineEngine {
     first_error: Arc<Mutex<Option<RunEngineError>>>,
     tap_handles: HashMap<String, TapHandle>,
     clock: WallClock,
+    sched: Arc<SchedulerStats>,
 }
 
 impl OnlineEngine {
@@ -301,6 +375,18 @@ impl OnlineEngine {
     /// Whether some module has failed (the engine is then shutting down).
     pub fn has_failed(&self) -> bool {
         self.first_error.lock().is_some()
+    }
+
+    /// How many periodic runs (across all modules) started at least one
+    /// tick after they were dispatched — the online engine's "falling
+    /// behind" signal.
+    pub fn tick_overruns(&self) -> u64 {
+        self.sched.overruns.load(Ordering::Relaxed)
+    }
+
+    /// The most recently observed scheduler lag, in ticks (0 = on time).
+    pub fn scheduler_lag_ticks(&self) -> i64 {
+        self.sched.last_lag_ticks.load(Ordering::Relaxed)
     }
 
     /// Stops all threads and joins them.
@@ -387,6 +473,20 @@ mod tests {
         }
     }
 
+    struct Sleeper {
+        wall: Duration,
+    }
+    impl Module for Sleeper {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, _: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            std::thread::sleep(self.wall);
+            Ok(())
+        }
+    }
+
     struct FailFast;
     impl Module for FailFast {
         fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
@@ -408,6 +508,11 @@ mod tests {
         });
         reg.register("doubler", || Box::new(Doubler { port: None }));
         reg.register("failfast", || Box::new(FailFast));
+        reg.register("sleeper", || {
+            Box::new(Sleeper {
+                wall: Duration::from_millis(25),
+            })
+        });
         reg
     }
 
@@ -441,6 +546,22 @@ mod tests {
         for (i, v) in values.iter().enumerate() {
             assert_eq!(*v, 2 * (i as i64 + 1));
         }
+    }
+
+    #[test]
+    fn slow_module_is_reported_as_tick_overruns() {
+        // Each run sleeps 25 ms against a 5 ms tick, so the mailbox backs
+        // up and later periodic runs start several ticks late.
+        let engine = OnlineEngine::builder(dag("[sleeper]\nid = slow\n"))
+            .wall_per_tick(Duration::from_millis(5))
+            .start()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let overruns = engine.tick_overruns();
+        let lag = engine.scheduler_lag_ticks();
+        engine.stop().unwrap();
+        assert!(overruns >= 1, "expected overruns, got {overruns}");
+        assert!(lag >= 1, "expected positive lag, got {lag}");
     }
 
     #[test]

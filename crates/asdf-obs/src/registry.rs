@@ -1,0 +1,166 @@
+//! The global metric registry.
+//!
+//! Instrumentation sites ask the registry for a named handle **once**
+//! (construction time, behind a mutex) and then record through the
+//! returned [`Arc`] with no further registry involvement — the map lock is
+//! never on a hot path. Names are dot-separated (`engine.run_ns.sadc3`);
+//! snapshots iterate in name order so reports are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Name-keyed store of all metrics in the process.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Returns the counter named `name`, creating it on first use. The
+    /// same name always yields the same underlying counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(Histogram::new_arc),
+        )
+    }
+
+    /// An ordered, owned copy of every metric's current state.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.get(), v.high_water())))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric (handles stay valid). Used by the
+    /// self-overhead harness between A/B phases and by tests.
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("registry poisoned").values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("registry poisoned").values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().expect("registry poisoned").values() {
+            h.reset();
+        }
+    }
+}
+
+impl Histogram {
+    fn new_arc() -> Arc<Histogram> {
+        Arc::new(Histogram::new())
+    }
+}
+
+/// Ordered point-in-time copy of the registry, ready for rendering.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)`, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, (value, high_water))`, name-ordered.
+    pub gauges: Vec<(String, (i64, i64))>,
+    /// `(name, snapshot)`, name-ordered.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Whether nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_metric() {
+        let _guard = crate::tests::flag_lock();
+        let reg = Registry::default();
+        let a = reg.counter("x.total");
+        let b = reg.counter("x.total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &reg.counter("y.total")));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_reset_zeroes() {
+        let _guard = crate::tests::flag_lock();
+        let reg = Registry::default();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        reg.gauge("g").set(7);
+        reg.histogram("h").record(100);
+        let s = reg.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("a".to_owned(), 1), ("b".to_owned(), 2)]
+        );
+        assert_eq!(s.gauges[0].1, (7, 7));
+        assert_eq!(s.histograms[0].1.count, 1);
+        assert!(!s.is_empty());
+
+        reg.reset();
+        let s = reg.snapshot();
+        assert_eq!(s.counters[0].1, 0);
+        assert_eq!(s.gauges[0].1, (0, 0));
+        assert_eq!(s.histograms[0].1.count, 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! RAII span timers and the bounded in-process trace recorder.
+//!
+//! A [`SpanHandle`] is created once (it owns its name and a histogram
+//! handle); [`SpanHandle::enter`] returns a guard that, on drop, records
+//! the elapsed nanoseconds into the histogram and — only while trace
+//! capture is on ([`crate::start_tracing`]) — appends a [`TraceEvent`] to
+//! the global recorder. The recorder is bounded: once full, events are
+//! counted as dropped rather than growing without limit, so always-on
+//! instrumentation can never exhaust memory.
+//!
+//! # Staying under the overhead gate
+//!
+//! Span sites sit on paths that execute in hundreds of nanoseconds (a
+//! module run, an RPC poll), where even one OS clock read per span would
+//! blow the <1%-of-wall-clock self-overhead budget. Two measures keep
+//! timing honest *and* cheap:
+//!
+//! * timestamps come from the CPU's constant-rate cycle counter (`rdtsc`
+//!   on x86_64, calibrated once against the OS clock; portable
+//!   [`Instant`] fallback elsewhere), and
+//! * outside trace capture, span *timing* is **sampled**: every
+//!   [`crate::span_sample_period`]-th execution per site is timed; the
+//!   rest cost two relaxed loads and one relaxed increment. Latency
+//!   histograms therefore hold a uniform sample of executions (exact
+//!   event totals belong in [`crate::Counter`]s). While trace capture is
+//!   on, every span is timed so traces stay complete.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Sampling mask: a span is timed when `ticker & mask == 0`, so the
+/// stored value is `period - 1` (period is a power of two). Default
+/// period: 32.
+pub(crate) static SAMPLE_MASK: AtomicU64 = AtomicU64::new(31);
+
+/// Raw monotonic clock ticks: TSC cycles on x86_64 (constant-rate on any
+/// CPU this project targets), nanoseconds since the process epoch
+/// elsewhere.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn now_ticks() -> u64 {
+    // SAFETY: RDTSC has no preconditions.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn now_ticks() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds per clock tick, calibrated once against the OS clock (a
+/// one-off ~5 ms pause at the first [`SpanHandle`] construction; exactly
+/// 1.0 on the portable fallback where ticks already are nanoseconds).
+pub(crate) fn ns_per_tick() -> f64 {
+    static CAL: OnceLock<f64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        if cfg!(target_arch = "x86_64") {
+            let t0 = Instant::now();
+            let c0 = now_ticks();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let ns = t0.elapsed().as_nanos() as f64;
+            let ticks = now_ticks().saturating_sub(c0).max(1) as f64;
+            ns / ticks
+        } else {
+            1.0
+        }
+    })
+}
+
+#[inline]
+fn ticks_to_ns(delta_ticks: u64) -> u64 {
+    (delta_ticks as f64 * ns_per_tick()) as u64
+}
+
+/// Tick value all trace timestamps are measured from, anchored by
+/// [`crate::start_tracing`].
+pub(crate) static EPOCH_TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn anchor_epoch() {
+    ns_per_tick();
+    EPOCH_TICKS.store(now_ticks(), Ordering::Relaxed);
+}
+
+/// Advances a per-site sampling ticker and reports whether this execution
+/// is the sampled one. Deliberately load-then-store rather than a locked
+/// `fetch_add`: a lost increment under a race only nudges the effective
+/// sampling phase, and the unlocked pair is several times cheaper on the
+/// sub-microsecond paths this guards.
+#[inline(always)]
+pub(crate) fn tick_site(ticker: &AtomicU64) -> bool {
+    let t = ticker.load(Ordering::Relaxed);
+    ticker.store(t.wrapping_add(1), Ordering::Relaxed);
+    t & SAMPLE_MASK.load(Ordering::Relaxed) == 0
+}
+
+/// A standalone per-site sampling ticker for hot non-span recordings
+/// (e.g. per-message histogram records in the RPC transport), honoring
+/// the same global period as span timing ([`crate::span_sample_period`]).
+///
+/// Exact totals belong in [`crate::Counter`]s; a `Sampler` gates only the
+/// *distribution* recording that would otherwise cost several locked
+/// read-modify-writes per event.
+#[derive(Debug, Default)]
+pub struct Sampler(AtomicU64);
+
+impl Sampler {
+    /// Creates a sampler; the first event is always sampled.
+    pub const fn new() -> Self {
+        Sampler(AtomicU64::new(0))
+    }
+
+    /// Advances the ticker; true when this event should be recorded.
+    #[inline]
+    pub fn sample(&self) -> bool {
+        tick_site(&self.0)
+    }
+}
+
+/// One completed span, in Chrome `trace_event` terms a `ph: "X"` complete
+/// event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name (e.g. the module instance id).
+    pub name: Arc<str>,
+    /// Category (e.g. `engine`, `campaign`, `rpc`).
+    pub cat: &'static str,
+    /// Small dense id of the emitting thread.
+    pub tid: u64,
+    /// Start, nanoseconds since the process-wide trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The process-wide instant backing the portable tick fallback.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small dense id for the current thread (Chrome traces want integer
+/// tids; [`std::thread::ThreadId`] is opaque).
+pub fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Default recorder capacity: enough for a smoke campaign's per-module
+/// spans (~48 bytes each, so ~200 MB at the cap) without letting a
+/// long-running deployment grow unboundedly.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4_000_000;
+
+pub(crate) struct Recorder {
+    pub events: Mutex<Vec<TraceEvent>>,
+    pub capacity: AtomicU64,
+    pub dropped: AtomicU64,
+}
+
+pub(crate) fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        events: Mutex::new(Vec::new()),
+        capacity: AtomicU64::new(DEFAULT_TRACE_CAPACITY as u64),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+pub(crate) fn record_event(ev: TraceEvent) {
+    let rec = recorder();
+    let cap = rec.capacity.load(Ordering::Relaxed) as usize;
+    let mut events = rec.events.lock().expect("trace recorder poisoned");
+    if events.len() < cap {
+        events.push(ev);
+    } else {
+        rec.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A named timing site: owns the span name, category, and the histogram
+/// every execution feeds. Create once, [`enter`](SpanHandle::enter) often.
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    name: Arc<str>,
+    cat: &'static str,
+    hist: Arc<Histogram>,
+    /// Per-site execution ticker driving the sampling decision; shared by
+    /// clones so a site samples uniformly across threads.
+    ticker: Arc<AtomicU64>,
+}
+
+impl SpanHandle {
+    /// Creates a handle feeding `hist` (typically obtained from the
+    /// [`crate::registry`] so summaries and exports can find it).
+    pub fn new(cat: &'static str, name: impl Into<Arc<str>>, hist: Arc<Histogram>) -> Self {
+        // Calibrate the tick clock at construction, never on the hot path.
+        ns_per_tick();
+        SpanHandle {
+            name: name.into(),
+            cat,
+            hist,
+            ticker: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The latency histogram this handle feeds.
+    pub fn histogram(&self) -> &Arc<Histogram> {
+        &self.hist
+    }
+
+    /// Starts timing; the returned guard records on drop. When the layer
+    /// is disabled this is a single relaxed load and the guard is inert;
+    /// when enabled, unsampled executions cost a handful of relaxed loads
+    /// and one plain store (see the module docs).
+    #[inline]
+    pub fn enter(&self) -> SpanGuard<'_> {
+        let start = if crate::enabled()
+            && (crate::tracing_on() || tick_site(&self.ticker))
+        {
+            Some(now_ticks())
+        } else {
+            None
+        };
+        SpanGuard {
+            handle: self,
+            start,
+        }
+    }
+
+    /// Starts timing unconditionally — no enabled/tracing/sampling gate.
+    ///
+    /// For call sites that hoist the gating decision out of an even hotter
+    /// loop (e.g. the tick engine decides once per tick, then times every
+    /// module run in that tick through this method), so the per-execution
+    /// cost in unsampled ticks is one plain branch instead of several
+    /// atomic loads.
+    #[inline]
+    pub fn enter_forced(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            handle: self,
+            start: Some(now_ticks()),
+        }
+    }
+}
+
+/// Live timer for one execution of a [`SpanHandle`]; records on drop.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'a> {
+    handle: &'a SpanHandle,
+    start: Option<u64>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = ticks_to_ns(now_ticks().saturating_sub(start));
+        self.handle.hist.record(dur_ns);
+        if crate::tracing_on() {
+            let ts_ns = ticks_to_ns(start.saturating_sub(EPOCH_TICKS.load(Ordering::Relaxed)));
+            record_event(TraceEvent {
+                name: Arc::clone(&self.handle.name),
+                cat: self.handle.cat,
+                tid: current_tid(),
+                ts_ns,
+                dur_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_feeds_histogram() {
+        let _guard = crate::tests::flag_lock();
+        let was = crate::set_span_sample_period(1);
+        let hist = Arc::new(Histogram::new());
+        let span = SpanHandle::new("test", "unit", Arc::clone(&hist));
+        for _ in 0..3 {
+            let _g = span.enter();
+        }
+        crate::set_span_sample_period(was);
+        assert_eq!(hist.count(), 3);
+        assert_eq!(span.name(), "unit");
+    }
+
+    #[test]
+    fn sampling_times_one_in_period_executions() {
+        let _guard = crate::tests::flag_lock();
+        let was = crate::set_span_sample_period(4);
+        let hist = Arc::new(Histogram::new());
+        let span = SpanHandle::new("test", "sampled", Arc::clone(&hist));
+        for _ in 0..8 {
+            let _g = span.enter();
+        }
+        crate::set_span_sample_period(was);
+        // Executions 0 and 4 are the sampled ones at period 4.
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn sample_period_rounds_to_a_power_of_two() {
+        let _guard = crate::tests::flag_lock();
+        let was = crate::set_span_sample_period(48);
+        assert_eq!(crate::span_sample_period(), 32);
+        assert_eq!(crate::set_span_sample_period(0), 32);
+        assert_eq!(crate::span_sample_period(), 1);
+        crate::set_span_sample_period(was);
+    }
+
+    #[test]
+    fn tids_are_stable_within_a_thread_and_distinct_across() {
+        let _guard = crate::tests::flag_lock();
+        let a = current_tid();
+        assert_eq!(a, current_tid());
+        let b = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

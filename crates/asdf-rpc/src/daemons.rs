@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use asdf_obs::SpanHandle;
 use parking_lot::Mutex;
 
 use hadoop_logs::parser::LogParser;
@@ -19,6 +20,17 @@ use hadoop_sim::cluster::Cluster;
 
 use crate::transport::{BandwidthStats, Connection};
 use crate::wire::{MessageBuilder, MessageReader, WireError};
+
+/// Builds the latency span for one daemon kind's `poll` calls: every poll
+/// (cluster access + encode + wire accounting + decode) is timed into the
+/// shared `rpc.poll_ns.<kind>` histogram.
+fn poll_span(kind: &'static str) -> SpanHandle {
+    SpanHandle::new(
+        "rpc",
+        format!("{kind}.poll"),
+        asdf_obs::registry().histogram(&format!("rpc.poll_ns.{kind}")),
+    )
+}
 
 /// Shared, thread-safe handle to the simulated cluster.
 ///
@@ -99,6 +111,7 @@ pub struct SadcRpcd {
     node: usize,
     conn: Connection,
     metric_names: Vec<String>,
+    span: SpanHandle,
 }
 
 impl SadcRpcd {
@@ -165,6 +178,7 @@ impl SadcRpcd {
             node,
             conn,
             metric_names,
+            span: poll_span("sadc"),
         })
     }
 
@@ -180,6 +194,7 @@ impl SadcRpcd {
     ///
     /// Returns a [`WireError`] if the response fails to decode.
     pub fn poll(&mut self) -> Result<Option<SadcSnapshot>, WireError> {
+        let _timer = self.span.enter();
         let (t, values) = {
             let node = self.node;
             match self.cluster.with(|c| {
@@ -265,6 +280,7 @@ pub struct HadoopLogRpcd {
     daemon: LogDaemon,
     parser: LogParser,
     conn: Connection,
+    span: SpanHandle,
 }
 
 impl HadoopLogRpcd {
@@ -308,6 +324,7 @@ impl HadoopLogRpcd {
             // bursts, resetting the analysis's confirmation streak.
             parser: LogParser::with_instant_horizon(120),
             conn,
+            span: poll_span("hadoop_log"),
         })
     }
 
@@ -323,6 +340,7 @@ impl HadoopLogRpcd {
     ///
     /// Returns a [`WireError`] if the response fails to decode.
     pub fn poll(&mut self) -> Result<LogSnapshot, WireError> {
+        let _timer = self.span.enter();
         let node = self.node;
         let (t, lines) = self.cluster.with(|c| {
             let lines = match self.daemon {
@@ -391,6 +409,7 @@ pub struct StraceRpcd {
     cluster: ClusterHandle,
     node: usize,
     conn: Connection,
+    span: SpanHandle,
 }
 
 impl StraceRpcd {
@@ -417,6 +436,7 @@ impl StraceRpcd {
             cluster,
             node,
             conn,
+            span: poll_span("strace"),
         })
     }
 
@@ -427,6 +447,7 @@ impl StraceRpcd {
     ///
     /// Returns a [`WireError`] if the response fails to decode.
     pub fn poll(&mut self) -> Result<Option<StraceSnapshot>, WireError> {
+        let _timer = self.span.enter();
         let node = self.node;
         let Some((t, counts)) = self.cluster.with(|c| {
             c.latest_tt_syscalls(node)

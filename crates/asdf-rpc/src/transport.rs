@@ -6,7 +6,38 @@
 //! accounting point: every message sent through it is tallied, and
 //! [`BandwidthStats`] reproduces the table's two columns.
 
+use std::sync::{Arc, OnceLock};
+
 use bytes::Bytes;
+
+/// Process-wide RPC traffic instrumentation, shared by every connection.
+///
+/// [`BandwidthStats`] stays per-connection (it is what Table 4 reports);
+/// these registry-backed handles aggregate the same traffic across all
+/// connections so the observability layer can expose totals and a
+/// message-size distribution.
+struct RpcObs {
+    messages: Arc<asdf_obs::Counter>,
+    bytes: Arc<asdf_obs::Counter>,
+    message_bytes: Arc<asdf_obs::Histogram>,
+    /// Message/byte totals stay exact; the size *distribution* is sampled
+    /// (one message in [`asdf_obs::span_sample_period`]) because exchanges
+    /// run tens of thousands of times per simulated campaign second.
+    size_sampler: asdf_obs::Sampler,
+}
+
+fn rpc_obs() -> &'static RpcObs {
+    static OBS: OnceLock<RpcObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = asdf_obs::registry();
+        RpcObs {
+            messages: reg.counter("rpc.messages_total"),
+            bytes: reg.counter("rpc.bytes_total"),
+            message_bytes: reg.histogram("rpc.message_bytes"),
+            size_sampler: asdf_obs::Sampler::new(),
+        }
+    })
+}
 
 /// Byte counters for one logical RPC connection.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -50,10 +81,19 @@ pub struct Connection {
     /// Fixed protocol overhead added per message, modelling TCP/IP headers
     /// amortized over a one-message segment.
     per_message_overhead: u64,
+    /// Messages/bytes not yet flushed to the global registry counters.
+    /// Exchanges run tens of thousands of times per simulated second, so
+    /// the global atomics are fed in batches (every [`OBS_FLUSH_EVERY`]
+    /// messages and on close/drop) instead of per call; per-connection
+    /// `stats` above remain exact and immediate.
+    pending_msgs: u64,
+    pending_bytes: u64,
 }
 
 /// TCP/IP+Ethernet header bytes for a single-segment message.
 const DEFAULT_PER_MESSAGE_OVERHEAD: u64 = 66;
+/// Flush batched traffic to the global counters every this many messages.
+const OBS_FLUSH_EVERY: u64 = 64;
 /// Bytes exchanged by a TCP three-way handshake + teardown (SYN, SYN-ACK,
 /// ACK, FIN×2, ACK×2 at 66 bytes each, plus options).
 const TCP_SESSION_BYTES: u64 = 7 * 66 + 40;
@@ -69,7 +109,21 @@ impl Connection {
             },
             open: true,
             per_message_overhead: DEFAULT_PER_MESSAGE_OVERHEAD,
+            pending_msgs: 0,
+            pending_bytes: TCP_SESSION_BYTES,
         }
+    }
+
+    /// Pushes batched traffic into the global registry counters.
+    fn flush_obs(&mut self) {
+        if self.pending_msgs == 0 && self.pending_bytes == 0 {
+            return;
+        }
+        let obs = rpc_obs();
+        obs.messages.add(self.pending_msgs);
+        obs.bytes.add(self.pending_bytes);
+        self.pending_msgs = 0;
+        self.pending_bytes = 0;
     }
 
     /// Sends a handshake-phase message (schema exchange); counts toward
@@ -80,7 +134,17 @@ impl Connection {
     /// Panics if the connection is closed.
     pub fn send_handshake(&mut self, msg: &Bytes) {
         assert!(self.open, "send on closed connection");
-        self.stats.static_bytes += msg.len() as u64 + self.per_message_overhead;
+        let wire = msg.len() as u64 + self.per_message_overhead;
+        self.stats.static_bytes += wire;
+        self.pending_msgs += 1;
+        self.pending_bytes += wire;
+        let obs = rpc_obs();
+        if obs.size_sampler.sample() {
+            obs.message_bytes.record(msg.len() as u64);
+        }
+        if self.pending_msgs >= OBS_FLUSH_EVERY {
+            self.flush_obs();
+        }
     }
 
     /// Sends one data-collection request/response pair; counts toward
@@ -91,15 +155,27 @@ impl Connection {
     /// Panics if the connection is closed.
     pub fn exchange(&mut self, request: &Bytes, response: &Bytes) {
         assert!(self.open, "exchange on closed connection");
-        self.stats.call_bytes +=
+        let wire =
             request.len() as u64 + response.len() as u64 + 2 * self.per_message_overhead;
+        self.stats.call_bytes += wire;
         self.stats.iterations += 1;
+        self.pending_msgs += 2;
+        self.pending_bytes += wire;
+        let obs = rpc_obs();
+        if obs.size_sampler.sample() {
+            obs.message_bytes.record(request.len() as u64);
+            obs.message_bytes.record(response.len() as u64);
+        }
+        if self.pending_msgs >= OBS_FLUSH_EVERY {
+            self.flush_obs();
+        }
     }
 
     /// Closes the connection (idempotent); teardown cost was pre-charged at
     /// open.
     pub fn close(&mut self) {
         self.open = false;
+        self.flush_obs();
     }
 
     /// Whether the connection is open.
@@ -110,6 +186,12 @@ impl Connection {
     /// The accumulated byte counters.
     pub fn stats(&self) -> BandwidthStats {
         self.stats
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.flush_obs();
     }
 }
 
@@ -160,6 +242,34 @@ mod tests {
         assert_eq!(s.call_bytes, 10 * expected_per_iter);
         let kb = s.per_iteration_kb();
         assert!((kb - expected_per_iter as f64 / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_feeds_the_global_obs_counters() {
+        // Counters are process-global and monotonic, so other tests in this
+        // binary may add to them concurrently — assert on deltas with >=.
+        let reg = asdf_obs::registry();
+        let msgs0 = reg.counter("rpc.messages_total").get();
+        let bytes0 = reg.counter("rpc.bytes_total").get();
+        let sized0 = reg.histogram("rpc.message_bytes").count();
+
+        // Totals are exact but batched (flushed on close); the size
+        // distribution is sampled, so force the period to 1 for an exact
+        // histogram-count delta too.
+        let was = asdf_obs::set_span_sample_period(1);
+        let mut c = Connection::open();
+        let hello = msg(10);
+        c.send_handshake(&hello);
+        c.exchange(&msg(0), &msg(20));
+        c.close();
+        asdf_obs::set_span_sample_period(was);
+
+        assert!(reg.counter("rpc.messages_total").get() >= msgs0 + 3);
+        assert!(
+            reg.counter("rpc.bytes_total").get()
+                >= bytes0 + hello.len() as u64 + DEFAULT_PER_MESSAGE_OVERHEAD
+        );
+        assert!(reg.histogram("rpc.message_bytes").count() >= sized0 + 3);
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! * `run-config <FILE> [--slaves N] [--secs S] [--fault NAME]` — execute
 //!   a user-supplied configuration file against a simulated cluster and
 //!   print everything the `print` sinks render.
+//! * `fig7` / `fig6` / `ablate` — run the corresponding evaluation
+//!   campaign at smoke scale (overridable with the campaign flags below).
+//!   With `--trace-out PATH`, every module run, RPC poll, and campaign job
+//!   is captured as a span and written as Chrome `trace_event` JSON —
+//!   loadable in `chrome://tracing` or Perfetto. Each campaign subcommand
+//!   ends with the instrumentation summary table on stderr.
+//!
+//! Campaign flags: `--slaves N --secs S --seed X --runs R --window W
+//! --threshold T --k K --threads N --trace-out PATH`.
 //!
 //! Fault names: CPUHog, DiskHog, HADOOP-1036, HADOOP-1152, HADOOP-2080,
 //! PacketLoss.
@@ -27,11 +36,17 @@ use hadoop_sim::faults::{FaultKind, FaultSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: asdf <demo|dump-config|run-config> [options]\n\
+        "usage: asdf <demo|dump-config|run-config|fig7|fig6|ablate> [options]\n\
          \n\
          asdf demo        [--fault NAME] [--slaves N] [--secs S] [--seed X]\n\
          asdf dump-config [--slaves N]\n\
          asdf run-config FILE [--slaves N] [--secs S] [--fault NAME] [--seed X]\n\
+         asdf fig7|fig6|ablate [--slaves N] [--secs S] [--seed X] [--runs R]\n\
+         \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
+         \x20                     [--trace-out PATH]\n\
+         \n\
+         campaign subcommands default to smoke scale; --trace-out writes a\n\
+         Chrome trace_event JSON (chrome://tracing / Perfetto)\n\
          \n\
          faults: CPUHog DiskHog HADOOP-1036 HADOOP-1152 HADOOP-2080 PacketLoss"
     );
@@ -50,19 +65,31 @@ fn parse_fault(name: &str) -> FaultKind {
 
 struct Opts {
     fault: Option<FaultKind>,
-    slaves: usize,
-    secs: u64,
+    slaves: Option<usize>,
+    secs: Option<u64>,
     seed: u64,
     file: Option<String>,
+    runs: Option<usize>,
+    window: Option<usize>,
+    threshold: Option<f64>,
+    k: Option<f64>,
+    threads: usize,
+    trace_out: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         fault: None,
-        slaves: 10,
-        secs: 1200,
+        slaves: None,
+        secs: None,
         seed: 1,
         file: None,
+        runs: None,
+        window: None,
+        threshold: None,
+        k: None,
+        threads: 0,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -74,9 +101,17 @@ fn parse_opts(args: &[String]) -> Opts {
         };
         match a.as_str() {
             "--fault" => o.fault = Some(parse_fault(val("--fault"))),
-            "--slaves" => o.slaves = val("--slaves").parse().unwrap_or_else(|_| usage()),
-            "--secs" => o.secs = val("--secs").parse().unwrap_or_else(|_| usage()),
+            "--slaves" => o.slaves = Some(val("--slaves").parse().unwrap_or_else(|_| usage())),
+            "--secs" => o.secs = Some(val("--secs").parse().unwrap_or_else(|_| usage())),
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--runs" => o.runs = Some(val("--runs").parse().unwrap_or_else(|_| usage())),
+            "--window" => o.window = Some(val("--window").parse().unwrap_or_else(|_| usage())),
+            "--threshold" => {
+                o.threshold = Some(val("--threshold").parse().unwrap_or_else(|_| usage()));
+            }
+            "--k" => o.k = Some(val("--k").parse().unwrap_or_else(|_| usage())),
+            "--threads" => o.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--trace-out" => o.trace_out = Some(val("--trace-out").clone()),
             other if !other.starts_with("--") && o.file.is_none() => {
                 o.file = Some(other.to_owned());
             }
@@ -84,6 +119,40 @@ fn parse_opts(args: &[String]) -> Opts {
         }
     }
     o
+}
+
+impl Opts {
+    /// The campaign configuration for the `fig7`/`fig6`/`ablate`
+    /// subcommands: smoke scale by default (this is an interactive CLI,
+    /// not the harness), with every knob overridable.
+    fn campaign(&self) -> CampaignConfig {
+        let mut cfg = CampaignConfig::smoke();
+        cfg.base_seed = self.seed;
+        cfg.threads = self.threads;
+        if let Some(n) = self.slaves {
+            cfg.slaves = n;
+        }
+        if let Some(s) = self.secs {
+            cfg.run_secs = s;
+        }
+        if let Some(r) = self.runs {
+            cfg.fault_runs = r;
+            cfg.fault_free_runs = r;
+        }
+        if let Some(w) = self.window {
+            cfg.window = w;
+        }
+        if let Some(t) = self.threshold {
+            cfg.bb_threshold = t;
+        }
+        if let Some(k) = self.k {
+            cfg.wb_k = k;
+        }
+        // Keep the fault node and injection point inside the run.
+        cfg.fault_node = cfg.fault_node.min(cfg.slaves.saturating_sub(1));
+        cfg.injection_at = cfg.injection_at.min(cfg.run_secs / 3);
+        cfg
+    }
 }
 
 /// Renders a score series as a sparkline.
@@ -98,11 +167,13 @@ fn sparkline(values: &[f64]) -> String {
 
 fn cmd_demo(o: Opts) {
     let fault = o.fault.unwrap_or(FaultKind::Hadoop1036);
+    let slaves = o.slaves.unwrap_or(10);
+    let secs = o.secs.unwrap_or(1200);
     let cfg = CampaignConfig {
-        slaves: o.slaves,
-        run_secs: o.secs,
-        injection_at: o.secs / 4,
-        fault_node: o.slaves / 2,
+        slaves,
+        run_secs: secs,
+        injection_at: secs / 4,
+        fault_node: slaves / 2,
         base_seed: o.seed,
         consecutive: 2,
         ..CampaignConfig::smoke()
@@ -163,17 +234,20 @@ fn cmd_demo(o: Opts) {
 }
 
 fn cmd_dump_config(o: Opts) {
+    let slaves = o.slaves.unwrap_or(10);
     let cfg = CampaignConfig {
-        slaves: o.slaves,
+        slaves,
         ..CampaignConfig::smoke()
     };
     let model = experiments::train_model(&cfg);
     let builder = AsdfBuilder::new(AsdfOptions::default()).with_model(model);
-    print!("{}", builder.config(o.slaves).render());
+    print!("{}", builder.config(slaves).render());
 }
 
 fn cmd_run_config(o: Opts) {
     let path = o.file.clone().unwrap_or_else(|| usage());
+    let slaves = o.slaves.unwrap_or(10);
+    let secs = o.secs.unwrap_or(1200);
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
@@ -186,13 +260,13 @@ fn cmd_run_config(o: Opts) {
         .fault
         .map(|kind| {
             vec![FaultSpec {
-                node: o.slaves / 2,
+                node: slaves / 2,
                 kind,
-                start_at: o.secs / 4,
+                start_at: secs / 4,
             }]
         })
         .unwrap_or_default();
-    let handle = ClusterHandle::new(Cluster::new(ClusterConfig::new(o.slaves, o.seed), faults));
+    let handle = ClusterHandle::new(Cluster::new(ClusterConfig::new(slaves, o.seed), faults));
     let mut registry = ModuleRegistry::new();
     asdf_modules::register_all(&mut registry, handle);
     let dag = Dag::build(&registry, &config).unwrap_or_else(|e| {
@@ -212,8 +286,8 @@ fn cmd_run_config(o: Opts) {
         .iter()
         .filter_map(|id| engine.tap(id).map(|t| (id.clone(), t)))
         .collect();
-    eprintln!("running `{path}` for {} s over {} simulated nodes...", o.secs, o.slaves);
-    if let Err(e) = engine.run_for(TickDuration::from_secs(o.secs)) {
+    eprintln!("running `{path}` for {secs} s over {slaves} simulated nodes...");
+    if let Err(e) = engine.run_for(TickDuration::from_secs(secs)) {
         eprintln!("runtime error: {e}");
         std::process::exit(1);
     }
@@ -226,6 +300,107 @@ fn cmd_run_config(o: Opts) {
     }
 }
 
+fn cmd_fig7(cfg: &CampaignConfig) {
+    eprintln!(
+        "[fig7] training on {} nodes x {} s, then 6 faults x {} run(s) of {} s on {} worker(s) ...",
+        cfg.slaves,
+        cfg.training_secs,
+        cfg.fault_runs,
+        cfg.run_secs,
+        asdf::campaign::resolve_threads(cfg.threads)
+    );
+    let model = experiments::train_model(cfg);
+    let rows = experiments::fig7(cfg, &model);
+    println!("{}", asdf::report::render_fig7(&rows));
+}
+
+fn cmd_fig6(cfg: &CampaignConfig) {
+    eprintln!(
+        "[fig6] training on {} nodes x {} s, then {} fault-free run(s) of {} s ...",
+        cfg.slaves, cfg.training_secs, cfg.fault_free_runs, cfg.run_secs
+    );
+    let model = experiments::train_model(cfg);
+    let thresholds: Vec<f64> = (0..=14).map(|i| i as f64 * 5.0).collect();
+    println!(
+        "{}",
+        asdf::report::render_sweep(
+            "Figure 6(a): black-box false-positive rate vs L1 threshold",
+            "threshold",
+            &experiments::fig6a(cfg, &model, &thresholds)
+        )
+    );
+    let ks: Vec<f64> = (0..=10).map(|i| i as f64 * 0.5).collect();
+    println!(
+        "{}",
+        asdf::report::render_sweep(
+            "Figure 6(b): white-box false-positive rate vs k",
+            "k",
+            &experiments::fig6b(cfg, &model, &ks)
+        )
+    );
+}
+
+fn cmd_ablate(cfg: &CampaignConfig) {
+    use asdf::experiments::AblationKnob;
+    let fault = FaultKind::Hadoop1036;
+    eprintln!(
+        "[ablate] {} nodes, {} s runs, fault {fault}; sweeping window / consecutive ...",
+        cfg.slaves, cfg.run_secs
+    );
+    for (knob, values) in [
+        (AblationKnob::Window, &[30.0, 60.0, 120.0][..]),
+        (AblationKnob::Consecutive, &[1.0, 2.0, 3.0][..]),
+    ] {
+        println!("=== {} ===", knob.name());
+        for r in experiments::ablate(cfg, knob, values, fault) {
+            let lat = r
+                .latency
+                .map(|s| format!("{s}s"))
+                .unwrap_or_else(|| "--".to_owned());
+            println!(
+                "{:>12} | BA {:>5.1}% | latency {:>6} | FP {:>5.2}%",
+                r.value, r.ba_combined, lat, r.fp_rate
+            );
+        }
+    }
+}
+
+/// Runs a campaign subcommand under the observability exporters: optional
+/// Chrome-trace capture around `body`, then the instrumentation summary
+/// table on stderr.
+fn with_exporters(trace_out: Option<&str>, body: impl FnOnce()) {
+    if trace_out.is_some() {
+        asdf_obs::start_tracing(asdf_obs::DEFAULT_TRACE_CAPACITY);
+    }
+    body();
+    if let Some(path) = trace_out {
+        let (events, dropped) = asdf_obs::stop_tracing();
+        let text = asdf_obs::export::render_chrome_trace(&events);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        match asdf_obs::export::validate_chrome_trace(&text) {
+            Ok(check) => eprintln!(
+                "trace: {} events / {} threads / {} span names -> {path}{}",
+                check.n_events,
+                check.n_threads,
+                check.n_names,
+                if dropped > 0 {
+                    format!(" ({dropped} dropped at capacity)")
+                } else {
+                    String::new()
+                }
+            ),
+            Err(e) => {
+                eprintln!("internal error: exported trace failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprint!("{}", asdf_obs::export::render_summary(&asdf_obs::registry().snapshot()));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -234,6 +409,16 @@ fn main() {
         "demo" => cmd_demo(opts),
         "dump-config" => cmd_dump_config(opts),
         "run-config" => cmd_run_config(opts),
+        "fig7" | "fig6" | "ablate" => {
+            let cfg = opts.campaign();
+            let trace_out = opts.trace_out.clone();
+            let run: Box<dyn FnOnce()> = match cmd.as_str() {
+                "fig7" => Box::new(move || cmd_fig7(&cfg)),
+                "fig6" => Box::new(move || cmd_fig6(&cfg)),
+                _ => Box::new(move || cmd_ablate(&cfg)),
+            };
+            with_exporters(trace_out.as_deref(), run);
+        }
         _ => usage(),
     }
 }

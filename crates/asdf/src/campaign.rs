@@ -7,8 +7,35 @@
 //! campaign produces byte-identical output no matter how many workers it
 //! uses — including one, where it degrades to a plain serial loop.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use asdf_obs::SpanHandle;
+
+/// Registry handles for pool telemetry, resolved once per process.
+struct PoolObs {
+    jobs_total: Arc<asdf_obs::Counter>,
+    job_ns: Arc<asdf_obs::Histogram>,
+    workers: Arc<asdf_obs::Gauge>,
+    /// Percentage of worker wall-time spent inside jobs over the last
+    /// `run_indexed` call — near 100 means the pool kept every worker busy.
+    utilization_pct: Arc<asdf_obs::Gauge>,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: OnceLock<PoolObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = asdf_obs::registry();
+        PoolObs {
+            jobs_total: reg.counter("campaign.jobs_total"),
+            job_ns: reg.histogram("campaign.job_ns"),
+            workers: reg.gauge("campaign.workers"),
+            utilization_pct: reg.gauge("campaign.worker_utilization_pct"),
+        }
+    })
+}
 
 /// Resolves a requested worker count: `0` means "ask the OS", anything else
 /// is taken literally. Falls back to 1 when parallelism cannot be queried.
@@ -42,11 +69,36 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = resolve_threads(threads).min(jobs);
+    let obs = pool_obs();
+    obs.workers.set(workers as i64);
+    // Runs one job under a per-job span (traceable, feeds campaign.job_ns)
+    // and returns its busy time so the pool can report utilization.
+    let timed_job = |i: usize| -> (T, u64) {
+        let t0 = Instant::now();
+        let value = {
+            let span = SpanHandle::new("campaign", format!("job {i}"), obs.job_ns.clone());
+            let _timer = span.enter();
+            f(i)
+        };
+        obs.jobs_total.inc();
+        (value, t0.elapsed().as_nanos() as u64)
+    };
+    let wall = Instant::now();
     if workers <= 1 {
-        return (0..jobs).map(f).collect();
+        let mut busy_ns = 0u64;
+        let out = (0..jobs)
+            .map(|i| {
+                let (value, ns) = timed_job(i);
+                busy_ns += ns;
+                value
+            })
+            .collect();
+        record_utilization(obs, busy_ns, 1, wall.elapsed().as_nanos() as u64);
+        return out;
     }
 
     let next = AtomicUsize::new(0);
+    let busy_ns = AtomicU64::new(0);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
     slots.resize_with(jobs, || None);
@@ -55,14 +107,17 @@ where
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
-            let f = &f;
+            let busy_ns = &busy_ns;
+            let timed_job = &timed_job;
             scope.spawn(move || {
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs {
                         break;
                     }
-                    if tx.send((i, f(i))).is_err() {
+                    let (value, ns) = timed_job(i);
+                    busy_ns.fetch_add(ns, Ordering::Relaxed);
+                    if tx.send((i, value)).is_err() {
                         break;
                     }
                 }
@@ -73,11 +128,26 @@ where
             slots[i] = Some(value);
         }
     });
+    record_utilization(
+        obs,
+        busy_ns.load(Ordering::Relaxed),
+        workers,
+        wall.elapsed().as_nanos() as u64,
+    );
 
     slots
         .into_iter()
         .map(|slot| slot.expect("every job index produced a result"))
         .collect()
+}
+
+/// Publishes the pool's busy/wall ratio as a percentage gauge.
+fn record_utilization(obs: &PoolObs, busy_ns: u64, workers: usize, wall_ns: u64) {
+    let denom = (workers as u64).saturating_mul(wall_ns);
+    if denom > 0 {
+        let pct = (busy_ns as f64 / denom as f64 * 100.0).round() as i64;
+        obs.utilization_pct.set(pct.clamp(0, 100));
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +179,39 @@ mod tests {
     #[test]
     fn more_workers_than_jobs_is_fine() {
         assert_eq!(run_indexed(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_workers_increment_counters_without_losing_updates() {
+        // Only this test touches this counter name, so the total is exact:
+        // 48 jobs × 100 increments each, racing across 8 workers.
+        let counter = asdf_obs::registry().counter("test.campaign.concurrent_incs");
+        let before = counter.get();
+        run_indexed(48, 8, |i| {
+            for _ in 0..100 {
+                counter.inc();
+            }
+            i
+        });
+        assert_eq!(counter.get(), before + 48 * 100);
+    }
+
+    #[test]
+    fn pool_telemetry_tracks_jobs_and_utilization() {
+        let reg = asdf_obs::registry();
+        let jobs_before = reg.counter("campaign.jobs_total").get();
+        let timed_before = reg.histogram("campaign.job_ns").count();
+        // Time every job span so the histogram-count assertion is exact.
+        let was = asdf_obs::set_span_sample_period(1);
+        run_indexed(12, 3, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            i
+        });
+        asdf_obs::set_span_sample_period(was);
+        // Counters are process-global; other tests may add, so use >=.
+        assert!(reg.counter("campaign.jobs_total").get() >= jobs_before + 12);
+        assert!(reg.histogram("campaign.job_ns").count() >= timed_before + 12);
+        let util = reg.gauge("campaign.worker_utilization_pct").get();
+        assert!((0..=100).contains(&util), "utilization {util}%");
     }
 }

@@ -582,6 +582,89 @@ fn approx_retained_mb(make: impl Fn() -> Box<dyn std::any::Any>) -> f64 {
     ((after - before) / N as f64).max(0.1)
 }
 
+/// Result of the ASDF-on-ASDF self-overhead measurement: the same
+/// evaluation workload timed with the observability layer enabled and
+/// disabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfOverhead {
+    /// Representative wall-clock with instrumentation enabled, seconds:
+    /// [`off_secs`](Self::off_secs) plus the median paired on−off delta.
+    pub on_secs: f64,
+    /// Median wall-clock with instrumentation disabled, seconds.
+    pub off_secs: f64,
+}
+
+impl SelfOverhead {
+    /// Overhead as a percentage of the uninstrumented wall-clock, clamped
+    /// at zero (scheduler jitter can make an "on" rep beat an "off" rep).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_secs <= 0.0 {
+            return 0.0;
+        }
+        ((self.on_secs - self.off_secs) / self.off_secs * 100.0).max(0.0)
+    }
+}
+
+/// Measures the wall-clock cost of the always-on instrumentation by
+/// running one injected evaluation run with the `asdf-obs` layer enabled
+/// vs disabled, `reps` *pairs* of back-to-back runs.
+///
+/// Adjacent runs share the machine's momentary noise regime (frequency
+/// state, background load), so the paired on−off delta isolates the
+/// instrumentation; the pair order alternates every rep so warm-up and
+/// drift cancel, and the median over pairs shrugs off noise bursts that
+/// defeat a min-of-reps comparison. Restores the previous enabled state
+/// before returning.
+pub fn self_overhead(cfg: &CampaignConfig, reps: usize) -> SelfOverhead {
+    let model = train_model(cfg);
+    let workload = || {
+        let t0 = std::time::Instant::now();
+        let tr = run_once(cfg, &model, Some(FaultKind::Hadoop1036), cfg.base_seed + 77);
+        std::hint::black_box(&tr);
+        t0.elapsed().as_secs_f64()
+    };
+    let timed = |on: bool| {
+        asdf_obs::set_enabled(on);
+        workload()
+    };
+    // Warm caches and the allocator with one untimed run.
+    workload();
+
+    let was_enabled = asdf_obs::enabled();
+    let mut deltas = Vec::with_capacity(reps);
+    let mut offs = Vec::with_capacity(reps);
+    for r in 0..reps.max(1) {
+        let (on, off) = if r % 2 == 0 {
+            let on = timed(true);
+            (on, timed(false))
+        } else {
+            let off = timed(false);
+            (timed(true), off)
+        };
+        deltas.push(on - off);
+        offs.push(off);
+    }
+    asdf_obs::set_enabled(was_enabled);
+    let off_secs = median(&mut offs);
+    SelfOverhead {
+        on_secs: off_secs + median(&mut deltas),
+        off_secs,
+    }
+}
+
+/// Median of a sample (mean of the middle two when even-sized).
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = v.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
 /// One row of Table 4: RPC bandwidth of a collector type.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthRow {

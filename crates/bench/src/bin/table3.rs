@@ -13,8 +13,9 @@
 //! read per-process counters); `--threads` only affects campaign-layer
 //! work such as model training.
 
-use asdf::experiments;
+use asdf::experiments::{self, CampaignConfig};
 use asdf::report;
+use asdf_rpc::meter::{process_peak_rss_mb, process_rss_mb};
 
 fn main() {
     let (secs, _threads) =
@@ -33,4 +34,26 @@ fn main() {
     }
     let total: f64 = rows.iter().map(|r| r.cpu_percent).sum();
     println!("  total monitoring overhead: {total:.3}% CPU per monitored node");
+
+    // Whole-process footprint, same /proc meters the rows are built from.
+    if let (Some(rss), Some(peak)) = (process_rss_mb(), process_peak_rss_mb()) {
+        println!("  harness process RSS: {rss:.1} MB (peak {peak:.1} MB)");
+    }
+
+    // ASDF-on-ASDF: what does watching the framework cost the framework?
+    // Same measurement the perfsuite gates at <1% of campaign wall-clock.
+    eprintln!("[table3] instrumentation self-overhead ...");
+    let cfg = CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::smoke()
+    };
+    let ovh = experiments::self_overhead(&cfg, 10);
+    println!(
+        "  asdf-obs self-overhead: {:.3}% of campaign wall-clock \
+         (on {:.4}s / off {:.4}s, gate <1%) -> {}",
+        ovh.overhead_pct(),
+        ovh.on_secs,
+        ovh.off_secs,
+        if ovh.overhead_pct() < 1.0 { "within gate" } else { "OVER GATE" }
+    );
 }

@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn timestamp_parsing() {
-        assert_eq!(parse_timestamp(&line("x")), Some(14 * 3600 + 23 * 60 + 15));
+        assert_eq!(parse_timestamp(line("x")), Some(14 * 3600 + 23 * 60 + 15));
         assert_eq!(parse_timestamp("2008-04-15 00:00:00,000 x"), Some(0));
         assert_eq!(parse_timestamp("garbage"), None);
         assert_eq!(parse_timestamp("2008-04-15 25:00:00,000 x"), None);
@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn map_launch_and_done() {
-        let ev = parse_line(&line(
+        let ev = parse_line(line(
             "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_m_000096_0",
         ))
         .unwrap();
@@ -218,7 +218,7 @@ mod tests {
             (ev.state, ev.edge, ev.failure),
             (HadoopState::MapTask, Edge::Start, false)
         );
-        let ev = parse_line(&line(
+        let ev = parse_line(line(
             "INFO org.apache.hadoop.mapred.TaskTracker: Task task_0001_m_000096_0 is done.",
         ))
         .unwrap();
@@ -228,31 +228,31 @@ mod tests {
 
     #[test]
     fn reduce_lifecycle_events() {
-        let launch = parse_line(&line(
+        let launch = parse_line(line(
             "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_r_000003_0",
         ))
         .unwrap();
         assert_eq!((launch.state, launch.edge), (HadoopState::ReduceTask, Edge::Start));
 
-        let copy = parse_line(&line(
+        let copy = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Copying map outputs",
         ))
         .unwrap();
         assert_eq!((copy.state, copy.edge), (HadoopState::ReduceCopy, Edge::Start));
 
-        let copy_done = parse_line(&line(
+        let copy_done = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Copying of all map outputs complete",
         ))
         .unwrap();
         assert_eq!((copy_done.state, copy_done.edge), (HadoopState::ReduceCopy, Edge::End));
 
-        let sort = parse_line(&line(
+        let sort = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Merging map outputs",
         ))
         .unwrap();
         assert_eq!((sort.state, sort.edge), (HadoopState::ReduceSort, Edge::Start));
 
-        let sort_done = parse_line(&line(
+        let sort_done = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Merge complete, reducing",
         ))
         .unwrap();
@@ -261,7 +261,7 @@ mod tests {
 
     #[test]
     fn failure_lines_end_the_task_state() {
-        let ev = parse_line(&line(
+        let ev = parse_line(line(
             "WARN org.apache.hadoop.mapred.TaskRunner: task_0002_r_000001_3 Map output copy failure: java.io.IOException: failed to rename map output",
         ))
         .unwrap();
@@ -272,32 +272,32 @@ mod tests {
 
     #[test]
     fn datanode_block_events() {
-        let s = parse_line(&line(
+        let s = parse_line(line(
             "INFO org.apache.hadoop.dfs.DataNode: Serving block blk_-42 to /10.1.0.5",
         ))
         .unwrap();
         assert_eq!((s.state, s.edge), (HadoopState::ReadBlock, Edge::Start));
         assert_eq!(s.key, "blk_-42");
 
-        let e = parse_line(&line(
+        let e = parse_line(line(
             "INFO org.apache.hadoop.dfs.DataNode: Served block blk_-42",
         ))
         .unwrap();
         assert_eq!((e.state, e.edge), (HadoopState::ReadBlock, Edge::End));
 
-        let r = parse_line(&line(
+        let r = parse_line(line(
             "INFO org.apache.hadoop.dfs.DataNode: Receiving block blk_7 src: /10.1.0.4",
         ))
         .unwrap();
         assert_eq!((r.state, r.edge), (HadoopState::WriteBlock, Edge::Start));
 
-        let rd = parse_line(&line(
+        let rd = parse_line(line(
             "INFO org.apache.hadoop.dfs.DataNode: Received block blk_7 of size 67108864",
         ))
         .unwrap();
         assert_eq!((rd.state, rd.edge), (HadoopState::WriteBlock, Edge::End));
 
-        let d = parse_line(&line(
+        let d = parse_line(line(
             "INFO org.apache.hadoop.dfs.DataNode: Deleting block blk_9 file dfs/data/current/blk_9",
         ))
         .unwrap();
@@ -313,7 +313,7 @@ mod tests {
             "DEBUG noise",
             "",
         ] {
-            assert_eq!(parse_line(&line(body)), None, "should skip: {body}");
+            assert_eq!(parse_line(line(body)), None, "should skip: {body}");
         }
         // No timestamp at all:
         assert_eq!(parse_line("LaunchTaskAction: task_0001_m_000001_0"), None);
@@ -322,7 +322,7 @@ mod tests {
     #[test]
     fn malformed_attempt_names_are_skipped() {
         assert_eq!(
-            parse_line(&line(
+            parse_line(line(
                 "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_x_000001_0"
             )),
             None

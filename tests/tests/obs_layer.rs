@@ -1,0 +1,124 @@
+//! Integration tests for the `asdf-obs` observability layer: trace
+//! capture over a real end-to-end deployment, Chrome-trace round-trip,
+//! and the end-of-run summary.
+//!
+//! Tests here toggle process-global capture state, so each one that does
+//! runs under [`obs_lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use asdf::experiments::{self, CampaignConfig};
+use asdf_obs::export;
+use hadoop_sim::faults::FaultKind;
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Small deployment: big enough to exercise every layer (collectors,
+/// engine, analyses), small enough for a debug-build test run.
+fn tiny() -> CampaignConfig {
+    CampaignConfig {
+        slaves: 3,
+        run_secs: 150,
+        injection_at: 50,
+        fault_node: 1,
+        training_secs: 120,
+        threads: 1,
+        ..CampaignConfig::smoke()
+    }
+}
+
+/// Captures one injected evaluation run and returns its trace events.
+fn captured_run() -> (Vec<asdf_obs::TraceEvent>, u64) {
+    let cfg = tiny();
+    let model = experiments::train_model(&cfg);
+    asdf_obs::start_tracing(500_000);
+    let tr = experiments::run_once(&cfg, &model, Some(FaultKind::Hadoop1036), cfg.base_seed + 3);
+    std::hint::black_box(&tr);
+    asdf_obs::stop_tracing()
+}
+
+#[test]
+fn exported_trace_round_trips_and_spans_nest() {
+    let _guard = obs_lock();
+    let (events, dropped) = captured_run();
+    assert!(
+        events.len() > 1_000,
+        "a full deployment run should produce thousands of spans, got {}",
+        events.len()
+    );
+    assert_eq!(dropped, 0, "capacity must hold a tiny run");
+
+    // Round-trip: render -> parse -> structural checks, with the same
+    // validator the CLI applies to --trace-out files.
+    let text = export::render_chrome_trace(&events);
+    let check = export::validate_chrome_trace(&text).expect("exported trace validates");
+    assert_eq!(check.n_events, events.len());
+    assert!(check.n_threads >= 1);
+
+    // Per-module spans are present under their instance names, and the
+    // per-tick parent span exists for them to nest under.
+    let names: std::collections::BTreeSet<&str> =
+        events.iter().map(|e| e.name.as_ref()).collect();
+    assert!(names.contains("tick"), "engine tick span missing: {names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("avg_tt_")),
+        "per-module spans missing: {names:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.cat == "rpc"),
+        "collector poll spans missing"
+    );
+
+    // Every module-run span lies inside some tick span on its thread —
+    // the containment chrome://tracing renders as a stack.
+    let ticks: Vec<&asdf_obs::TraceEvent> =
+        events.iter().filter(|e| e.name.as_ref() == "tick").collect();
+    let contained = |e: &asdf_obs::TraceEvent| {
+        ticks.iter().any(|t| {
+            t.tid == e.tid
+                && t.ts_ns <= e.ts_ns
+                && e.ts_ns + e.dur_ns <= t.ts_ns + t.dur_ns
+        })
+    };
+    for ev in events.iter().filter(|e| e.cat == "engine" && e.name.as_ref() != "tick") {
+        assert!(
+            contained(ev),
+            "engine span `{}` at {}ns is not nested in any tick",
+            ev.name,
+            ev.ts_ns
+        );
+    }
+}
+
+#[test]
+fn validator_rejects_a_straddling_span() {
+    // Two intervals on one thread that overlap without containment must
+    // be rejected — this is the property the round-trip test relies on.
+    let bad = r#"{"displayTimeUnit":"ms","traceEvents":[
+        {"name":"a","cat":"t","ph":"X","pid":1,"tid":1,"ts":0,"dur":10},
+        {"name":"b","cat":"t","ph":"X","pid":1,"tid":1,"ts":5,"dur":10}
+    ]}"#;
+    let err = export::validate_chrome_trace(bad).expect_err("straddle must fail");
+    assert!(err.contains("straddles"), "unexpected error: {err}");
+}
+
+#[test]
+fn summary_table_covers_the_deployment_metrics() {
+    let _guard = obs_lock();
+    // Ensure at least one run's worth of metrics exists, then render.
+    let cfg = tiny();
+    let model = experiments::train_model(&cfg);
+    let tr = experiments::run_once(&cfg, &model, None, cfg.base_seed + 4);
+    std::hint::black_box(&tr);
+
+    let summary = export::render_summary(&asdf_obs::registry().snapshot());
+    for needle in ["rpc.messages_total", "rpc.bytes_total", "engine.tick_ns"] {
+        assert!(summary.contains(needle), "summary missing {needle}:\n{summary}");
+    }
+}

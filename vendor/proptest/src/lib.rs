@@ -301,7 +301,7 @@ mod tests {
         ) {
             prop_assert!(a < 5);
             prop_assert!((-1.0..1.0).contains(&x));
-            prop_assert!(flag || !flag);
+            prop_assert!(usize::from(flag) <= 1);
             prop_assert!((2..6).contains(&items.len()));
             prop_assert!(items.iter().all(|&b| b < 10));
         }

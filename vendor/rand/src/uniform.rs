@@ -141,7 +141,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..10_000 {
             let x = rng.gen_range(1e-6f64..1.0);
-            assert!(x >= 1e-6 && x < 1.0, "{x}");
+            assert!((1e-6..1.0).contains(&x), "{x}");
         }
     }
 
