@@ -1,4 +1,4 @@
-//! The deterministic tick engine.
+//! The deterministic tick engine, serial or sharded across a worker pool.
 //!
 //! [`TickEngine`] executes a [`Dag`] in simulated time: each call to
 //! [`TickEngine::tick`] represents one second. Within a tick, nodes are
@@ -7,14 +7,27 @@
 //! is no cross-tick pipeline latency beyond what modules introduce
 //! themselves (buffering, windowing).
 //!
+//! # Sharded execution
+//!
+//! [`TickEngine::with_threads`] shards each tick across a worker pool: a
+//! node becomes runnable once every direct upstream has been visited this
+//! tick, so independent subgraphs (one per monitored node in the paper's
+//! Figure-4 pipelines) advance in parallel and the `analysis_bb` /
+//! `analysis_wb` fan-ins act as a natural per-tick barrier. Emissions are
+//! buffered in per-edge outboxes and merged into each consumer in upstream
+//! topological order, which reproduces the serial engine's queue contents
+//! *exactly* — the sharded engine is bitwise-equivalent to the serial one
+//! (`tests/tests/shard_equivalence.rs` holds the differential harness).
+//!
 //! Determinism is what makes the reproduction's experiments exactly
 //! repeatable; the threaded [`crate::online::OnlineEngine`] runs the same
 //! modules against a wall clock for genuinely online deployments.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
-use asdf_obs::{Gauge, SpanHandle};
+use asdf_obs::{Counter, Gauge, SpanHandle};
 use parking_lot::Mutex;
 
 use crate::dag::{Dag, DagNode};
@@ -51,6 +64,19 @@ impl TapHandle {
         std::mem::take(&mut *self.buffer.lock())
     }
 
+    /// Drains all captured envelopes into `out`, reusing its capacity.
+    ///
+    /// Equivalent to `out.extend(self.drain())` without the intermediate
+    /// allocation: tap-heavy polling loops (the online example's alarm
+    /// listener, the differential test harness) take the lock once and
+    /// append in place. Returns the number of envelopes moved.
+    pub fn drain_into(&self, out: &mut Vec<Envelope>) -> usize {
+        let mut buf = self.buffer.lock();
+        let n = buf.len();
+        out.append(&mut buf);
+        n
+    }
+
     /// Returns a copy of the captured envelopes without removing them.
     pub fn snapshot(&self) -> Vec<Envelope> {
         self.buffer.lock().clone()
@@ -71,12 +97,39 @@ impl TapHandle {
     }
 }
 
+/// Static scheduling facts about one node, shared by every engine worker.
+///
+/// Kept outside the per-node lock so the scheduler can route readiness
+/// without touching node state.
+struct NodePlan {
+    /// Distinct downstream node indices, in first-route order; outbox lane
+    /// `l` of this node feeds `downstreams[l]`.
+    downstreams: Vec<usize>,
+    /// `(upstream node index, upstream outbox lane)` pairs feeding this
+    /// node, ascending by upstream index — i.e. upstream *topological*
+    /// order, which is exactly the order the serial engine delivers in.
+    merge: Vec<(usize, usize)>,
+    /// Number of direct upstreams (`merge.len()`): the per-tick readiness
+    /// countdown starts here.
+    indegree: usize,
+}
+
 struct RuntimeNode {
     node: DagNode,
     queues: Vec<VecDeque<Envelope>>,
     pending: usize,
     next_periodic: Option<Timestamp>,
     taps: Vec<TapHandle>,
+    /// Slot names, precomputed once so `RunCtx` borrows them instead of
+    /// cloning a `Vec<String>` on every run.
+    slot_names: Vec<String>,
+    /// Per output port: `(outbox lane, destination slot)` targets, the
+    /// lane-indexed mirror of `DagNode::routes`.
+    route_map: Vec<Vec<(usize, usize)>>,
+    /// Per-lane buffered emissions `(destination slot, envelope)`, drained
+    /// into the destination when it is visited. Lane order within a tick is
+    /// emission order, so merges reproduce serial delivery order.
+    outbox: Vec<Vec<(usize, Envelope)>>,
     /// Times every `Module::run` into `engine.run_ns.<id>` (and the trace
     /// recorder while capture is on).
     span: SpanHandle,
@@ -123,6 +176,10 @@ struct RuntimeNode {
 /// ```
 pub struct TickEngine {
     nodes: Vec<RuntimeNode>,
+    plan: Vec<NodePlan>,
+    /// Requested engine worker count: `1` = serial, `0` = all available
+    /// parallelism, resolved per [`TickEngine::run_for`] call.
+    threads: usize,
     now: Timestamp,
     scratch: Vec<(PortId, Sample)>,
     /// Wraps each whole [`TickEngine::tick`], so per-module spans nest
@@ -136,18 +193,75 @@ pub struct TickEngine {
 }
 
 impl TickEngine {
-    /// Wraps a constructed DAG in a fresh engine positioned at the epoch.
+    /// Wraps a constructed DAG in a fresh serial engine positioned at the
+    /// epoch. Equivalent to [`TickEngine::with_threads`] with one thread.
     ///
     /// Metric handles are resolved here, once — ticking never touches the
     /// registry. Engines running the same configuration (e.g. campaign
     /// repetitions) share the same named metrics and aggregate.
     pub fn new(dag: Dag) -> Self {
+        TickEngine::with_threads(dag, 1)
+    }
+
+    /// Wraps a constructed DAG in an engine whose [`TickEngine::run_for`]
+    /// shards each tick across `threads` workers (`1` = serial, `0` = all
+    /// available parallelism).
+    ///
+    /// Sharded and serial execution are observably identical — same
+    /// envelope streams, same tap contents, same error attribution — at
+    /// any thread count; the knob only changes wall-clock time.
+    pub fn with_threads(dag: Dag, threads: usize) -> Self {
         let reg = asdf_obs::registry();
+        let n = dag.nodes.len();
+
+        // Routing plan: collapse each node's `(dst, slot)` routes onto
+        // per-downstream outbox lanes, then invert them into per-consumer
+        // merge lists sorted by upstream topological index.
+        let mut plan: Vec<NodePlan> = Vec::with_capacity(n);
+        let mut route_maps: Vec<Vec<Vec<(usize, usize)>>> = Vec::with_capacity(n);
+        for node in &dag.nodes {
+            let mut downstreams: Vec<usize> = Vec::new();
+            let route_map = node
+                .routes
+                .iter()
+                .map(|targets| {
+                    targets
+                        .iter()
+                        .map(|&(dst, slot)| {
+                            let lane = downstreams
+                                .iter()
+                                .position(|&d| d == dst)
+                                .unwrap_or_else(|| {
+                                    downstreams.push(dst);
+                                    downstreams.len() - 1
+                                });
+                            (lane, slot)
+                        })
+                        .collect()
+                })
+                .collect();
+            route_maps.push(route_map);
+            plan.push(NodePlan {
+                downstreams,
+                merge: Vec::new(),
+                indegree: 0,
+            });
+        }
+        for u in 0..n {
+            for (lane, dst) in plan[u].downstreams.clone().into_iter().enumerate() {
+                debug_assert!(dst > u, "DAG routes must point topologically forward");
+                plan[dst].merge.push((u, lane));
+            }
+        }
+        for p in &mut plan {
+            p.indegree = p.merge.len();
+        }
+
         let nodes = dag
             .nodes
             .into_iter()
-            .map(|node| {
-                let n_slots = node.slots.len();
+            .zip(&plan)
+            .map(|(node, p)| {
                 let span = SpanHandle::new(
                     "engine",
                     node.id.as_str(),
@@ -156,10 +270,13 @@ impl TickEngine {
                 let queue_gauge = reg.gauge(&format!("engine.queue_depth.{}", node.id));
                 RuntimeNode {
                     next_periodic: node.schedule.periodic.map(|_| Timestamp::EPOCH),
-                    node,
-                    queues: vec![VecDeque::new(); n_slots],
+                    queues: vec![VecDeque::new(); node.slots.len()],
                     pending: 0,
                     taps: Vec::new(),
+                    slot_names: node.slots.iter().map(|s| s.name.clone()).collect(),
+                    route_map: route_maps.remove(0),
+                    outbox: vec![Vec::new(); p.downstreams.len()],
+                    node,
                     span,
                     queue_gauge,
                 }
@@ -167,6 +284,8 @@ impl TickEngine {
             .collect();
         TickEngine {
             nodes,
+            plan,
+            threads,
             now: Timestamp::EPOCH,
             scratch: Vec::new(),
             tick_span: SpanHandle::new("engine", "tick", reg.histogram("engine.tick_ns")),
@@ -180,6 +299,18 @@ impl TickEngine {
         self.now
     }
 
+    /// The requested engine worker count (`0` = all available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Changes the engine worker count for subsequent
+    /// [`TickEngine::run_for`] calls (`1` = serial, `0` = all available
+    /// parallelism). Results are identical at any setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
     /// Registers a tap on the instance with id `id`, returning a handle that
     /// will capture every envelope the instance emits from now on.
     ///
@@ -191,7 +322,7 @@ impl TickEngine {
         Some(handle)
     }
 
-    /// Executes one second of simulated time.
+    /// Executes one second of simulated time on the calling thread.
     ///
     /// Every node whose periodic timer is due runs with
     /// [`RunReason::Periodic`]; every node whose pending input count reaches
@@ -206,100 +337,410 @@ impl TickEngine {
     pub fn tick(&mut self) -> Result<(), RunEngineError> {
         self.obs_this_tick = asdf_obs::enabled()
             && (asdf_obs::tracing_on() || self.tick_sampler.sample());
+        let obs = self.obs_this_tick;
         let tick_span = self.tick_span.clone();
-        let _tick_timer = self.obs_this_tick.then(|| tick_span.enter_forced());
+        let _tick_timer = obs.then(|| tick_span.enter_forced());
         let now = self.now;
-        for idx in 0..self.nodes.len() {
-            // Periodic run, if due.
-            let due = matches!(self.nodes[idx].next_periodic, Some(due) if due <= now);
-            if due {
-                let period = self.nodes[idx]
-                    .node
-                    .schedule
-                    .periodic
-                    .expect("next_periodic implies periodic schedule");
-                self.nodes[idx].next_periodic = Some(now + period);
-                self.run_node(idx, now, RunReason::Periodic)?;
-            }
-
-            // Input-triggered run, if enough samples accumulated.
-            let trigger = self.nodes[idx].node.schedule.input_trigger;
-            if trigger > 0 && self.nodes[idx].pending >= trigger {
-                self.run_node(idx, now, RunReason::InputsReady)?;
-            }
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = (0..self.nodes.len()).try_for_each(|idx| {
+            self.deliver_inbox(idx);
+            visit_node(&mut self.nodes[idx], now, obs, &mut scratch)
+        });
+        self.scratch = scratch;
+        result?;
         self.now = self.now.next();
         Ok(())
     }
 
-    /// Runs [`TickEngine::tick`] once per second for `span`.
+    /// Drains every upstream outbox lane feeding `idx` into its input
+    /// queues, in upstream topological order (serial path).
+    fn deliver_inbox(&mut self, idx: usize) {
+        let merge = &self.plan[idx].merge;
+        if merge.is_empty() {
+            return;
+        }
+        // Upstreams always precede their consumers in topo order, so the
+        // split gives us the consumer plus every producer disjointly.
+        let (producers, rest) = self.nodes.split_at_mut(idx);
+        let dst = &mut rest[0];
+        for &(u, lane) in merge {
+            for (slot, env) in producers[u].outbox[lane].drain(..) {
+                dst.queues[slot].push_back(env);
+                dst.pending += 1;
+            }
+        }
+    }
+
+    /// Runs [`TickEngine::tick`] once per second for `span`, sharding each
+    /// tick across the configured worker count when it exceeds one.
     ///
     /// # Errors
     ///
-    /// Stops at, and returns, the first module failure.
+    /// Stops at, and returns, the first module failure — attributed to the
+    /// topologically-first failing instance, exactly as the serial engine
+    /// reports it. (When sharded, the remaining nodes of the failing tick
+    /// still complete their visits before the error is surfaced; the engine
+    /// should be discarded either way.)
     pub fn run_for(&mut self, span: TickDuration) -> Result<(), RunEngineError> {
-        for _ in 0..span.as_secs() {
-            self.tick()?;
+        let ticks = span.as_secs();
+        let workers = resolve_engine_threads(self.threads).min(self.nodes.len().max(1));
+        if workers <= 1 {
+            for _ in 0..ticks {
+                self.tick()?;
+            }
+            return Ok(());
         }
-        Ok(())
+        self.run_sharded(ticks, workers)
     }
 
-    fn run_node(
-        &mut self,
-        idx: usize,
-        now: Timestamp,
-        reason: RunReason,
-    ) -> Result<(), RunEngineError> {
-        debug_assert!(self.scratch.is_empty());
-        let obs_this_tick = self.obs_this_tick;
-        let mut emitted = std::mem::take(&mut self.scratch);
-        {
-            let rt = &mut self.nodes[idx];
-            // Queue depth peaks right before a run consumes the backlog, so
-            // one set here captures the high-water mark without a gauge
-            // write on every single delivery in the routing loop below.
-            if obs_this_tick {
-                rt.queue_gauge.set(rt.pending as i64);
+    /// The sharded `run_for` body: spawns `workers - 1` scoped workers
+    /// (the calling thread is worker 0) that live for the whole run, and
+    /// drives one readiness wavefront per tick.
+    fn run_sharded(&mut self, ticks: u64, workers: usize) -> Result<(), RunEngineError> {
+        let reg = asdf_obs::registry();
+        reg.gauge("engine.shard.workers").set(workers as i64);
+        // Nodes move behind per-node locks for the duration of the run;
+        // O(n) moves per run_for, nothing per tick.
+        let cells: Vec<Mutex<RuntimeNode>> = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let run = ShardRun {
+            nodes: &cells,
+            plan: &self.plan,
+            remaining: self.plan.iter().map(|_| AtomicUsize::new(0)).collect(),
+            ready: Mutex::new(VecDeque::with_capacity(cells.len())),
+            visited: AtomicUsize::new(cells.len()),
+            now_secs: AtomicU64::new(0),
+            obs_tick: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            gate: StdMutex::new(()),
+            gate_cv: Condvar::new(),
+            error: Mutex::new(None),
+            ready_depth: reg.gauge("engine.shard.ready_depth"),
+            drain_span: (0..workers)
+                .map(|w| {
+                    SpanHandle::new(
+                        "engine",
+                        format!("shard{w}"),
+                        reg.histogram(&format!("engine.shard.drain_ns.w{w}")),
+                    )
+                })
+                .collect(),
+            visit_count: (0..workers)
+                .map(|w| reg.counter(&format!("engine.shard.visits.w{w}")))
+                .collect(),
+        };
+        let result = std::thread::scope(|s| {
+            {
+                let run = &run;
+                for w in 1..workers {
+                    s.spawn(move || run.worker_loop(w));
+                }
             }
-            let slot_names: Vec<String> =
-                rt.node.slots.iter().map(|s| s.name.clone()).collect();
-            let mut ctx = RunCtx {
-                now,
-                slot_names: &slot_names,
-                queues: &mut rt.queues,
-                emitted: &mut emitted,
-                n_outputs: rt.node.outputs.len(),
-            };
-            let result = {
-                let _timer = obs_this_tick.then(|| rt.span.enter_forced());
-                rt.node.module.run(&mut ctx, reason)
-            };
-            rt.pending = rt.queues.iter().map(VecDeque::len).sum();
-            if let Err(source) = result {
-                return Err(RunEngineError {
-                    instance: rt.node.id.clone(),
-                    at_secs: now.as_secs(),
-                    source,
-                });
+            // Stop the pool even if a tick below panics, else the scope's
+            // implicit join would hang on the parked workers.
+            let _stop = StopPoolOnDrop(&run);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let mut swap = Vec::new();
+            let mut out = Ok(());
+            for _ in 0..ticks {
+                let obs = asdf_obs::enabled()
+                    && (asdf_obs::tracing_on() || self.tick_sampler.sample());
+                self.obs_this_tick = obs;
+                let tick_span = self.tick_span.clone();
+                let _tick_timer = obs.then(|| tick_span.enter_forced());
+                run.prepare_tick(self.now, obs);
+                run.release_tick();
+                run.drain(0, &mut scratch, &mut swap);
+                if let Some((_, err)) = run.error.lock().take() {
+                    out = Err(err);
+                    break;
+                }
+                self.now = self.now.next();
+            }
+            self.scratch = scratch;
+            out
+        });
+        self.nodes = cells.into_iter().map(Mutex::into_inner).collect();
+        result
+    }
+}
+
+/// Resolves a requested engine worker count (`0` = all available cores).
+fn resolve_engine_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Visits one node for the tick `now`: periodic run if due, then
+/// input-triggered run if enough samples accumulated. Shared verbatim by
+/// the serial and sharded schedulers, so the two paths cannot drift.
+fn visit_node(
+    rt: &mut RuntimeNode,
+    now: Timestamp,
+    obs: bool,
+    scratch: &mut Vec<(PortId, Sample)>,
+) -> Result<(), RunEngineError> {
+    if let Some(due) = rt.next_periodic {
+        if due <= now {
+            let period = rt
+                .node
+                .schedule
+                .periodic
+                .expect("next_periodic implies periodic schedule");
+            rt.next_periodic = Some(now + period);
+            run_module(rt, now, RunReason::Periodic, obs, scratch)?;
+        }
+    }
+    let trigger = rt.node.schedule.input_trigger;
+    if trigger > 0 && rt.pending >= trigger {
+        run_module(rt, now, RunReason::InputsReady, obs, scratch)?;
+    }
+    Ok(())
+}
+
+/// Runs a node's module once and routes its emissions into taps and the
+/// per-lane outboxes (consumed by the destination's next visit).
+fn run_module(
+    rt: &mut RuntimeNode,
+    now: Timestamp,
+    reason: RunReason,
+    obs: bool,
+    emitted: &mut Vec<(PortId, Sample)>,
+) -> Result<(), RunEngineError> {
+    debug_assert!(emitted.is_empty());
+    // Queue depth peaks right before a run consumes the backlog, so one
+    // set here captures the high-water mark without a gauge write on
+    // every single delivery in the merge loop.
+    if obs {
+        rt.queue_gauge.set(rt.pending as i64);
+    }
+    let mut ctx = RunCtx {
+        now,
+        slot_names: &rt.slot_names,
+        queues: &mut rt.queues,
+        emitted,
+        n_outputs: rt.node.outputs.len(),
+    };
+    let result = {
+        let _timer = obs.then(|| rt.span.enter_forced());
+        rt.node.module.run(&mut ctx, reason)
+    };
+    rt.pending = rt.queues.iter().map(VecDeque::len).sum();
+    if let Err(source) = result {
+        emitted.clear();
+        return Err(RunEngineError {
+            instance: rt.node.id.clone(),
+            at_secs: now.as_secs(),
+            source,
+        });
+    }
+    for (port, sample) in emitted.drain(..) {
+        let env = Envelope {
+            source: Arc::clone(&rt.node.outputs[port.index()]),
+            sample,
+        };
+        for tap in &rt.taps {
+            tap.push(env.clone());
+        }
+        for &(lane, slot) in &rt.route_map[port.index()] {
+            rt.outbox[lane].push((slot, env.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Shared scheduler state for one sharded `run_for` call.
+///
+/// Each tick is a readiness wavefront: `remaining[idx]` counts unvisited
+/// direct upstreams; when it hits zero the node enters `ready`, a worker
+/// merges its inbox (upstream topo order) and visits it, then decrements
+/// its consumers. `visited == n` ends the tick. Lock order is always
+/// consumer-then-producer along DAG edges, which is acyclic, so the
+/// per-node locks cannot deadlock.
+struct ShardRun<'a> {
+    nodes: &'a [Mutex<RuntimeNode>],
+    plan: &'a [NodePlan],
+    remaining: Vec<AtomicUsize>,
+    ready: Mutex<VecDeque<usize>>,
+    visited: AtomicUsize,
+    now_secs: AtomicU64,
+    obs_tick: AtomicBool,
+    /// Tick generation: workers drain once per increment.
+    generation: AtomicU64,
+    shutdown: AtomicBool,
+    gate: StdMutex<()>,
+    gate_cv: Condvar,
+    /// First failure of the tick, kept at the smallest node index so the
+    /// attribution matches the serial engine's first-in-topo-order stop.
+    error: Mutex<Option<(usize, RunEngineError)>>,
+    /// `engine.shard.ready_depth` high-water: instantaneous runnable-set
+    /// size, a direct read on how much parallelism the DAG exposes.
+    ready_depth: Arc<Gauge>,
+    /// Per-worker drain timers, `engine.shard.drain_ns.w<i>`.
+    drain_span: Vec<SpanHandle>,
+    /// Per-worker visit totals, `engine.shard.visits.w<i>`: the
+    /// load-balance picture across shards.
+    visit_count: Vec<Arc<Counter>>,
+}
+
+impl ShardRun<'_> {
+    /// Resets the wavefront for the tick carrying `now`. Must be called
+    /// between [`ShardRun::release_tick`]s, when no undrained generation
+    /// exists (`visited == n` and the ready queue is empty).
+    fn prepare_tick(&self, now: Timestamp, obs: bool) {
+        self.now_secs.store(now.as_secs(), SeqCst);
+        self.obs_tick.store(obs, SeqCst);
+        self.visited.store(0, SeqCst);
+        for (r, p) in self.remaining.iter().zip(self.plan) {
+            r.store(p.indegree, SeqCst);
+        }
+        // Seeding the roots goes last: a straggler worker still inside the
+        // previous drain may legally pop them early, and by then every
+        // field above is already consistent for the new tick.
+        let mut q = self.ready.lock();
+        debug_assert!(q.is_empty());
+        for (idx, p) in self.plan.iter().enumerate() {
+            if p.indegree == 0 {
+                q.push_back(idx);
             }
         }
-        // Route emissions to downstream queues and taps.
-        for (port, sample) in emitted.drain(..) {
-            let env = Envelope {
-                source: Arc::clone(&self.nodes[idx].node.outputs[port.index()]),
-                sample,
-            };
-            for tap in &self.nodes[idx].taps {
-                tap.push(env.clone());
+    }
+
+    /// Publishes the prepared tick to the worker pool.
+    fn release_tick(&self) {
+        let _g = self.gate.lock().expect("engine gate never poisoned");
+        self.generation.fetch_add(1, SeqCst);
+        self.gate_cv.notify_all();
+    }
+
+    /// Wakes every worker into pool shutdown. Idempotent.
+    fn stop_workers(&self) {
+        let _g = self.gate.lock().expect("engine gate never poisoned");
+        self.shutdown.store(true, SeqCst);
+        self.gate_cv.notify_all();
+    }
+
+    /// Body of workers 1..n: drain one wavefront per generation, spinning
+    /// briefly between ticks (the inter-tick gap is microseconds) before
+    /// parking on the gate.
+    fn worker_loop(&self, w: usize) {
+        let mut scratch = Vec::new();
+        let mut swap = Vec::new();
+        let mut seen = 0u64;
+        let mut spins: u32 = 0;
+        loop {
+            if self.shutdown.load(SeqCst) {
+                return;
             }
-            let targets = self.nodes[idx].node.routes[port.index()].clone();
-            for (dst, slot) in targets {
-                self.nodes[dst].queues[slot].push_back(env.clone());
-                self.nodes[dst].pending += 1;
+            let gen = self.generation.load(SeqCst);
+            if gen != seen {
+                seen = gen;
+                spins = 0;
+                self.drain(w, &mut scratch, &mut swap);
+                continue;
+            }
+            if spins < 1 << 14 {
+                spins += 1;
+                std::hint::spin_loop();
+                if spins & 63 == 0 {
+                    std::thread::yield_now();
+                }
+            } else {
+                let mut g = self.gate.lock().expect("engine gate never poisoned");
+                while !self.shutdown.load(SeqCst) && self.generation.load(SeqCst) == seen {
+                    g = self.gate_cv.wait(g).expect("engine gate never poisoned");
+                }
+                spins = 0;
             }
         }
-        self.scratch = emitted;
-        Ok(())
+    }
+
+    /// Processes ready nodes until the current tick's wavefront completes.
+    fn drain(
+        &self,
+        w: usize,
+        scratch: &mut Vec<(PortId, Sample)>,
+        swap: &mut Vec<(usize, Envelope)>,
+    ) {
+        let n = self.nodes.len();
+        let _timer = self.obs_tick.load(SeqCst).then(|| self.drain_span[w].enter_forced());
+        let mut visits = 0u64;
+        let mut idle: u32 = 0;
+        loop {
+            let next = self.ready.lock().pop_front();
+            let Some(idx) = next else {
+                if self.visited.load(SeqCst) >= n || self.shutdown.load(SeqCst) {
+                    break;
+                }
+                idle += 1;
+                std::hint::spin_loop();
+                if idle & 15 == 0 {
+                    std::thread::yield_now();
+                }
+                continue;
+            };
+            idle = 0;
+            visits += 1;
+            // Tick context is re-read per node, not cached per drain: a
+            // straggler drain may pick up the *next* tick's roots (pushed
+            // by prepare_tick before the generation bump) and must stamp
+            // them with the new tick's time.
+            let now = Timestamp::from_secs(self.now_secs.load(SeqCst));
+            let obs = self.obs_tick.load(SeqCst);
+            {
+                let mut rt = self.nodes[idx].lock();
+                // Merge the inbox in upstream topo order — every upstream
+                // has already been visited this tick, so its lock is only
+                // ever contended by sibling consumers, transiently.
+                for &(u, lane) in &self.plan[idx].merge {
+                    debug_assert!(u < idx);
+                    {
+                        let mut up = self.nodes[u].lock();
+                        std::mem::swap(&mut up.outbox[lane], swap);
+                    }
+                    for (slot, env) in swap.drain(..) {
+                        rt.queues[slot].push_back(env);
+                        rt.pending += 1;
+                    }
+                }
+                if let Err(err) = visit_node(&mut rt, now, obs, scratch) {
+                    let mut slot = self.error.lock();
+                    if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        *slot = Some((idx, err));
+                    }
+                }
+            }
+            for &d in &self.plan[idx].downstreams {
+                if self.remaining[d].fetch_sub(1, SeqCst) == 1 {
+                    let mut q = self.ready.lock();
+                    q.push_back(d);
+                    if obs {
+                        self.ready_depth.set(q.len() as i64);
+                    }
+                }
+            }
+            self.visited.fetch_add(1, SeqCst);
+        }
+        if visits > 0 {
+            self.visit_count[w].add(visits);
+        }
+    }
+}
+
+/// Shuts the worker pool down when dropped, including on unwind.
+struct StopPoolOnDrop<'a, 'b>(&'a ShardRun<'b>);
+
+impl Drop for StopPoolOnDrop<'_, '_> {
+    fn drop(&mut self) {
+        self.0.stop_workers();
     }
 }
 
@@ -307,6 +748,7 @@ impl std::fmt::Debug for TickEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TickEngine")
             .field("now", &self.now)
+            .field("threads", &self.threads)
             .field("nodes", &self.nodes.len())
             .finish()
     }
@@ -401,8 +843,12 @@ mod tests {
     }
 
     fn engine(cfg: &str) -> TickEngine {
+        engine_with_threads(cfg, 1)
+    }
+
+    fn engine_with_threads(cfg: &str, threads: usize) -> TickEngine {
         let cfg: Config = cfg.parse().unwrap();
-        TickEngine::new(Dag::build(&registry(), &cfg).unwrap())
+        TickEngine::with_threads(Dag::build(&registry(), &cfg).unwrap(), threads)
     }
 
     #[test]
@@ -467,6 +913,19 @@ mod tests {
     }
 
     #[test]
+    fn sharded_failure_matches_serial_attribution() {
+        // Two independent failing chains: the reported error must name the
+        // topologically-first one, exactly as the serial engine does.
+        let cfg = "[failat]\nid = f1\nat = 3\n\n[failat]\nid = f2\nat = 3\n";
+        let serial = engine(cfg).run_for(TickDuration::from_secs(10)).unwrap_err();
+        let sharded = engine_with_threads(cfg, 4)
+            .run_for(TickDuration::from_secs(10))
+            .unwrap_err();
+        assert_eq!(serial.instance, sharded.instance);
+        assert_eq!(serial.at_secs, sharded.at_secs);
+    }
+
+    #[test]
     fn tap_on_unknown_instance_is_none() {
         let mut eng = engine("[source]\nid = s\n");
         assert!(eng.tap("ghost").is_none());
@@ -483,6 +942,25 @@ mod tests {
         assert_eq!(tap_a.snapshot().len(), 2);
         tap_a.drain();
         assert!(tap_a.is_empty());
+    }
+
+    #[test]
+    fn drain_into_moves_and_appends() {
+        let mut eng = engine("[source]\nid = s\n");
+        let tap = eng.tap("s").unwrap();
+        eng.run_for(TickDuration::from_secs(3)).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(tap.drain_into(&mut buf), 3);
+        assert!(tap.is_empty());
+        eng.run_for(TickDuration::from_secs(2)).unwrap();
+        // Appends after existing contents, returns only the new count.
+        assert_eq!(tap.drain_into(&mut buf), 2);
+        assert_eq!(buf.len(), 5);
+        let values: Vec<i64> = buf
+            .iter()
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        assert_eq!(values, [1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -514,5 +992,82 @@ mod tests {
         eng.run_for(TickDuration::from_secs(3)).unwrap();
         assert_eq!(t1.len(), 3);
         assert_eq!(t2.len(), 3);
+    }
+
+    /// A fan-in DAG exercising every scheduler feature at once: two
+    /// periodic sources at different rates, relays, a trigger-batched
+    /// fan-in, and a shared consumer.
+    const FAN_IN_CFG: &str = "\
+[source]
+id = s1
+
+[source]
+id = s2
+period = 2
+
+[acc]
+id = r1
+input[i] = s1.out
+
+[acc]
+id = r2
+input[i] = s2.out
+
+[acc]
+id = join
+trigger = 3
+input[a] = r1.total
+input[b] = r2.total
+
+[acc]
+id = sink
+input[i] = join.total
+";
+
+    #[test]
+    fn sharded_streams_match_serial_bitwise() {
+        let ids = ["s1", "s2", "r1", "r2", "join", "sink"];
+        let reference: Vec<Vec<Envelope>> = {
+            let mut eng = engine(FAN_IN_CFG);
+            let taps: Vec<_> = ids.iter().map(|id| eng.tap(id).unwrap()).collect();
+            eng.run_for(TickDuration::from_secs(25)).unwrap();
+            taps.iter().map(TapHandle::drain).collect()
+        };
+        assert!(reference.iter().all(|s| !s.is_empty()));
+        for threads in [2, 4, 8] {
+            let mut eng = engine_with_threads(FAN_IN_CFG, threads);
+            let taps: Vec<_> = ids.iter().map(|id| eng.tap(id).unwrap()).collect();
+            eng.run_for(TickDuration::from_secs(25)).unwrap();
+            let streams: Vec<Vec<Envelope>> = taps.iter().map(TapHandle::drain).collect();
+            assert_eq!(reference, streams, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_resumes_serially_after_run_for() {
+        // tick() on a sharded engine single-steps serially; interleaving
+        // the two modes must not disturb the stream.
+        let mut eng = engine_with_threads(FAN_IN_CFG, 4);
+        let tap = eng.tap("sink").unwrap();
+        eng.run_for(TickDuration::from_secs(10)).unwrap();
+        eng.tick().unwrap();
+        eng.run_for(TickDuration::from_secs(10)).unwrap();
+        let got = tap.drain();
+
+        let mut reference = engine(FAN_IN_CFG);
+        let ref_tap = reference.tap("sink").unwrap();
+        reference.run_for(TickDuration::from_secs(21)).unwrap();
+        assert_eq!(ref_tap.drain(), got);
+    }
+
+    #[test]
+    fn thread_count_zero_resolves_to_available_parallelism() {
+        let mut eng = engine_with_threads("[source]\nid = s\n", 0);
+        assert_eq!(eng.threads(), 0);
+        let tap = eng.tap("s").unwrap();
+        eng.run_for(TickDuration::from_secs(3)).unwrap();
+        assert_eq!(tap.len(), 3);
+        eng.set_threads(2);
+        assert_eq!(eng.threads(), 2);
     }
 }

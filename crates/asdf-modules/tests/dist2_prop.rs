@@ -1,0 +1,86 @@
+//! Property tests pinning `dist2_bounded` to `dist2`.
+//!
+//! The early-exit kernel underpins every nearest-centroid scan (training
+//! k-means and the online knn module), and is the baseline the planned
+//! SIMD kernels must match. Two contracts hold over NaN-free inputs:
+//!
+//! * **bound miss** — when the true distance stays below the bound, the
+//!   bounded kernel completes and its result is *bit-identical* to
+//!   `dist2` (same left-to-right accumulation order);
+//! * **bound hit** — when the running sum reaches the bound, the partial
+//!   sum returned is `>= bound`, which is all `argmin_dist2` relies on to
+//!   discard the candidate.
+
+use asdf_modules::training::{dist2, dist2_bounded};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::Strategy;
+
+/// Paired equal-length vectors of finite components, spanning several
+/// early-exit chunk boundaries (the kernel checks its bound every 16
+/// components).
+fn arb_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..100).prop_flat_map(|len| {
+        (
+            vec(-1.0e3..1.0e3, len..len + 1),
+            vec(-1.0e3..1.0e3, len..len + 1),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn unbounded_is_bit_identical_to_dist2((a, b) in arb_pair()) {
+        let exact = dist2(&a, &b);
+        // An infinite bound can never be hit, so the computation always
+        // completes.
+        prop_assert_eq!(dist2_bounded(&a, &b, f64::INFINITY).to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn bound_miss_completes_bit_identically((a, b) in arb_pair()) {
+        let exact = dist2(&a, &b);
+        // Any bound strictly above the true distance is never reached.
+        let bound = exact + 1.0;
+        prop_assert_eq!(dist2_bounded(&a, &b, bound).to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn bound_hit_returns_at_least_the_bound(
+        (a, b) in arb_pair(),
+        frac in 0.0f64..1.0,
+    ) {
+        let exact = dist2(&a, &b);
+        // A bound at or below the true distance is always hit eventually
+        // (at the latest when the final sum reaches it).
+        let bound = exact * frac;
+        let got = dist2_bounded(&a, &b, bound);
+        prop_assert!(got >= bound, "got {got}, bound {bound}, exact {exact}");
+        // The partial sum never overshoots the completed sum: squared
+        // terms are non-negative, so prefixes are monotone.
+        prop_assert!(got <= exact, "got {got} > exact {exact}");
+    }
+
+    #[test]
+    fn zero_bound_exits_on_the_first_chunk((a, b) in arb_pair()) {
+        let got = dist2_bounded(&a, &b, 0.0);
+        // The first chunk's partial sum already satisfies a zero bound.
+        let first_chunk = a
+            .iter()
+            .zip(&b)
+            .take(16)
+            .map(|(x, y)| (x - y) * (x - y))
+            .fold(0.0f64, |acc, t| acc + t);
+        prop_assert_eq!(got.to_bits(), first_chunk.to_bits());
+    }
+}
+
+#[test]
+fn empty_inputs_are_zero() {
+    assert_eq!(dist2(&[], &[]), 0.0);
+    assert_eq!(dist2_bounded(&[], &[], f64::INFINITY), 0.0);
+    // A zero bound on empty input still returns the (empty) sum.
+    assert_eq!(dist2_bounded(&[], &[], 0.0), 0.0);
+}

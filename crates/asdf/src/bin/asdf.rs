@@ -18,7 +18,10 @@
 //!   ends with the instrumentation summary table on stderr.
 //!
 //! Campaign flags: `--slaves N --secs S --seed X --runs R --window W
-//! --threshold T --k K --threads N --trace-out PATH`.
+//! --threshold T --k K --threads N --engine-threads N --trace-out PATH`.
+//! `--threads` fans independent runs across campaign workers;
+//! `--engine-threads` shards each tick *within* a run across engine
+//! workers (results are identical at any setting of either).
 //!
 //! Fault names: CPUHog, DiskHog, HADOOP-1036, HADOOP-1152, HADOOP-2080,
 //! PacketLoss.
@@ -43,7 +46,7 @@ fn usage() -> ! {
          asdf run-config FILE [--slaves N] [--secs S] [--fault NAME] [--seed X]\n\
          asdf fig7|fig6|ablate [--slaves N] [--secs S] [--seed X] [--runs R]\n\
          \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
-         \x20                     [--trace-out PATH]\n\
+         \x20                     [--engine-threads N] [--trace-out PATH]\n\
          \n\
          campaign subcommands default to smoke scale; --trace-out writes a\n\
          Chrome trace_event JSON (chrome://tracing / Perfetto)\n\
@@ -74,6 +77,7 @@ struct Opts {
     threshold: Option<f64>,
     k: Option<f64>,
     threads: usize,
+    engine_threads: usize,
     trace_out: Option<String>,
 }
 
@@ -89,6 +93,7 @@ fn parse_opts(args: &[String]) -> Opts {
         threshold: None,
         k: None,
         threads: 0,
+        engine_threads: 1,
         trace_out: None,
     };
     let mut it = args.iter();
@@ -111,6 +116,9 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--k" => o.k = Some(val("--k").parse().unwrap_or_else(|_| usage())),
             "--threads" => o.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--engine-threads" => {
+                o.engine_threads = val("--engine-threads").parse().unwrap_or_else(|_| usage());
+            }
             "--trace-out" => o.trace_out = Some(val("--trace-out").clone()),
             other if !other.starts_with("--") && o.file.is_none() => {
                 o.file = Some(other.to_owned());
@@ -129,6 +137,7 @@ impl Opts {
         let mut cfg = CampaignConfig::smoke();
         cfg.base_seed = self.seed;
         cfg.threads = self.threads;
+        cfg.engine_threads = self.engine_threads;
         if let Some(n) = self.slaves {
             cfg.slaves = n;
         }
@@ -291,8 +300,11 @@ fn cmd_run_config(o: Opts) {
         eprintln!("runtime error: {e}");
         std::process::exit(1);
     }
+    let mut buf = Vec::new();
     for (id, tap) in taps {
-        for env in tap.drain() {
+        buf.clear();
+        tap.drain_into(&mut buf);
+        for env in &buf {
             if let Some(line) = env.sample.value.as_text() {
                 println!("{id}: {line}");
             }

@@ -64,6 +64,10 @@ pub struct CampaignConfig {
     /// available parallelism). Campaign output is byte-identical at any
     /// setting; this only changes wall-clock time.
     pub threads: usize,
+    /// Engine worker threads sharding each tick *within* a run (`1` =
+    /// serial, `0` = all available parallelism). Also byte-identical at
+    /// any setting.
+    pub engine_threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -83,6 +87,7 @@ impl Default for CampaignConfig {
             consecutive: 3,
             base_seed: 1,
             threads: 0,
+            engine_threads: 1,
         }
     }
 }
@@ -105,6 +110,7 @@ impl CampaignConfig {
             consecutive: 2,
             base_seed: 11,
             threads: 0,
+            engine_threads: 1,
         }
     }
 
@@ -117,6 +123,7 @@ impl CampaignConfig {
             consecutive: self.consecutive,
             black_box: true,
             white_box: true,
+            engine_threads: self.engine_threads,
         }
     }
 }
@@ -204,11 +211,17 @@ pub fn run_once(
         .expect("campaign pipeline deploys");
     dep.run_for(cfg.run_secs);
 
-    let bb = AnalysisTrace::from_envelopes(&dep.tap("bb").expect("bb tap").drain(), cfg.slaves, "dist");
-    let wb_tt =
-        AnalysisTrace::from_envelopes(&dep.tap("wb_tt").expect("wb tap").drain(), cfg.slaves, "kcrit");
-    let wb_dn =
-        AnalysisTrace::from_envelopes(&dep.tap("wb_dn").expect("wb tap").drain(), cfg.slaves, "kcrit");
+    // One envelope buffer serves all three taps (drain_into reuses its
+    // capacity), instead of three fresh allocations per campaign run.
+    let mut buf = Vec::new();
+    let mut trace = |id: &str, score: &str| {
+        buf.clear();
+        dep.tap(id).expect("analysis tap").drain_into(&mut buf);
+        AnalysisTrace::from_envelopes(&buf, cfg.slaves, score)
+    };
+    let bb = trace("bb", "dist");
+    let wb_tt = trace("wb_tt", "kcrit");
+    let wb_dn = trace("wb_dn", "kcrit");
     RunTraces {
         bb,
         wb: wb_tt.merge_max(&wb_dn),

@@ -46,6 +46,9 @@ pub struct AsdfOptions {
     pub black_box: bool,
     /// Build the white-box path.
     pub white_box: bool,
+    /// Engine worker threads sharding each tick (`1` = serial, `0` = all
+    /// available parallelism). Results are identical at any setting.
+    pub engine_threads: usize,
 }
 
 impl Default for AsdfOptions {
@@ -58,6 +61,7 @@ impl Default for AsdfOptions {
             consecutive: 3,
             black_box: true,
             white_box: true,
+            engine_threads: 1,
         }
     }
 }
@@ -199,7 +203,7 @@ impl AsdfBuilder {
         asdf_modules::register_all(&mut registry, handle.clone());
         let config = self.config(n_nodes);
         let dag = Dag::build(&registry, &config)?;
-        let mut engine = TickEngine::new(dag);
+        let mut engine = TickEngine::with_threads(dag, self.options.engine_threads);
         let mut taps = HashMap::new();
         for id in ["bb", "wb_tt", "wb_dn"] {
             if let Some(tap) = engine.tap(id) {
@@ -324,6 +328,27 @@ mod tests {
         }
         assert_eq!(dep.node_names().len(), 4);
         assert!(dep.config_text().contains("[analysis_bb]"));
+    }
+
+    #[test]
+    fn sharded_deployment_matches_serial() {
+        let run = |threads: usize| {
+            let cluster = Cluster::new(ClusterConfig::new(4, 5), Vec::new());
+            let mut dep = AsdfBuilder::new(AsdfOptions {
+                window: 10,
+                slide: 10,
+                engine_threads: threads,
+                ..AsdfOptions::default()
+            })
+            .with_model(tiny_model())
+            .deploy(cluster)
+            .expect("deploys");
+            dep.run_for(40);
+            ["bb", "wb_tt", "wb_dn"].map(|id| dep.tap(id).unwrap().drain())
+        };
+        let serial = run(1);
+        assert!(serial.iter().all(|s| !s.is_empty()));
+        assert_eq!(serial, run(4));
     }
 
     #[test]

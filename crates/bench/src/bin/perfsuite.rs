@@ -124,6 +124,54 @@ fn main() {
         ovh.on_secs, ovh.off_secs
     );
 
+    // --- Sharded tick engine: online-path speedup -------------------------
+    // One evaluation run at the fig7 cluster size, serial engine vs 4
+    // engine workers. Streams must be identical (the differential suite's
+    // invariant, re-checked here on the timed runs); the >=1.5x speedup
+    // gate only applies where 4 workers can physically exist.
+    eprintln!("[perfsuite] sharded engine, serial vs 4 engine threads ...");
+    let engine_threads = 4usize;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let engine_model = experiments::train_model(&serial_cfg);
+    let engine_run = |threads: usize| {
+        let cfg = CampaignConfig {
+            engine_threads: threads,
+            ..serial_cfg.clone()
+        };
+        let start = Instant::now();
+        let tr = experiments::run_once(
+            &cfg,
+            &engine_model,
+            Some(hadoop_sim::faults::FaultKind::Hadoop1036),
+            cfg.base_seed + 77,
+        );
+        (start.elapsed().as_secs_f64(), tr)
+    };
+    // Warm caches with one untimed run so the pair is comparable.
+    engine_run(1);
+    let (engine_serial_secs, engine_serial_tr) = engine_run(1);
+    let (engine_sharded_secs, engine_sharded_tr) = engine_run(engine_threads);
+    let engine_deterministic = engine_serial_tr.bb == engine_sharded_tr.bb
+        && engine_serial_tr.wb == engine_sharded_tr.wb;
+    assert!(engine_deterministic, "sharded engine changed analysis traces");
+    let engine_speedup = engine_serial_secs / engine_sharded_secs.max(1e-9);
+    eprintln!(
+        "[perfsuite] engine: serial {engine_serial_secs:.3}s, {engine_threads} threads \
+         {engine_sharded_secs:.3}s -> {engine_speedup:.3}x on {cores} core(s)"
+    );
+    if cores >= engine_threads {
+        assert!(
+            engine_speedup >= 1.5,
+            "sharded engine speedup {engine_speedup:.3}x below the 1.5x gate \
+             at {engine_threads} threads on {cores} cores"
+        );
+    } else {
+        eprintln!(
+            "[perfsuite] only {cores} core(s) available — speedup recorded, \
+             1.5x gate not applicable"
+        );
+    }
+
     // --- Analysis kernels -------------------------------------------------
     eprintln!("[perfsuite] analysis kernels ...");
     let data = training_set(4_000);
@@ -192,6 +240,16 @@ fn main() {
     writeln!(json, "    \"obs_off_secs\": {:.4},", ovh.off_secs).unwrap();
     writeln!(json, "    \"overhead_pct\": {overhead_pct:.3},").unwrap();
     writeln!(json, "    \"within_gate\": {within_gate}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"engine\": {{").unwrap();
+    writeln!(json, "    \"cores\": {cores},").unwrap();
+    writeln!(json, "    \"engine_threads\": {engine_threads},").unwrap();
+    writeln!(json, "    \"slaves\": {},", serial_cfg.slaves).unwrap();
+    writeln!(json, "    \"run_secs\": {},", serial_cfg.run_secs).unwrap();
+    writeln!(json, "    \"serial_secs\": {engine_serial_secs:.3},").unwrap();
+    writeln!(json, "    \"sharded_secs\": {engine_sharded_secs:.3},").unwrap();
+    writeln!(json, "    \"speedup\": {engine_speedup:.3},").unwrap();
+    writeln!(json, "    \"deterministic\": {engine_deterministic}").unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"kernels\": {{").unwrap();
     writeln!(json, "    \"classify_1nn_naive_ns\": {naive_ns:.1},").unwrap();

@@ -50,6 +50,7 @@ fn main() {
         consecutive: cfg.consecutive,
         black_box: true,
         white_box: true,
+        engine_threads: 1,
     })
     .with_model(model);
     let config = builder.config(cfg.slaves);

@@ -1,0 +1,25 @@
+# Developer entry points. `just verify` is the PR gate; everything it runs
+# is also available through `scripts/verify.sh` on machines without just.
+
+# Tier-1 recipe plus the sharded-engine differential suite.
+verify:
+    ./scripts/verify.sh
+
+# Tier-1 only: build, tests, lint.
+tier1:
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# The differential equivalence suite on its own (serial vs sharded engine,
+# including a 4-thread pipeline pass and the golden figure fixtures).
+equivalence:
+    cargo test -p integration-tests --test shard_equivalence --test golden_figures
+
+# Regenerate the golden campaign fixtures after an intended result change.
+update-fixtures:
+    UPDATE_FIXTURES=1 cargo test -p integration-tests --test golden_figures
+
+# Refresh BENCH_campaign.json (campaign, self-overhead, engine speedup).
+bench:
+    cargo run -p bench --bin perfsuite --release

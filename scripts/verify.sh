@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# PR gate: the tier-1 recipe plus the sharded-engine differential suite.
+#
+# The equivalence tests run the fingerpointing pipeline at engine thread
+# counts {1, 2, 4, 8} (a dedicated 4-thread pass included) and compare
+# every observable bitwise against the serial engine, so every PR
+# exercises the sharded scheduler even on single-core CI.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "[verify] tier-1: build" >&2
+cargo build --release
+
+echo "[verify] tier-1: tests" >&2
+cargo test -q
+
+echo "[verify] tier-1: clippy -D warnings" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "[verify] differential equivalence suite (--engine-threads 4 pass included)" >&2
+cargo test -p integration-tests --test shard_equivalence --test golden_figures
+
+echo "[verify] OK" >&2

@@ -1,1 +1,8 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The `integration-tests` package's test binaries link this lib; it holds
+//! the reusable differential-harness pieces (synthetic order-sensitive
+//! DAGs, pipeline stream capture, stable JSON rendering for golden
+//! fixtures) so individual test files stay declarative.
 
+pub mod support;

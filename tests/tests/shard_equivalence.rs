@@ -1,0 +1,141 @@
+//! Differential equivalence suite for the sharded `TickEngine`.
+//!
+//! The sharded engine's contract is *bitwise invisibility*: at any worker
+//! count, every observable — raw envelope streams, per-window scores,
+//! alarm sequences, whole figure outputs — must equal the serial engine's
+//! exactly. Each test here runs the same workload serially and sharded
+//! and compares with `==`, never with tolerances.
+
+use asdf::experiments::{self, CampaignConfig};
+use hadoop_sim::faults::FaultKind;
+use integration_tests::support;
+use proptest::prelude::*;
+
+/// Thread counts the ISSUE pins the suite to (1 is the serial reference).
+const THREADS: [usize; 3] = [2, 4, 8];
+
+#[test]
+fn pipeline_envelope_streams_identical_across_threads_and_seeds() {
+    let cfg = support::small_campaign(1);
+    let model = support::small_model(&cfg);
+    for seed in [11u64, 401] {
+        for fault in [None, Some(FaultKind::Hadoop1036)] {
+            let reference = support::pipeline_streams(&cfg, &model, fault, seed);
+            assert!(
+                reference.iter().all(|s| !s.is_empty()),
+                "reference run must produce analysis output (seed {seed})"
+            );
+            for threads in THREADS {
+                let mut sharded = support::small_campaign(threads);
+                sharded.base_seed = cfg.base_seed;
+                let got = support::pipeline_streams(&sharded, &model, fault, seed);
+                assert_eq!(
+                    reference, got,
+                    "envelope stream diverged: seed {seed}, fault {fault:?}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alarm_sequences_and_scores_identical() {
+    // run_once goes through the whole campaign path (deploy, run, trace
+    // extraction); AnalysisTrace equality covers window times, per-node
+    // scores, and alarm booleans at once.
+    let reference = {
+        let cfg = support::small_campaign(1);
+        let model = support::small_model(&cfg);
+        experiments::run_once(&cfg, &model, Some(FaultKind::CpuHog), cfg.base_seed + 7)
+    };
+    assert!(reference.bb.n_windows() > 0);
+    for threads in THREADS {
+        let cfg = support::small_campaign(threads);
+        let model = support::small_model(&cfg);
+        let got = experiments::run_once(&cfg, &model, Some(FaultKind::CpuHog), cfg.base_seed + 7);
+        assert_eq!(reference.bb, got.bb, "bb trace diverged at {threads} threads");
+        assert_eq!(reference.wb, got.wb, "wb trace diverged at {threads} threads");
+        assert_eq!(
+            reference.combined_alarms(),
+            got.combined_alarms(),
+            "combined alarm sequence diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn figure_outputs_identical_under_sharding() {
+    // Whole-figure equality at the two extreme thread counts; the finer
+    // per-stream comparisons above cover the intermediate ones.
+    let serial = support::small_campaign(1);
+    let sharded = support::small_campaign(8);
+    let model_s = support::small_model(&serial);
+    let model_p = support::small_model(&sharded);
+    assert_eq!(model_s, model_p, "training never touches the engine");
+
+    assert_eq!(
+        experiments::fig7(&serial, &model_s),
+        experiments::fig7(&sharded, &model_p),
+        "fig7 rows diverged"
+    );
+    let thresholds = [0.0, 25.0, 50.0];
+    assert_eq!(
+        experiments::fig6a(&serial, &model_s, &thresholds),
+        experiments::fig6a(&sharded, &model_p, &thresholds),
+        "fig6a sweep diverged"
+    );
+    let ks = [0.0, 2.0, 4.0];
+    assert_eq!(
+        experiments::fig6b(&serial, &model_s, &ks),
+        experiments::fig6b(&sharded, &model_p, &ks),
+        "fig6b sweep diverged"
+    );
+}
+
+#[test]
+fn engine_threads_compose_with_campaign_threads() {
+    // Both parallelism layers at once (pool workers × engine workers)
+    // must still be invisible in the results.
+    let reference = CampaignConfig {
+        threads: 1,
+        engine_threads: 1,
+        ..support::small_campaign(1)
+    };
+    let stacked = CampaignConfig {
+        threads: 4,
+        engine_threads: 2,
+        ..support::small_campaign(1)
+    };
+    let model = support::small_model(&reference);
+    assert_eq!(
+        experiments::fig6a(&reference, &model, &[0.0, 50.0]),
+        experiments::fig6a(&stacked, &model, &[0.0, 50.0]),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAG shapes (fan-in/fan-out widths, periods, burst sizes,
+    /// triggers), tick counts, and worker counts: the sharded streams of
+    /// every node must equal the serial ones bitwise. The `mix` nodes'
+    /// non-commutative fold turns any reordering anywhere into a
+    /// different value everywhere downstream.
+    #[test]
+    fn random_dags_are_schedule_invariant(
+        seed in 0u64..1_000_000,
+        ticks in 3u64..40,
+        threads in 2usize..9,
+    ) {
+        let config = support::random_dag_config(seed);
+        let reference = support::run_synthetic(&config, ticks, 1);
+        let sharded = support::run_synthetic(&config, ticks, threads);
+        prop_assert_eq!(
+            &reference, &sharded,
+            "diverged: seed {}, ticks {}, threads {}\nconfig:\n{}",
+            seed, ticks, threads, config
+        );
+        // Roots are periodic with period <= 3, so the run is never empty.
+        prop_assert!(reference.iter().any(|s| !s.is_empty()));
+    }
+}
