@@ -140,13 +140,19 @@ impl Dag {
         }
 
         // Eager validation: types registered, referenced instances exist.
+        // Modules are created up front — a registry miss surfaces as the
+        // registry's own error (which lists the registered types),
+        // propagated rather than re-derived here — and handed to the
+        // worklist below for initialization.
+        let mut created: Vec<Option<Box<dyn Module>>> = Vec::with_capacity(instances.len());
         for inst in instances {
-            if !registry.contains(&inst.module_type) {
-                return Err(BuildDagError::UnknownModuleType {
-                    module_type: inst.module_type.clone(),
+            let module = registry.create(&inst.module_type).map_err(|source| {
+                BuildDagError::UnknownModuleType {
                     instance: inst.id.clone(),
-                });
-            }
+                    source,
+                }
+            })?;
+            created.push(Some(module));
             for (slot, conn) in &inst.inputs {
                 if !id_to_cfg.contains_key(conn.instance()) {
                     return Err(BuildDagError::UnknownInstance {
@@ -224,10 +230,10 @@ impl Dag {
                     resolved.push((slot.clone(), sources));
                 }
 
-                // Create and initialize the module.
-                let mut module = registry
-                    .create(&inst.module_type)
-                    .expect("type validated above");
+                // Initialize the module created during eager validation.
+                let mut module = created[cfg_idx]
+                    .take()
+                    .expect("each instance is created once and initialized once");
                 let mut outputs: Vec<Arc<OutputMeta>> = Vec::new();
                 let mut schedule = ScheduleSpec::default();
                 {

@@ -59,11 +59,15 @@ impl StdError for ParseConfigError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildDagError {
     /// A configured module type has no registered factory.
+    ///
+    /// Wraps the registry's own [`crate::registry::RegistryError`], which names the unknown
+    /// type and lists every registered type, so the message here is
+    /// propagated rather than re-derived.
     UnknownModuleType {
-        /// The unregistered type name.
-        module_type: String,
-        /// The instance that requested it.
+        /// The instance that requested the type.
         instance: String,
+        /// The registry's lookup failure.
+        source: crate::registry::RegistryError,
     },
     /// An input referenced an instance id that does not exist.
     UnknownInstance {
@@ -117,13 +121,9 @@ pub enum BuildDagError {
 impl fmt::Display for BuildDagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildDagError::UnknownModuleType {
-                module_type,
-                instance,
-            } => write!(
-                f,
-                "instance `{instance}` uses unregistered module type `{module_type}`"
-            ),
+            BuildDagError::UnknownModuleType { instance, source } => {
+                write!(f, "instance `{instance}`: {source}")
+            }
             BuildDagError::UnknownInstance {
                 instance,
                 input,
@@ -167,6 +167,7 @@ impl StdError for BuildDagError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             BuildDagError::ModuleInit { source, .. } => Some(source),
+            BuildDagError::UnknownModuleType { source, .. } => Some(source),
             _ => None,
         }
     }

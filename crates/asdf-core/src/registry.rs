@@ -14,6 +14,42 @@ use crate::module::Module;
 
 type Factory = Box<dyn Fn() -> Box<dyn Module> + Send + Sync>;
 
+/// Error returned by [`ModuleRegistry::create`] for an unregistered type.
+///
+/// Carries the requested name and the full sorted list of registered
+/// types, so callers (notably [`crate::dag::Dag::build`]) can propagate
+/// one authoritative message instead of re-deriving their own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError {
+    requested: String,
+    registered: Vec<String>,
+}
+
+impl RegistryError {
+    /// The type name that was requested but not registered.
+    pub fn requested(&self) -> &str {
+        &self.requested
+    }
+
+    /// The registered type names at the time of the failed lookup, sorted.
+    pub fn registered(&self) -> &[String] {
+        &self.registered
+    }
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown module type `{}`; registered types: ", self.requested)?;
+        if self.registered.is_empty() {
+            write!(f, "(none)")
+        } else {
+            write!(f, "{}", self.registered.join(", "))
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 /// A registry of module factories keyed by type name.
 ///
 /// # Examples
@@ -32,7 +68,10 @@ type Factory = Box<dyn Fn() -> Box<dyn Module> + Send + Sync>;
 /// let mut reg = ModuleRegistry::new();
 /// reg.register("noop", || Box::new(Noop));
 /// assert!(reg.contains("noop"));
-/// assert!(reg.create("noop").is_some());
+/// assert!(reg.create("noop").is_ok());
+/// let err = reg.create("typo").err().expect("unknown type");
+/// assert_eq!(err.requested(), "typo");
+/// assert_eq!(err.registered(), ["noop"]);
 /// ```
 #[derive(Default)]
 pub struct ModuleRegistry {
@@ -58,8 +97,19 @@ impl ModuleRegistry {
     }
 
     /// Instantiates a fresh, uninitialized module of the given type.
-    pub fn create(&self, type_name: &str) -> Option<Box<dyn Module>> {
-        self.factories.get(type_name).map(|f| f())
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegistryError`] naming the unknown type and listing the
+    /// registered types when no factory matches.
+    pub fn create(&self, type_name: &str) -> Result<Box<dyn Module>, RegistryError> {
+        match self.factories.get(type_name) {
+            Some(f) => Ok(f()),
+            None => Err(RegistryError {
+                requested: type_name.to_owned(),
+                registered: self.type_names().into_iter().map(str::to_owned).collect(),
+            }),
+        }
     }
 
     /// Whether a factory is registered for `type_name`.
@@ -118,9 +168,21 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert!(reg.contains("a"));
         assert!(!reg.contains("c"));
-        assert!(reg.create("a").is_some());
-        assert!(reg.create("c").is_none());
+        assert!(reg.create("a").is_ok());
+        let err = reg.create("c").err().expect("unknown type");
+        assert_eq!(err.requested(), "c");
+        assert_eq!(err.registered(), ["a", "b"]);
+        let msg = err.to_string();
+        assert!(msg.contains("unknown module type `c`"), "{msg}");
+        assert!(msg.contains("a, b"), "{msg}");
         assert_eq!(reg.type_names(), ["a", "b"]);
+    }
+
+    #[test]
+    fn empty_registry_error_reads_cleanly() {
+        let reg = ModuleRegistry::new();
+        let msg = reg.create("x").err().expect("unknown type").to_string();
+        assert!(msg.contains("(none)"), "{msg}");
     }
 
     #[test]

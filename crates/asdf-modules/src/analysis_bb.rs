@@ -31,6 +31,8 @@ use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
 use asdf_core::value::Sample;
 use hadoop_logs::sync::Aligner;
 
+use crate::kernel::CentroidBlock;
+
 /// Black-box peer-comparison fingerpointer.
 #[derive(Debug)]
 pub struct AnalysisBb {
@@ -43,6 +45,13 @@ pub struct AnalysisBb {
     history: Vec<VecDeque<usize>>,
     anomalous_streak: Vec<usize>,
     rows_since_eval: usize,
+    /// Per-node state histograms, one row per node — contiguous and
+    /// reused (zeroed, not reallocated) every evaluation.
+    hists: CentroidBlock,
+    /// Component-wise median across nodes, reused every evaluation.
+    median_hist: Vec<f64>,
+    /// Per-state column scratch for the median.
+    col: Vec<f64>,
     alarm_ports: Vec<PortId>,
     dist_ports: Vec<PortId>,
 }
@@ -60,6 +69,9 @@ impl AnalysisBb {
             history: Vec::new(),
             anomalous_streak: Vec::new(),
             rows_since_eval: 0,
+            hists: CentroidBlock::default(),
+            median_hist: Vec::new(),
+            col: Vec::new(),
             alarm_ports: Vec::new(),
             dist_ports: Vec::new(),
         }
@@ -127,6 +139,9 @@ impl Module for AnalysisBb {
         self.aligner = Aligner::new(n_nodes);
         self.history = vec![VecDeque::new(); n_nodes];
         self.anomalous_streak = vec![0; n_nodes];
+        self.hists = CentroidBlock::zeroed(self.n_states, n_nodes);
+        self.median_hist = vec![0.0; self.n_states];
+        self.col = Vec::with_capacity(n_nodes);
         Ok(())
     }
 
@@ -163,26 +178,29 @@ impl Module for AnalysisBb {
             }
             self.rows_since_eval = 0;
 
-            // State histograms per node.
-            let mut hists = vec![vec![0.0; self.n_states]; n_nodes];
-            for (hist, h) in hists.iter_mut().zip(&self.history) {
-                for &idx in h.iter() {
+            // State histograms per node, into the reused contiguous rows.
+            self.hists.zero();
+            for node in 0..n_nodes {
+                let hist = self.hists.row_mut(node);
+                for &idx in self.history[node].iter() {
                     hist[idx] += 1.0;
                 }
             }
             // Component-wise median across nodes.
-            let mut median_hist = vec![0.0; self.n_states];
             for s in 0..self.n_states {
-                let mut col: Vec<f64> = hists.iter().map(|h| h[s]).collect();
-                median_hist[s] = median(&mut col);
+                self.col.clear();
+                self.col.extend(self.hists.rows().map(|h| h[s]));
+                self.median_hist[s] = median(&mut self.col);
             }
             // L1 distances and alarms.
             let ts = asdf_core::time::Timestamp::from_secs(t);
             #[allow(clippy::needless_range_loop)] // four parallel per-node arrays
             for node in 0..n_nodes {
-                let l1: f64 = hists[node]
+                let l1: f64 = self
+                    .hists
+                    .row(node)
                     .iter()
-                    .zip(&median_hist)
+                    .zip(&self.median_hist)
                     .map(|(a, b)| (a - b).abs())
                     .sum();
                 let anomalous = l1 > self.threshold;

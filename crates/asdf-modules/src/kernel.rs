@@ -1,0 +1,544 @@
+//! SIMD-friendly squared-distance kernels and the contiguous storage they
+//! read from.
+//!
+//! The black-box analysis is dominated by nearest-centroid scans over
+//! ~120-dimensional metric vectors (paper §4.2: log-scaled 1-NN against
+//! k-means centroids). Two things keep that scan from vectorizing when
+//! centroids live in a `Vec<Vec<f64>>`:
+//!
+//! * every candidate chases a fresh heap pointer, so the scan's memory
+//!   stream is ragged rather than a single linear walk;
+//! * a strict left-to-right `acc += d*d` fold is one serial dependency
+//!   chain, which caps throughput at one add per FP-add latency.
+//!
+//! This module fixes both. [`CentroidBlock`] stores all centroids in one
+//! flat, row-major allocation whose rows start on 32-byte boundaries and
+//! are zero-padded to a multiple of [`LANES`] components, and the kernels
+//! ([`dist2_x4`], [`dist2_bounded_x4`], and the fused [`argmin_dist2`])
+//! accumulate into **four independent lanes** that are folded once at the
+//! end. Four lanes break the dependency chain and map exactly onto a
+//! 32-byte SIMD register (4 × f64), so LLVM auto-vectorizes the inner
+//! loop without any unstable `std::simd` dependency.
+//!
+//! On x86-64 each kernel additionally carries an AVX2 clone (same Rust
+//! body compiled with `#[target_feature(enable = "avx2")]`), selected per
+//! call by cached CPUID detection. The clone is *bitwise identical* to the
+//! portable build: it is the same lane-ordered arithmetic — rustc never
+//! contracts `mul`+`add` into FMA — so the only difference is that the
+//! four lanes ride one 256-bit register instead of two 128-bit ones.
+//!
+//! # The lane-fold accumulation contract
+//!
+//! The 4-lane order is the *canonical* semantics of squared distance in
+//! this workspace: lane `j` accumulates components `j, j+4, j+8, ...`,
+//! and the total is folded as `(acc0 + acc1) + (acc2 + acc3)`. The scalar
+//! reference ([`dist2_x4`]) and every vectorized or fused variant use the
+//! same order, so their results are **bitwise identical** (pinned by the
+//! `kernel_prop` property tests). Zero padding is bitwise-invisible:
+//! squared terms are non-negative, so every lane accumulator stays
+//! non-negative and `acc + 0.0` is exact.
+//!
+//! The old left-to-right [`crate::training::dist2`] remains as a
+//! reference-only path for its own property tests; results differ from
+//! the lane fold by ULPs. Golden fixtures were allowed a one-time move
+//! when the hot paths switched accumulation order; in practice the
+//! figure-level outputs were ULP-robust and did not change (see
+//! DESIGN.md, "Kernel layout").
+
+/// Components per accumulation lane group: 4 × f64 = one 32-byte SIMD
+/// register.
+pub const LANES: usize = 4;
+
+/// Components between early-exit bound checks in [`dist2_bounded_x4`]
+/// (four lane groups, matching the reference kernel's chunk of 16).
+const BOUND_CHUNK: usize = 4 * LANES;
+
+/// One 32-byte-aligned group of four `f64` lanes — the storage unit that
+/// gives [`CentroidBlock`] and [`AlignedVec`] their alignment guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+struct Lane4([f64; LANES]);
+
+/// Rounds `dim` up to a whole number of lane groups.
+fn blocks_for(dim: usize) -> usize {
+    dim.div_ceil(LANES)
+}
+
+/// A contiguous, row-major matrix of `f64` rows, built once and scanned
+/// many times.
+///
+/// Rows all share one allocation; each row starts on a 32-byte boundary
+/// and is zero-padded to a multiple of [`LANES`] components. The padding
+/// is an internal invariant (only the `dim`-component prefix of a row is
+/// ever handed out mutably), which lets the kernels run a tail-free
+/// full-stride loop over [`Self::row_padded`].
+///
+/// This is the storage behind [`crate::training::BlackBoxModel`]'s
+/// centroids and the scratch matrices of the `analysis_bb` fingerpointer.
+///
+/// # Examples
+///
+/// ```
+/// use asdf_modules::kernel::CentroidBlock;
+///
+/// let block = CentroidBlock::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+/// assert_eq!(block.len(), 2);
+/// assert_eq!(block.dim(), 3);
+/// assert_eq!(block.row(1), &[4.0, 5.0, 6.0]);
+/// assert_eq!(block.rows().count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CentroidBlock {
+    data: Vec<Lane4>,
+    dim: usize,
+    n_rows: usize,
+}
+
+impl CentroidBlock {
+    /// Creates an empty block whose future rows have `dim` components.
+    pub fn with_dim(dim: usize) -> Self {
+        CentroidBlock {
+            data: Vec::new(),
+            dim,
+            n_rows: 0,
+        }
+    }
+
+    /// Creates a block of `n_rows` all-zero rows.
+    pub fn zeroed(dim: usize, n_rows: usize) -> Self {
+        CentroidBlock {
+            data: vec![Lane4::default(); blocks_for(dim) * n_rows],
+            dim,
+            n_rows,
+        }
+    }
+
+    /// Builds a block from ragged storage. The dimension is taken from the
+    /// first row; an empty slice yields an empty zero-dimensional block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut block = CentroidBlock::with_dim(dim);
+        for row in rows {
+            block.push_row(row);
+        }
+        block
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row length must match block dim");
+        self.data
+            .resize(self.data.len() + blocks_for(self.dim), Lane4::default());
+        self.n_rows += 1;
+        self.row_mut(self.n_rows - 1).copy_from_slice(row);
+    }
+
+    /// Number of components per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the block has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Components per stored row including the zero padding (a multiple of
+    /// [`LANES`]; 0 when `dim` is 0).
+    pub fn stride(&self) -> usize {
+        blocks_for(self.dim) * LANES
+    }
+
+    /// Row `i` without padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.row_padded(i)[..self.dim]
+    }
+
+    /// Row `i` including its zero padding (length [`Self::stride`]) — the
+    /// tail-free view the kernels scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row_padded(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_rows, "row {i} out of {}", self.n_rows);
+        let blocks = blocks_for(self.dim);
+        let lanes: &[Lane4] = &self.data[i * blocks..(i + 1) * blocks];
+        // Lane4 is #[repr(C)] over [f64; LANES], so the group array is
+        // layout-identical to a flat f64 slice.
+        unsafe { std::slice::from_raw_parts(lanes.as_ptr().cast::<f64>(), blocks * LANES) }
+    }
+
+    /// Mutable view of row `i` without padding, so the zero-padding
+    /// invariant cannot be violated through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.n_rows, "row {i} out of {}", self.n_rows);
+        let blocks = blocks_for(self.dim);
+        let dim = self.dim;
+        let lanes: &mut [Lane4] = &mut self.data[i * blocks..(i + 1) * blocks];
+        let flat = unsafe {
+            std::slice::from_raw_parts_mut(lanes.as_mut_ptr().cast::<f64>(), blocks * LANES)
+        };
+        &mut flat[..dim]
+    }
+
+    /// Iterates the rows (without padding) in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.n_rows).map(move |i| self.row(i))
+    }
+
+    /// Copies the block back out into ragged storage.
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.rows().map(<[f64]>::to_vec).collect()
+    }
+
+    /// Resets every component (padding included) to `0.0`, keeping the
+    /// shape. Lets scratch matrices be reused without reallocating.
+    pub fn zero(&mut self) {
+        self.data.fill(Lane4::default());
+    }
+}
+
+impl PartialEq for CentroidBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.n_rows == other.n_rows && self.data == other.data
+    }
+}
+
+/// A 32-byte-aligned `f64` vector zero-padded to a multiple of [`LANES`]
+/// components — the query-side counterpart of [`CentroidBlock`].
+///
+/// The `knn` hot path keeps its scaled-sample scratch and reciprocal-σ
+/// vector in this form so the fused scan reads both sides of the distance
+/// at full stride with no tail loop.
+///
+/// # Examples
+///
+/// ```
+/// use asdf_modules::kernel::AlignedVec;
+///
+/// let v = AlignedVec::from_slice(&[1.0, 2.0, 3.0]);
+/// assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+/// assert_eq!(v.as_padded().len() % 4, 0);
+/// assert!(v.as_padded()[3..].iter().all(|&x| x == 0.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AlignedVec {
+    data: Vec<Lane4>,
+    len: usize,
+}
+
+impl AlignedVec {
+    /// An all-zero vector of `len` components.
+    pub fn zeroed(len: usize) -> Self {
+        AlignedVec {
+            data: vec![Lane4::default(); blocks_for(len)],
+            len,
+        }
+    }
+
+    /// Copies a slice into aligned, padded storage.
+    pub fn from_slice(v: &[f64]) -> Self {
+        let mut out = AlignedVec::zeroed(v.len());
+        out.as_mut_slice().copy_from_slice(v);
+        out
+    }
+
+    /// Number of live (unpadded) components.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no live components.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live components.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.as_padded()[..self.len]
+    }
+
+    /// The live components plus the zero padding (length a multiple of
+    /// [`LANES`]) — the tail-free view the kernels scan.
+    pub fn as_padded(&self) -> &[f64] {
+        unsafe {
+            std::slice::from_raw_parts(self.data.as_ptr().cast::<f64>(), self.data.len() * LANES)
+        }
+    }
+
+    /// Mutable view of the live components; the padding stays zero.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        let len = self.len;
+        let flat = unsafe {
+            std::slice::from_raw_parts_mut(
+                self.data.as_mut_ptr().cast::<f64>(),
+                self.data.len() * LANES,
+            )
+        };
+        &mut flat[..len]
+    }
+}
+
+/// Squared Euclidean distance in the canonical 4-lane accumulation order —
+/// the scalar reference every vectorized variant is pinned against.
+///
+/// Lane `j` accumulates components `j, j+4, j+8, ...` (a shorter-than-4
+/// tail lands in lanes `0..tail`), and the lanes are folded as
+/// `(acc0 + acc1) + (acc2 + acc3)`. The order is part of the public
+/// contract: [`dist2_bounded_x4`] and [`argmin_dist2`] produce bitwise
+/// identical sums, including over zero-padded [`CentroidBlock`] /
+/// [`AlignedVec`] views (padding contributes exact `+0.0` terms).
+///
+/// Only the common prefix is compared when the slices' lengths differ,
+/// matching [`crate::training::dist2`]'s `zip` semantics.
+pub fn dist2_x4(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        return unsafe { dist2_x4_avx2(a, b) };
+    }
+    dist2_x4_impl(a, b)
+}
+
+#[inline(always)]
+fn dist2_x4_impl(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for j in 0..LANES {
+            let d = ca[j] - cb[j];
+            acc[j] += d * d;
+        }
+    }
+    for (j, (x, y)) in chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .enumerate()
+    {
+        let d = x - y;
+        acc[j] += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// [`dist2_x4`] with early exit: returns the folded partial sum (which is
+/// `>= bound`) as soon as it reaches `bound`, checking once every 16
+/// components.
+///
+/// Lane partial sums are monotone (squared terms are non-negative) and
+/// the fold of non-negative lanes is monotone in each lane, so an
+/// abandoned candidate provably cannot beat `bound`. A completed
+/// computation is bitwise identical to [`dist2_x4`].
+pub fn dist2_bounded_x4(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        return unsafe { dist2_bounded_x4_avx2(a, b, bound) };
+    }
+    dist2_bounded_x4_impl(a, b, bound)
+}
+
+#[inline(always)]
+fn dist2_bounded_x4_impl(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut chunks_a = a.chunks_exact(BOUND_CHUNK);
+    let mut chunks_b = b.chunks_exact(BOUND_CHUNK);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for g in 0..BOUND_CHUNK / LANES {
+            for j in 0..LANES {
+                let d = ca[g * LANES + j] - cb[g * LANES + j];
+                acc[j] += d * d;
+            }
+        }
+        let partial = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        if partial >= bound {
+            return partial;
+        }
+    }
+    let mut tail_a = chunks_a.remainder().chunks_exact(LANES);
+    let mut tail_b = chunks_b.remainder().chunks_exact(LANES);
+    for (ca, cb) in (&mut tail_a).zip(&mut tail_b) {
+        for j in 0..LANES {
+            let d = ca[j] - cb[j];
+            acc[j] += d * d;
+        }
+    }
+    for (j, (x, y)) in tail_a
+        .remainder()
+        .iter()
+        .zip(tail_b.remainder())
+        .enumerate()
+    {
+        let d = x - y;
+        acc[j] += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Fused nearest-row scan: the index of the row of `block` nearest to
+/// `query` in squared Euclidean distance ([`dist2_x4`] semantics), with
+/// per-candidate early exit against the best distance so far.
+///
+/// `query` is either an unpadded vector of `block.dim()` components or a
+/// padded view of `block.stride()` components whose tail is zero (as
+/// produced by [`AlignedVec::as_padded`]); both give bitwise identical
+/// decisions, but the padded form lets the scan run tail-free over
+/// [`CentroidBlock::row_padded`]. Ties keep the lowest index. Returns 0
+/// for an empty block.
+///
+/// # Panics
+///
+/// Panics if `query.len()` is neither `block.dim()` nor `block.stride()`.
+pub fn argmin_dist2(query: &[f64], block: &CentroidBlock) -> usize {
+    assert!(
+        query.len() == block.dim() || query.len() == block.stride(),
+        "query length {} matches neither dim {} nor stride {}",
+        query.len(),
+        block.dim(),
+        block.stride()
+    );
+    let padded = query.len() == block.stride();
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        return unsafe { argmin_dist2_avx2(query, block, padded) };
+    }
+    argmin_dist2_impl(query, block, padded)
+}
+
+#[inline(always)]
+fn argmin_dist2_impl(query: &[f64], block: &CentroidBlock, padded: bool) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for i in 0..block.len() {
+        let row = if padded {
+            block.row_padded(i)
+        } else {
+            block.row(i)
+        };
+        let d = dist2_bounded_x4_impl(query, row, best_d);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Cached CPUID check for the AVX2 fast path (the detection macro keeps
+/// its own atomic cache, so repeated calls are a load and a bit test).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// [`dist2_x4`] compiled with AVX2 enabled: same lane-ordered arithmetic,
+/// bitwise identical results (rustc performs no FP contraction), but the
+/// four lanes occupy one 256-bit register.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dist2_x4_avx2(a: &[f64], b: &[f64]) -> f64 {
+    dist2_x4_impl(a, b)
+}
+
+/// [`dist2_bounded_x4`] compiled with AVX2 enabled; see [`dist2_x4_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dist2_bounded_x4_avx2(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    dist2_bounded_x4_impl(a, b, bound)
+}
+
+/// [`argmin_dist2`] compiled with AVX2 enabled so the bounded distance
+/// inlines into the scan inside the feature region; see [`dist2_x4_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn argmin_dist2_avx2(query: &[f64], block: &CentroidBlock, padded: bool) -> usize {
+    argmin_dist2_impl(query, block, padded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_32_byte_aligned_and_zero_padded() {
+        let block = CentroidBlock::from_rows(&[vec![1.0; 7], vec![2.0; 7]]);
+        assert_eq!(block.stride(), 8);
+        for i in 0..block.len() {
+            let padded = block.row_padded(i);
+            assert_eq!(padded.as_ptr() as usize % 32, 0, "row {i} misaligned");
+            assert_eq!(padded.len(), 8);
+            assert_eq!(padded[7], 0.0, "padding must stay zero");
+        }
+    }
+
+    #[test]
+    fn push_and_mutate_preserve_padding() {
+        let mut block = CentroidBlock::zeroed(5, 2);
+        block.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        block.push_row(&[9.0; 5]);
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.row(1), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(block.row_padded(1)[5..].iter().all(|&x| x == 0.0));
+        block.zero();
+        assert!(block.rows().all(|r| r.iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
+    fn dist2_x4_matches_over_padded_views() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.37).collect();
+        let b: Vec<f64> = (0..13).map(|i| 5.0 - i as f64 * 0.21).collect();
+        let block = CentroidBlock::from_rows(std::slice::from_ref(&b));
+        let q = AlignedVec::from_slice(&a);
+        let unpadded = dist2_x4(&a, &b);
+        let padded = dist2_x4(q.as_padded(), block.row_padded(0));
+        assert_eq!(unpadded.to_bits(), padded.to_bits());
+    }
+
+    #[test]
+    fn argmin_ties_keep_the_lowest_index() {
+        let rows = vec![vec![1.0, 1.0], vec![3.0, 3.0], vec![1.0, 1.0]];
+        let block = CentroidBlock::from_rows(&rows);
+        assert_eq!(argmin_dist2(&[1.0, 1.0], &block), 0);
+        assert_eq!(argmin_dist2(&[3.1, 3.0], &block), 1);
+    }
+
+    #[test]
+    fn empty_block_and_empty_dim() {
+        let block = CentroidBlock::with_dim(3);
+        assert_eq!(argmin_dist2(&[0.0, 0.0, 0.0], &block), 0);
+        let zero_dim = CentroidBlock::from_rows(&[vec![], vec![]]);
+        assert_eq!(zero_dim.dim(), 0);
+        assert_eq!(zero_dim.len(), 2);
+        assert_eq!(argmin_dist2(&[], &zero_dim), 0);
+    }
+}

@@ -31,6 +31,8 @@ pub struct Knn {
     classifier: Option<Classifier>,
     k: usize,
     out: Option<PortId>,
+    /// Reused across ticks by `classify_k_into`.
+    ranked: Vec<usize>,
 }
 
 impl Knn {
@@ -81,7 +83,8 @@ impl Module for Knn {
                 let idx = classifier.classify(raw) as i64;
                 ctx.emit_sample(self.out.unwrap(), Sample::new(ts, idx));
             } else {
-                let idxs: Vec<f64> = classifier.classify_k(raw, self.k).map(|i| i as f64).collect();
+                classifier.classify_k_into(raw, self.k, &mut self.ranked);
+                let idxs: Vec<f64> = self.ranked.iter().map(|&i| i as f64).collect();
                 ctx.emit_sample(self.out.unwrap(), Sample::new(ts, Value::from(idxs)));
             }
         }

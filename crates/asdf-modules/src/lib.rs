@@ -19,6 +19,10 @@
 //! **Offline training** ([`training`]): k-means centroid fitting on
 //! fault-free traces, rendered to/from `knn` configuration parameters.
 //!
+//! **Distance kernels** ([`kernel`]): the contiguous
+//! [`kernel::CentroidBlock`] storage and the 4-lane squared-distance
+//! kernels behind every nearest-centroid scan.
+//!
 //! Use [`register_all`] to register every module type against a cluster
 //! handle, or [`register_analysis_modules`] for just the cluster-agnostic
 //! analysis modules.
@@ -78,6 +82,7 @@ pub mod analysis_bb;
 pub mod analysis_wb;
 pub mod collectors;
 pub mod ibuffer;
+pub mod kernel;
 pub mod knn;
 pub mod mavgvec;
 pub mod mitigate;

@@ -1,27 +1,29 @@
-//! Property tests: the optimized classification paths (early-exit argmin,
-//! single-distance ranking, and the buffer-reusing [`Classifier`] context)
-//! agree with a naive reference implementation, including on exact
-//! distance ties and zero-σ scaling components.
+//! Property tests: the optimized classification paths (early-exit fused
+//! argmin, single-distance ranking, and the buffer-reusing [`Classifier`]
+//! context) agree with a naive reference implementation, including on
+//! exact distance ties and zero-σ scaling components.
+//!
+//! The reference distance is [`kernel::dist2_x4`] — the canonical 4-lane
+//! scalar fold the SIMD paths are pinned against (see `kernel_prop.rs`) —
+//! so these tests isolate the *selection* logic (argmin, ranking, tie
+//! breaks, buffer reuse) from accumulation-order concerns.
 
-use asdf_modules::training::{scale_log, BlackBoxModel};
+use asdf_modules::kernel::{self, CentroidBlock};
+use asdf_modules::training::{scale_log, BlackBoxModel, Classifier};
 use proptest::prelude::*;
 
-/// Chosen to leave a remainder chunk in the early-exit distance kernel
-/// (which accumulates in blocks of 16).
+/// Chosen to leave a remainder chunk in both the early-exit distance
+/// kernel (bound checks every 16 components) and the 4-lane fold.
 const DIM: usize = 19;
 
-fn naive_dist2(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-}
-
-/// Reference 1-NN: scale by division, then the double-`dist2` `min_by`
+/// Reference 1-NN: scale by division, then the double-distance `min_by`
 /// scan the optimized path replaced.
 fn naive_classify(model: &BlackBoxModel, raw: &[f64]) -> usize {
     let x = scale_log(raw, &model.stddev);
     (0..model.centroids.len())
         .min_by(|&i, &j| {
-            naive_dist2(&x, &model.centroids[i])
-                .partial_cmp(&naive_dist2(&x, &model.centroids[j]))
+            kernel::dist2_x4(&x, model.centroids.row(i))
+                .partial_cmp(&kernel::dist2_x4(&x, model.centroids.row(j)))
                 .expect("finite")
         })
         .expect("non-empty")
@@ -33,12 +35,25 @@ fn naive_classify_k(model: &BlackBoxModel, raw: &[f64], k: usize) -> Vec<usize> 
     let x = scale_log(raw, &model.stddev);
     let mut idx: Vec<usize> = (0..model.centroids.len()).collect();
     idx.sort_by(|&i, &j| {
-        naive_dist2(&x, &model.centroids[i])
-            .partial_cmp(&naive_dist2(&x, &model.centroids[j]))
+        kernel::dist2_x4(&x, model.centroids.row(i))
+            .partial_cmp(&kernel::dist2_x4(&x, model.centroids.row(j)))
             .expect("finite")
     });
     idx.truncate(k);
     idx
+}
+
+fn model_from(centroids: &[Vec<f64>], stddev: Vec<f64>) -> BlackBoxModel {
+    BlackBoxModel {
+        stddev,
+        centroids: CentroidBlock::from_rows(centroids),
+    }
+}
+
+fn ctx_classify_k(ctx: &mut Classifier, raw: &[f64], k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    ctx.classify_k_into(raw, k, &mut out);
+    out
 }
 
 proptest! {
@@ -67,15 +82,19 @@ proptest! {
             .iter()
             .map(|&i| [0.0, 0.25, 0.5, 1.0, 2.0, 4.0][i])
             .collect();
-        let model = BlackBoxModel { stddev, centroids };
+        let model = model_from(&centroids, stddev);
         let k = 1 + k_pick % model.centroids.len();
         let mut ctx = model.clone().into_classifier();
+        let mut buf = Vec::new();
         for raw in &raws {
             prop_assert_eq!(model.classify(raw), naive_classify(&model, raw));
-            prop_assert_eq!(model.classify_k(raw, k), naive_classify_k(&model, raw, k));
+            model.classify_k_into(raw, k, &mut buf);
+            prop_assert_eq!(&buf, &naive_classify_k(&model, raw, k));
             prop_assert_eq!(ctx.classify(raw), naive_classify(&model, raw));
-            let got: Vec<usize> = ctx.classify_k(raw, k).collect();
-            prop_assert_eq!(got, naive_classify_k(&model, raw, k));
+            prop_assert_eq!(
+                ctx_classify_k(&mut ctx, raw, k),
+                naive_classify_k(&model, raw, k)
+            );
         }
     }
 
@@ -91,9 +110,32 @@ proptest! {
         stddev in proptest::collection::vec(0.01f64..5.0, DIM),
         raw in proptest::collection::vec(0.0f64..2000.0, DIM),
     ) {
-        let model = BlackBoxModel { stddev, centroids };
+        let model = model_from(&centroids, stddev);
         prop_assert_eq!(model.classify(&raw), naive_classify(&model, &raw));
         let k = model.centroids.len();
-        prop_assert_eq!(model.classify_k(&raw, k), naive_classify_k(&model, &raw, k));
+        let mut buf = Vec::new();
+        model.classify_k_into(&raw, k, &mut buf);
+        prop_assert_eq!(buf, naive_classify_k(&model, &raw, k));
+    }
+
+    /// The deprecated `classify_k` wrappers stay pinned to the canonical
+    /// `classify_k_into` until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_canonical(
+        centroids in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, DIM),
+            1..5,
+        ),
+        raw in proptest::collection::vec(0.0f64..100.0, DIM),
+    ) {
+        let model = model_from(&centroids, vec![1.0; DIM]);
+        let k = model.centroids.len();
+        let mut want = Vec::new();
+        model.classify_k_into(&raw, k, &mut want);
+        prop_assert_eq!(&model.classify_k(&raw, k), &want);
+        let mut ctx = model.into_classifier();
+        let got: Vec<usize> = ctx.classify_k(&raw, k).collect();
+        prop_assert_eq!(got, want);
     }
 }

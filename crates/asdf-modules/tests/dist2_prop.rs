@@ -1,15 +1,19 @@
-//! Property tests pinning `dist2_bounded` to `dist2`.
+//! Property tests pinning `dist2_bounded` to `dist2` — the *reference-only*
+//! left-to-right pair.
 //!
-//! The early-exit kernel underpins every nearest-centroid scan (training
-//! k-means and the online knn module), and is the baseline the planned
-//! SIMD kernels must match. Two contracts hold over NaN-free inputs:
+//! The hot paths (training k-means and the online knn module) now run on
+//! the 4-lane kernels in `asdf_modules::kernel`, which have their own
+//! bitwise pinning suite in `kernel_prop.rs`; `dist2`/`dist2_bounded`
+//! survive as the historical serial-fold reference and as the scalar
+//! baseline the perfsuite's SIMD gate measures against. Two contracts
+//! hold over NaN-free inputs:
 //!
 //! * **bound miss** — when the true distance stays below the bound, the
 //!   bounded kernel completes and its result is *bit-identical* to
 //!   `dist2` (same left-to-right accumulation order);
 //! * **bound hit** — when the running sum reaches the bound, the partial
-//!   sum returned is `>= bound`, which is all `argmin_dist2` relies on to
-//!   discard the candidate.
+//!   sum returned is `>= bound`, which is all a caller may rely on when
+//!   discarding a candidate.
 
 use asdf_modules::training::{dist2, dist2_bounded};
 use proptest::collection::vec;

@@ -1,0 +1,204 @@
+//! Property tests pinning the SIMD-friendly kernels to the 4-lane scalar
+//! reference, bitwise.
+//!
+//! The lane fold (lane `j` accumulates components `j, j+4, j+8, ...`;
+//! total = `(acc0 + acc1) + (acc2 + acc3)`) is the canonical
+//! squared-distance semantics of the workspace. `ref_dist2_lane4` below is
+//! an independent re-implementation of that contract; every kernel entry
+//! point — [`kernel::dist2_x4`], [`kernel::dist2_bounded_x4`] (both over
+//! raw slices and over zero-padded block/query views), and the fused
+//! [`kernel::argmin_dist2`] — must match it bit for bit across dimensions
+//! 0..200, non-multiple-of-4 tails included, and at the `bound = 0.0` /
+//! `bound = INFINITY` early-exit edges.
+
+use asdf_modules::kernel::{self, AlignedVec, CentroidBlock};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::Strategy;
+
+/// Independent 4-lane scalar reference: the accumulation-order contract,
+/// written the slow obvious way.
+fn ref_dist2_lane4(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let d = x - y;
+        acc[i % 4] += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Paired equal-length vectors of finite components spanning dims 0..200,
+/// so every tail residue mod 4 and several 16-component bound chunks are
+/// exercised.
+fn arb_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..200).prop_flat_map(|len| {
+        (
+            vec(-1.0e3..1.0e3, len..len + 1),
+            vec(-1.0e3..1.0e3, len..len + 1),
+        )
+    })
+}
+
+/// A query plus a non-empty block of same-dimension candidate rows.
+fn arb_scan() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>)> {
+    (0usize..64).prop_flat_map(|dim| {
+        (
+            vec(-50.0..50.0, dim..dim + 1),
+            vec(vec(-50.0..50.0, dim..dim + 1), 1..12),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn dist2_x4_is_bit_identical_to_the_lane4_reference((a, b) in arb_pair()) {
+        prop_assert_eq!(
+            kernel::dist2_x4(&a, &b).to_bits(),
+            ref_dist2_lane4(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn padded_views_do_not_change_the_bits((a, b) in arb_pair()) {
+        // Zero padding contributes exact +0.0 terms to non-negative lane
+        // accumulators, so the padded full-stride scan is bit-identical.
+        let exact = ref_dist2_lane4(&a, &b);
+        let q = AlignedVec::from_slice(&a);
+        let block = CentroidBlock::from_rows(std::slice::from_ref(&b));
+        prop_assert_eq!(
+            kernel::dist2_x4(q.as_padded(), block.row_padded(0)).to_bits(),
+            exact.to_bits()
+        );
+        prop_assert_eq!(
+            kernel::dist2_bounded_x4(q.as_padded(), block.row_padded(0), f64::INFINITY)
+                .to_bits(),
+            exact.to_bits()
+        );
+    }
+
+    #[test]
+    fn bounded_with_infinite_bound_is_bit_identical((a, b) in arb_pair()) {
+        let exact = ref_dist2_lane4(&a, &b);
+        prop_assert_eq!(
+            kernel::dist2_bounded_x4(&a, &b, f64::INFINITY).to_bits(),
+            exact.to_bits()
+        );
+    }
+
+    #[test]
+    fn bound_miss_completes_bit_identically((a, b) in arb_pair()) {
+        let exact = ref_dist2_lane4(&a, &b);
+        // Any bound strictly above the true distance is never reached.
+        prop_assert_eq!(
+            kernel::dist2_bounded_x4(&a, &b, exact + 1.0).to_bits(),
+            exact.to_bits()
+        );
+    }
+
+    #[test]
+    fn bound_hit_returns_a_monotone_partial_sum(
+        (a, b) in arb_pair(),
+        frac in 0.0f64..1.0,
+    ) {
+        let exact = ref_dist2_lane4(&a, &b);
+        let bound = exact * frac;
+        let got = kernel::dist2_bounded_x4(&a, &b, bound);
+        prop_assert!(got >= bound, "got {got}, bound {bound}, exact {exact}");
+        // Partial lane folds never overshoot the completed sum: lane
+        // accumulators are monotone in non-negative terms, and the fold of
+        // non-negative lanes is monotone in each lane.
+        prop_assert!(got <= exact, "got {got} > exact {exact}");
+    }
+
+    #[test]
+    fn zero_bound_exits_on_the_first_chunk((a, b) in arb_pair()) {
+        // The first 16-component group's partial fold already satisfies a
+        // zero bound (it is >= 0), so that fold is what comes back.
+        let n = a.len().min(16);
+        let expect = ref_dist2_lane4(&a[..n], &b[..n]);
+        prop_assert_eq!(
+            kernel::dist2_bounded_x4(&a, &b, 0.0).to_bits(),
+            expect.to_bits()
+        );
+    }
+
+    #[test]
+    fn fused_argmin_matches_the_reference_scan((q, rows) in arb_scan()) {
+        let block = CentroidBlock::from_rows(&rows);
+        // Reference: lowest index of the minimum lane-fold distance.
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, row) in rows.iter().enumerate() {
+            let d = ref_dist2_lane4(&q, row);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        // Unpadded query path.
+        prop_assert_eq!(kernel::argmin_dist2(&q, &block), best);
+        // Padded full-stride query path.
+        let aligned = AlignedVec::from_slice(&q);
+        prop_assert_eq!(kernel::argmin_dist2(aligned.as_padded(), &block), best);
+    }
+
+    #[test]
+    fn fused_argmin_ties_keep_the_lowest_index(
+        (q, mut rows) in arb_scan(),
+        dup in 0usize..12,
+    ) {
+        // Duplicate one row at the end: identical rows produce identical
+        // distance bits, so the earlier index must win.
+        let dup = dup % rows.len();
+        rows.push(rows[dup].clone());
+        let block = CentroidBlock::from_rows(&rows);
+        // The trailing duplicate can never win: its distance bits equal its
+        // original's, and the original has the lower index.
+        let got = kernel::argmin_dist2(&q, &block);
+        prop_assert!(
+            got < rows.len() - 1,
+            "tie broke toward the duplicated trailing row ({got})"
+        );
+    }
+
+    #[test]
+    fn centroid_block_round_trips(rows in vec(vec(-1.0e6f64..1.0e6, 0..37), 0..20)) {
+        // Ragged inputs are rejected elsewhere; make the rows uniform.
+        let dim = rows.first().map_or(0, Vec::len);
+        let rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|mut r| { r.resize(dim, 0.0); r })
+            .collect();
+        let block = CentroidBlock::from_rows(&rows);
+        prop_assert_eq!(block.len(), rows.len());
+        prop_assert_eq!(block.dim(), dim);
+        // build from rows → iterate rows → equal.
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(block.row(i), row.as_slice());
+        }
+        let collected: Vec<Vec<f64>> = block.rows().map(<[f64]>::to_vec).collect();
+        prop_assert_eq!(&collected, &rows);
+        prop_assert_eq!(&block.to_rows(), &rows);
+        // Incremental construction agrees with bulk construction.
+        let mut pushed = CentroidBlock::with_dim(dim);
+        for row in &rows {
+            pushed.push_row(row);
+        }
+        prop_assert_eq!(&pushed, &block);
+        // The padded views expose only zeros past `dim`.
+        for i in 0..block.len() {
+            prop_assert!(block.row_padded(i)[dim..].iter().all(|&x| x == 0.0));
+        }
+    }
+}
+
+#[test]
+fn empty_inputs_are_zero() {
+    assert_eq!(kernel::dist2_x4(&[], &[]), 0.0);
+    assert_eq!(kernel::dist2_bounded_x4(&[], &[], f64::INFINITY), 0.0);
+    // A zero bound on empty input still returns the (empty) fold.
+    assert_eq!(kernel::dist2_bounded_x4(&[], &[], 0.0), 0.0);
+    assert_eq!(kernel::dist2_x4(&[], &[]).to_bits(), 0.0f64.to_bits());
+}

@@ -198,7 +198,7 @@ pub struct SpanHandle {
 
 impl SpanHandle {
     /// Creates a handle feeding `hist` (typically obtained from the
-    /// [`crate::registry`] so summaries and exports can find it).
+    /// [`crate::registry()`] so summaries and exports can find it).
     pub fn new(cat: &'static str, name: impl Into<Arc<str>>, hist: Arc<Histogram>) -> Self {
         // Calibrate the tick clock at construction, never on the hot path.
         ns_per_tick();

@@ -288,7 +288,10 @@ mod tests {
         let dim = 120;
         BlackBoxModel {
             stddev: vec![1.0; dim],
-            centroids: vec![vec![0.0; dim], vec![5.0; dim]],
+            centroids: asdf_modules::kernel::CentroidBlock::from_rows(&[
+                vec![0.0; dim],
+                vec![5.0; dim],
+            ]),
         }
     }
 

@@ -1,7 +1,8 @@
 # Developer entry points. `just verify` is the PR gate; everything it runs
 # is also available through `scripts/verify.sh` on machines without just.
 
-# Tier-1 recipe plus the sharded-engine differential suite.
+# Tier-1 recipe plus the sharded-engine differential suite, the kernel
+# property suites, and a warnings-denied doc build of first-party crates.
 verify:
     ./scripts/verify.sh
 
@@ -15,6 +16,18 @@ tier1:
 # including a 4-thread pipeline pass and the golden figure fixtures).
 equivalence:
     cargo test -p integration-tests --test shard_equivalence --test golden_figures
+
+# The kernel property suites: SIMD distance kernels pinned bitwise to the
+# 4-lane scalar reference, plus the classification-path equivalences.
+kernel-props:
+    cargo test -q -p asdf-modules --test kernel_prop --test dist2_prop --test classify_proptest
+
+# Warnings-denied rustdoc build of the first-party crates (the vendored
+# workspace members are excluded; they are not ours to lint).
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+        -p asdf-core -p asdf-modules -p asdf -p asdf-obs -p bench \
+        -p integration-tests -p asdf-examples
 
 # Regenerate the golden campaign fixtures after an intended result change.
 update-fixtures:

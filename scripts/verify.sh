@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# PR gate: the tier-1 recipe plus the sharded-engine differential suite.
+# PR gate: the tier-1 recipe plus the sharded-engine differential suite,
+# the kernel property suites, and a warnings-denied doc build.
 #
 # The equivalence tests run the fingerpointing pipeline at engine thread
 # counts {1, 2, 4, 8} (a dedicated 4-thread pass included) and compare
 # every observable bitwise against the serial engine, so every PR
-# exercises the sharded scheduler even on single-core CI.
+# exercises the sharded scheduler even on single-core CI. The kernel
+# property suites pin the SIMD distance kernels bitwise to the 4-lane
+# scalar reference. The doc build covers first-party crates only (the
+# vendored workspace members are not ours to lint).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,5 +23,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "[verify] differential equivalence suite (--engine-threads 4 pass included)" >&2
 cargo test -p integration-tests --test shard_equivalence --test golden_figures
+
+echo "[verify] kernel property suites (bitwise SIMD/scalar pinning)" >&2
+cargo test -q -p asdf-modules --test kernel_prop --test dist2_prop --test classify_proptest
+
+echo "[verify] rustdoc -D warnings (first-party crates)" >&2
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p asdf-core -p asdf-modules -p asdf -p asdf-obs -p bench \
+    -p integration-tests -p asdf-examples
 
 echo "[verify] OK" >&2
