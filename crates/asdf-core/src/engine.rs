@@ -13,9 +13,29 @@
 //! node becomes runnable once every direct upstream has been visited this
 //! tick, so independent subgraphs (one per monitored node in the paper's
 //! Figure-4 pipelines) advance in parallel and the `analysis_bb` /
-//! `analysis_wb` fan-ins act as a natural per-tick barrier. Emissions are
-//! buffered in per-edge outboxes and merged into each consumer in upstream
-//! topological order, which reproduces the serial engine's queue contents
+//! `analysis_wb` fan-ins act as a natural per-tick barrier.
+//!
+//! The hot paths are lock-free, built on the primitives in [`crate::lane`]
+//! and sized once at DAG build time:
+//!
+//! * every DAG edge owns a bounded SPSC [`EdgeLane`] — the upstream visit
+//!   is the producer, the downstream merge is the consumer, and no
+//!   per-node lock exists on either side;
+//! * intra-tick scheduling is an atomic readiness wavefront — per-node
+//!   indegree countdowns plus a claim-based [`ReadyList`] — so workers
+//!   schedule with single `fetch_add`s instead of a mutex + condvar gate;
+//! * node state itself lives in plain `UnsafeCell`s: a claim is unique,
+//!   so at most one worker ever touches a node per tick (the safety
+//!   argument is spelled out at `NodeCell` and in `lane.rs`).
+//!
+//! Envelope routing is clone-free on single-consumer edges: the payload
+//! *moves* into the last destination, and fan-out destinations receive
+//! shallow `Arc` snapshots ([`Envelope`]'s fields are all `Arc`-backed).
+//! `engine.env_clones.<id>` counts routing clones per node — zero on an
+//! untapped single-consumer chain.
+//!
+//! Lanes drain into each consumer in ascending-upstream (= upstream
+//! topological) order, which reproduces the serial engine's queue contents
 //! *exactly* — the sharded engine is bitwise-equivalent to the serial one
 //! (`tests/tests/shard_equivalence.rs` holds the differential harness).
 //!
@@ -23,8 +43,9 @@
 //! repeatable; the threaded [`crate::online::OnlineEngine`] runs the same
 //! modules against a wall clock for genuinely online deployments.
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use asdf_obs::{Counter, Gauge, SpanHandle};
@@ -32,9 +53,23 @@ use parking_lot::Mutex;
 
 use crate::dag::{Dag, DagNode};
 use crate::error::RunEngineError;
+use crate::lane::{CachePadded, EdgeLane, ReadyList};
 use crate::module::{Envelope, PortId, RunCtx, RunReason};
 use crate::time::{TickDuration, Timestamp};
 use crate::value::Sample;
+
+/// Ring capacity per edge lane. Modules typically emit a handful of
+/// samples per tick per edge; bursts beyond this spill (lock-free, heap)
+/// rather than block, and `engine.lane.spill_total` counts how often.
+const LANE_CAP: usize = 16;
+
+/// Whole ticks the coordinator must complete alone (no worker visits)
+/// before it stops waking the pool on every tick.
+const SOLO_TICKS_BEFORE_LAZY: u32 = 4;
+
+/// While lazily waking, still notify the pool every this-many ticks so
+/// workers can re-engage if the DAG starts exposing parallelism again.
+const LAZY_PROBE_PERIOD: u64 = 64;
 
 /// A handle to envelopes captured from a tapped instance.
 ///
@@ -97,15 +132,17 @@ impl TapHandle {
     }
 }
 
+/// The per-edge envelope lane: `(destination slot, envelope)` pairs.
+type EnvLane = EdgeLane<(usize, Envelope)>;
+
 /// Static scheduling facts about one node, shared by every engine worker.
 ///
-/// Kept outside the per-node lock so the scheduler can route readiness
-/// without touching node state.
+/// Kept outside the node state so the scheduler can route readiness
+/// without touching it.
 struct NodePlan {
-    /// Distinct downstream node indices, in first-route order; outbox lane
-    /// `l` of this node feeds `downstreams[l]`.
+    /// Distinct downstream node indices, in first-route order.
     downstreams: Vec<usize>,
-    /// `(upstream node index, upstream outbox lane)` pairs feeding this
+    /// `(upstream node index, global edge index)` pairs feeding this
     /// node, ascending by upstream index — i.e. upstream *topological*
     /// order, which is exactly the order the serial engine delivers in.
     merge: Vec<(usize, usize)>,
@@ -123,19 +160,22 @@ struct RuntimeNode {
     /// Slot names, precomputed once so `RunCtx` borrows them instead of
     /// cloning a `Vec<String>` on every run.
     slot_names: Vec<String>,
-    /// Per output port: `(outbox lane, destination slot)` targets, the
-    /// lane-indexed mirror of `DagNode::routes`.
+    /// Per output port: `(global edge index, destination slot)` targets,
+    /// the lane-indexed mirror of `DagNode::routes`.
     route_map: Vec<Vec<(usize, usize)>>,
-    /// Per-lane buffered emissions `(destination slot, envelope)`, drained
-    /// into the destination when it is visited. Lane order within a tick is
-    /// emission order, so merges reproduce serial delivery order.
-    outbox: Vec<Vec<(usize, Envelope)>>,
     /// Times every `Module::run` into `engine.run_ns.<id>` (and the trace
     /// recorder while capture is on).
     span: SpanHandle,
-    /// Post-run pending input depth, `engine.queue_depth.<id>` (current +
-    /// high-water).
-    queue_gauge: Arc<Gauge>,
+    /// Pre-run pending input depth, `engine.lane_depth.<id>` (current +
+    /// high-water): the merged backlog the lanes delivered.
+    lane_gauge: Arc<Gauge>,
+    /// `engine.env_clones.<id>`: `Envelope` clones made while routing this
+    /// node's emissions (all shallow `Arc` snapshots). Zero on an untapped
+    /// single-consumer chain — the moved-envelope fast path.
+    clone_count: Arc<Counter>,
+    /// Shared handle on `engine.lane.spill_total`: emissions that
+    /// overflowed a lane's ring onto its spill stack.
+    spill_count: Arc<Counter>,
 }
 
 /// Deterministic simulated-time executor for a module [`Dag`].
@@ -177,6 +217,10 @@ struct RuntimeNode {
 pub struct TickEngine {
     nodes: Vec<RuntimeNode>,
     plan: Vec<NodePlan>,
+    /// One [`EnvLane`] per DAG edge, indexed by the global edge ids in
+    /// `NodePlan::merge` / `RuntimeNode::route_map`. Shared by reference
+    /// with every worker; producers and consumers never take a lock.
+    lanes: Box<[EnvLane]>,
     /// Requested engine worker count: `1` = serial, `0` = all available
     /// parallelism, resolved per [`TickEngine::run_for`] call.
     threads: usize,
@@ -215,12 +259,15 @@ impl TickEngine {
         let n = dag.nodes.len();
 
         // Routing plan: collapse each node's `(dst, slot)` routes onto
-        // per-downstream outbox lanes, then invert them into per-consumer
-        // merge lists sorted by upstream topological index.
+        // per-downstream edges (one SPSC lane each), then invert them into
+        // per-consumer merge lists sorted by upstream topological index.
         let mut plan: Vec<NodePlan> = Vec::with_capacity(n);
         let mut route_maps: Vec<Vec<Vec<(usize, usize)>>> = Vec::with_capacity(n);
+        let mut edge_count = 0usize;
         for node in &dag.nodes {
             let mut downstreams: Vec<usize> = Vec::new();
+            // `edge_count + local lane` is the edge's global id: edges are
+            // numbered producer-major, lane order within the producer.
             let route_map = node
                 .routes
                 .iter()
@@ -235,11 +282,12 @@ impl TickEngine {
                                     downstreams.push(dst);
                                     downstreams.len() - 1
                                 });
-                            (lane, slot)
+                            (edge_count + lane, slot)
                         })
                         .collect()
                 })
                 .collect();
+            edge_count += downstreams.len();
             route_maps.push(route_map);
             plan.push(NodePlan {
                 downstreams,
@@ -247,27 +295,34 @@ impl TickEngine {
                 indegree: 0,
             });
         }
+        let mut edge = 0usize;
         for u in 0..n {
             for (lane, dst) in plan[u].downstreams.clone().into_iter().enumerate() {
                 debug_assert!(dst > u, "DAG routes must point topologically forward");
-                plan[dst].merge.push((u, lane));
+                plan[dst].merge.push((u, edge + lane));
             }
+            edge += plan[u].downstreams.len();
         }
         for p in &mut plan {
             p.indegree = p.merge.len();
         }
+        let lanes: Box<[EnvLane]> = (0..edge_count)
+            .map(|_| EdgeLane::with_capacity(LANE_CAP))
+            .collect();
 
+        let spill_count = reg.counter("engine.lane.spill_total");
         let nodes = dag
             .nodes
             .into_iter()
             .zip(&plan)
-            .map(|(node, p)| {
+            .map(|(node, _)| {
                 let span = SpanHandle::new(
                     "engine",
                     node.id.as_str(),
                     reg.histogram(&format!("engine.run_ns.{}", node.id)),
                 );
-                let queue_gauge = reg.gauge(&format!("engine.queue_depth.{}", node.id));
+                let lane_gauge = reg.gauge(&format!("engine.lane_depth.{}", node.id));
+                let clone_count = reg.counter(&format!("engine.env_clones.{}", node.id));
                 RuntimeNode {
                     next_periodic: node.schedule.periodic.map(|_| Timestamp::EPOCH),
                     queues: vec![VecDeque::new(); node.slots.len()],
@@ -275,16 +330,18 @@ impl TickEngine {
                     taps: Vec::new(),
                     slot_names: node.slots.iter().map(|s| s.name.clone()).collect(),
                     route_map: route_maps.remove(0),
-                    outbox: vec![Vec::new(); p.downstreams.len()],
                     node,
                     span,
-                    queue_gauge,
+                    lane_gauge,
+                    clone_count,
+                    spill_count: Arc::clone(&spill_count),
                 }
             })
             .collect();
         TickEngine {
             nodes,
             plan,
+            lanes,
             threads,
             now: Timestamp::EPOCH,
             scratch: Vec::new(),
@@ -344,7 +401,7 @@ impl TickEngine {
         let mut scratch = std::mem::take(&mut self.scratch);
         let result = (0..self.nodes.len()).try_for_each(|idx| {
             self.deliver_inbox(idx);
-            visit_node(&mut self.nodes[idx], now, obs, &mut scratch)
+            visit_node(&mut self.nodes[idx], &self.lanes, now, obs, &mut scratch)
         });
         self.scratch = scratch;
         result?;
@@ -352,22 +409,20 @@ impl TickEngine {
         Ok(())
     }
 
-    /// Drains every upstream outbox lane feeding `idx` into its input
-    /// queues, in upstream topological order (serial path).
+    /// Drains every upstream edge lane feeding `idx` into its input
+    /// queues, in upstream topological order (serial path: the calling
+    /// thread is both sides of every lane).
     fn deliver_inbox(&mut self, idx: usize) {
         let merge = &self.plan[idx].merge;
         if merge.is_empty() {
             return;
         }
-        // Upstreams always precede their consumers in topo order, so the
-        // split gives us the consumer plus every producer disjointly.
-        let (producers, rest) = self.nodes.split_at_mut(idx);
-        let dst = &mut rest[0];
-        for &(u, lane) in merge {
-            for (slot, env) in producers[u].outbox[lane].drain(..) {
+        let dst = &mut self.nodes[idx];
+        for &(_u, edge) in merge {
+            self.lanes[edge].drain_into(|(slot, env)| {
                 dst.queues[slot].push_back(env);
                 dst.pending += 1;
-            }
+            });
         }
     }
 
@@ -399,26 +454,34 @@ impl TickEngine {
     fn run_sharded(&mut self, ticks: u64, workers: usize) -> Result<(), RunEngineError> {
         let reg = asdf_obs::registry();
         reg.gauge("engine.shard.workers").set(workers as i64);
-        // Nodes move behind per-node locks for the duration of the run;
-        // O(n) moves per run_for, nothing per tick.
-        let cells: Vec<Mutex<RuntimeNode>> = std::mem::take(&mut self.nodes)
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
+        let n = self.nodes.len();
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // An oversubscribed pool (workers >= cores — notably every 1-core
+        // box) must park almost immediately: a spinning worker only steals
+        // quanta from the coordinator doing the actual visits. With spare
+        // cores, a long spin keeps the microsecond inter-tick gap cheaper
+        // than a futex round-trip per tick.
+        let spin_budget: u32 = if workers >= cores { 64 } else { 1 << 14 };
         let run = ShardRun {
-            nodes: &cells,
+            nodes: NodeCell::from_mut_slice(&mut self.nodes),
+            lanes: &self.lanes,
             plan: &self.plan,
             remaining: self.plan.iter().map(|_| AtomicUsize::new(0)).collect(),
-            ready: Mutex::new(VecDeque::with_capacity(cells.len())),
-            visited: AtomicUsize::new(cells.len()),
+            ready: ReadyList::new(n),
+            visited: CachePadded(AtomicUsize::new(n)),
             now_secs: AtomicU64::new(0),
             obs_tick: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            gate: StdMutex::new(()),
+            gate: StdMutex::new(0),
             gate_cv: Condvar::new(),
+            spin_budget,
             error: Mutex::new(None),
             ready_depth: reg.gauge("engine.shard.ready_depth"),
+            park_count: reg.counter("engine.shard.park_total"),
+            slot_spin: reg.counter("engine.shard.slot_spin_total"),
             drain_span: (0..workers)
                 .map(|w| {
                     SpanHandle::new(
@@ -443,17 +506,30 @@ impl TickEngine {
             // implicit join would hang on the parked workers.
             let _stop = StopPoolOnDrop(&run);
             let mut scratch = std::mem::take(&mut self.scratch);
-            let mut swap = Vec::new();
             let mut out = Ok(());
-            for _ in 0..ticks {
+            let mut solo_streak: u32 = 0;
+            for t in 0..ticks {
                 let obs = asdf_obs::enabled()
                     && (asdf_obs::tracing_on() || self.tick_sampler.sample());
                 self.obs_this_tick = obs;
                 let tick_span = self.tick_span.clone();
                 let _tick_timer = obs.then(|| tick_span.enter_forced());
                 run.prepare_tick(self.now, obs);
-                run.release_tick();
-                run.drain(0, &mut scratch, &mut swap);
+                // Lazy wake: after the coordinator has cleared several
+                // whole ticks without any worker help (the common case on
+                // one core, where waking parked workers is pure futex
+                // overhead), stop notifying except for a periodic probe.
+                // Spinning workers keep observing generation regardless.
+                let wake =
+                    solo_streak < SOLO_TICKS_BEFORE_LAZY || t % LAZY_PROBE_PERIOD == 0;
+                run.release_tick(wake);
+                let own = run.drain(0, &mut scratch);
+                run.wait_tick_done();
+                solo_streak = if own >= n as u64 {
+                    solo_streak.saturating_add(1)
+                } else {
+                    0
+                };
                 if let Some((_, err)) = run.error.lock().take() {
                     out = Err(err);
                     break;
@@ -463,7 +539,6 @@ impl TickEngine {
             self.scratch = scratch;
             out
         });
-        self.nodes = cells.into_iter().map(Mutex::into_inner).collect();
         result
     }
 }
@@ -484,6 +559,7 @@ fn resolve_engine_threads(requested: usize) -> usize {
 /// the serial and sharded schedulers, so the two paths cannot drift.
 fn visit_node(
     rt: &mut RuntimeNode,
+    lanes: &[EnvLane],
     now: Timestamp,
     obs: bool,
     scratch: &mut Vec<(PortId, Sample)>,
@@ -496,31 +572,37 @@ fn visit_node(
                 .periodic
                 .expect("next_periodic implies periodic schedule");
             rt.next_periodic = Some(now + period);
-            run_module(rt, now, RunReason::Periodic, obs, scratch)?;
+            run_module(rt, lanes, now, RunReason::Periodic, obs, scratch)?;
         }
     }
     let trigger = rt.node.schedule.input_trigger;
     if trigger > 0 && rt.pending >= trigger {
-        run_module(rt, now, RunReason::InputsReady, obs, scratch)?;
+        run_module(rt, lanes, now, RunReason::InputsReady, obs, scratch)?;
     }
     Ok(())
 }
 
 /// Runs a node's module once and routes its emissions into taps and the
-/// per-lane outboxes (consumed by the destination's next visit).
+/// per-edge lanes (consumed by each destination's visit).
+///
+/// Routing is clone-free on the last destination: the envelope *moves*
+/// into the final lane (or the final tap, when unrouted), and only fan-out
+/// copies — all shallow `Arc` snapshots — are counted into
+/// `engine.env_clones.<id>`.
 fn run_module(
     rt: &mut RuntimeNode,
+    lanes: &[EnvLane],
     now: Timestamp,
     reason: RunReason,
     obs: bool,
     emitted: &mut Vec<(PortId, Sample)>,
 ) -> Result<(), RunEngineError> {
     debug_assert!(emitted.is_empty());
-    // Queue depth peaks right before a run consumes the backlog, so one
+    // Input depth peaks right before a run consumes the backlog, so one
     // set here captures the high-water mark without a gauge write on
     // every single delivery in the merge loop.
     if obs {
-        rt.queue_gauge.set(rt.pending as i64);
+        rt.lane_gauge.set(rt.pending as i64);
     }
     let mut ctx = RunCtx {
         now,
@@ -542,48 +624,126 @@ fn run_module(
             source,
         });
     }
+    let mut clones = 0u64;
+    let mut spills = 0u64;
     for (port, sample) in emitted.drain(..) {
         let env = Envelope {
             source: Arc::clone(&rt.node.outputs[port.index()]),
             sample,
         };
-        for tap in &rt.taps {
-            tap.push(env.clone());
+        let routes = &rt.route_map[port.index()];
+        if let Some((&(last_edge, last_slot), rest)) = routes.split_last() {
+            for tap in &rt.taps {
+                tap.push(env.clone());
+                clones += 1;
+            }
+            for &(edge, slot) in rest {
+                clones += 1;
+                if !lanes[edge].push((slot, env.clone())) {
+                    spills += 1;
+                }
+            }
+            if !lanes[last_edge].push((last_slot, env)) {
+                spills += 1;
+            }
+        } else if let Some((last, rest)) = rt.taps.split_last() {
+            for tap in rest {
+                tap.push(env.clone());
+                clones += 1;
+            }
+            last.push(env);
         }
-        for &(lane, slot) in &rt.route_map[port.index()] {
-            rt.outbox[lane].push((slot, env.clone()));
-        }
+        // No routes and no taps: the envelope is dropped without a clone.
+    }
+    if clones > 0 {
+        rt.clone_count.add(clones);
+    }
+    if spills > 0 {
+        rt.spill_count.add(spills);
     }
     Ok(())
+}
+
+/// A [`RuntimeNode`] shared across the worker pool *without* a lock.
+///
+/// # Safety argument
+///
+/// The wavefront protocol guarantees exclusive access:
+///
+/// * within a tick, each node index is published to the [`ReadyList`]
+///   exactly once (roots by `prepare_tick`, the rest by the single
+///   `fetch_sub` that hits zero), and claims are unique, so exactly one
+///   worker visits each node per tick;
+/// * the visiting worker's access is ordered *after* every upstream visit
+///   by the `remaining` release/acquire chain, and *before* every
+///   downstream visit the same way;
+/// * across ticks, the previous visitor's `visited` release increment is
+///   acquired by the coordinator before `prepare_tick`, whose ready-list
+///   reset release-publishes to the next tick's claimants.
+///
+/// Hence all accesses to a given node are totally ordered by
+/// happens-before, which is exactly the `UnsafeCell` requirement.
+#[repr(transparent)]
+struct NodeCell(UnsafeCell<RuntimeNode>);
+
+// SAFETY: see the type-level argument above; `RuntimeNode` itself is
+// `Send` (modules are `Send`, taps/metric handles are `Sync` handles).
+unsafe impl Sync for NodeCell {}
+
+impl NodeCell {
+    /// Reinterprets exclusively-borrowed nodes as shared cells for the
+    /// duration of a sharded run (the `Cell::from_mut` pattern).
+    fn from_mut_slice(nodes: &mut [RuntimeNode]) -> &[NodeCell] {
+        fn assert_send<T: Send>() {}
+        assert_send::<RuntimeNode>();
+        // SAFETY: `NodeCell` is `repr(transparent)` over
+        // `UnsafeCell<RuntimeNode>`, which is `repr(transparent)` over
+        // `RuntimeNode`; the exclusive borrow's lifetime carries over, so
+        // no other access exists while the cells are live.
+        unsafe { &*(nodes as *mut [RuntimeNode] as *const [NodeCell]) }
+    }
 }
 
 /// Shared scheduler state for one sharded `run_for` call.
 ///
 /// Each tick is a readiness wavefront: `remaining[idx]` counts unvisited
-/// direct upstreams; when it hits zero the node enters `ready`, a worker
-/// merges its inbox (upstream topo order) and visits it, then decrements
-/// its consumers. `visited == n` ends the tick. Lock order is always
-/// consumer-then-producer along DAG edges, which is acyclic, so the
-/// per-node locks cannot deadlock.
+/// direct upstreams; the worker that decrements it to zero publishes the
+/// node to `ready`; the claiming worker drains the node's edge lanes in
+/// upstream topo order and visits it. `visited == n` ends the tick. No
+/// mutex or condvar is involved per node — the gate below is only the
+/// between-ticks parking lot.
 struct ShardRun<'a> {
-    nodes: &'a [Mutex<RuntimeNode>],
+    nodes: &'a [NodeCell],
+    lanes: &'a [EnvLane],
     plan: &'a [NodePlan],
     remaining: Vec<AtomicUsize>,
-    ready: Mutex<VecDeque<usize>>,
-    visited: AtomicUsize,
+    /// The claim-based wavefront list (see [`ReadyList`]).
+    ready: ReadyList,
+    /// Nodes visited this tick; padded because every worker RMWs it once
+    /// per visit while spinning readers poll it.
+    visited: CachePadded<AtomicUsize>,
     now_secs: AtomicU64,
     obs_tick: AtomicBool,
     /// Tick generation: workers drain once per increment.
     generation: AtomicU64,
     shutdown: AtomicBool,
-    gate: StdMutex<()>,
+    /// Between-ticks parking lot; the guarded value counts parked workers
+    /// so the coordinator can skip `notify_all` when nobody is waiting.
+    gate: StdMutex<usize>,
     gate_cv: Condvar,
+    /// Spins a worker burns between ticks before parking on the gate.
+    spin_budget: u32,
     /// First failure of the tick, kept at the smallest node index so the
     /// attribution matches the serial engine's first-in-topo-order stop.
     error: Mutex<Option<(usize, RunEngineError)>>,
     /// `engine.shard.ready_depth` high-water: instantaneous runnable-set
     /// size, a direct read on how much parallelism the DAG exposes.
     ready_depth: Arc<Gauge>,
+    /// `engine.shard.park_total`: worker park events (gate contention).
+    park_count: Arc<Counter>,
+    /// `engine.shard.slot_spin_total`: spins spent waiting on a claimed
+    /// wavefront slot before its node was published.
+    slot_spin: Arc<Counter>,
     /// Per-worker drain timers, `engine.shard.drain_ns.w<i>`.
     drain_span: Vec<SpanHandle>,
     /// Per-worker visit totals, `engine.shard.visits.w<i>`: the
@@ -592,62 +752,68 @@ struct ShardRun<'a> {
 }
 
 impl ShardRun<'_> {
-    /// Resets the wavefront for the tick carrying `now`. Must be called
-    /// between [`ShardRun::release_tick`]s, when no undrained generation
-    /// exists (`visited == n` and the ready queue is empty).
+    /// Rearms the wavefront for the tick carrying `now`. Coordinator-only,
+    /// and only between exhausted ticks: the previous tick's `visited`
+    /// reached `n`, which implies its claim cursor also reached `n` —
+    /// any straggler's further claims return `None`, and no straggler is
+    /// still waiting on a slot (a pending wait would mean an unvisited
+    /// node). The ready-list reset's final release store publishes every
+    /// write below to the first claimant of the new tick.
     fn prepare_tick(&self, now: Timestamp, obs: bool) {
-        self.now_secs.store(now.as_secs(), SeqCst);
-        self.obs_tick.store(obs, SeqCst);
-        self.visited.store(0, SeqCst);
+        self.now_secs.store(now.as_secs(), Ordering::Relaxed);
+        self.obs_tick.store(obs, Ordering::Relaxed);
+        self.visited.0.store(0, Ordering::Relaxed);
         for (r, p) in self.remaining.iter().zip(self.plan) {
-            r.store(p.indegree, SeqCst);
+            r.store(p.indegree, Ordering::Relaxed);
         }
-        // Seeding the roots goes last: a straggler worker still inside the
-        // previous drain may legally pop them early, and by then every
-        // field above is already consistent for the new tick.
-        let mut q = self.ready.lock();
-        debug_assert!(q.is_empty());
+        self.ready.reset();
         for (idx, p) in self.plan.iter().enumerate() {
             if p.indegree == 0 {
-                q.push_back(idx);
+                self.ready.push(idx);
             }
         }
     }
 
-    /// Publishes the prepared tick to the worker pool.
-    fn release_tick(&self) {
-        let _g = self.gate.lock().expect("engine gate never poisoned");
-        self.generation.fetch_add(1, SeqCst);
-        self.gate_cv.notify_all();
+    /// Publishes the prepared tick to the worker pool. `wake` controls
+    /// whether parked workers are notified (the lazy-wake policy); the
+    /// generation bump happens under the gate lock either way, so a
+    /// worker checking the generation before parking cannot miss it.
+    fn release_tick(&self, wake: bool) {
+        let parked = {
+            let g = self.gate.lock().expect("engine gate never poisoned");
+            self.generation.fetch_add(1, Ordering::Release);
+            *g
+        };
+        if wake && parked > 0 {
+            self.gate_cv.notify_all();
+        }
     }
 
     /// Wakes every worker into pool shutdown. Idempotent.
     fn stop_workers(&self) {
         let _g = self.gate.lock().expect("engine gate never poisoned");
-        self.shutdown.store(true, SeqCst);
+        self.shutdown.store(true, Ordering::Release);
         self.gate_cv.notify_all();
     }
 
     /// Body of workers 1..n: drain one wavefront per generation, spinning
-    /// briefly between ticks (the inter-tick gap is microseconds) before
-    /// parking on the gate.
+    /// briefly between ticks before parking on the gate.
     fn worker_loop(&self, w: usize) {
         let mut scratch = Vec::new();
-        let mut swap = Vec::new();
         let mut seen = 0u64;
         let mut spins: u32 = 0;
         loop {
-            if self.shutdown.load(SeqCst) {
+            if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            let gen = self.generation.load(SeqCst);
+            let gen = self.generation.load(Ordering::Acquire);
             if gen != seen {
                 seen = gen;
                 spins = 0;
-                self.drain(w, &mut scratch, &mut swap);
+                self.drain(w, &mut scratch);
                 continue;
             }
-            if spins < 1 << 14 {
+            if spins < self.spin_budget {
                 spins += 1;
                 std::hint::spin_loop();
                 if spins & 63 == 0 {
@@ -655,82 +821,103 @@ impl ShardRun<'_> {
                 }
             } else {
                 let mut g = self.gate.lock().expect("engine gate never poisoned");
-                while !self.shutdown.load(SeqCst) && self.generation.load(SeqCst) == seen {
+                *g += 1;
+                while !self.shutdown.load(Ordering::Acquire)
+                    && self.generation.load(Ordering::Acquire) == seen
+                {
                     g = self.gate_cv.wait(g).expect("engine gate never poisoned");
                 }
+                *g -= 1;
+                drop(g);
                 spins = 0;
+                self.park_count.inc();
             }
         }
     }
 
-    /// Processes ready nodes until the current tick's wavefront completes.
-    fn drain(
-        &self,
-        w: usize,
-        scratch: &mut Vec<(PortId, Sample)>,
-        swap: &mut Vec<(usize, Envelope)>,
-    ) {
-        let n = self.nodes.len();
-        let _timer = self.obs_tick.load(SeqCst).then(|| self.drain_span[w].enter_forced());
+    /// Claims and visits wavefront slots until the tick's claims are
+    /// exhausted (or shutdown). Returns this call's visit count.
+    fn drain(&self, w: usize, scratch: &mut Vec<(PortId, Sample)>) -> u64 {
+        let _timer = self
+            .obs_tick
+            .load(Ordering::Relaxed)
+            .then(|| self.drain_span[w].enter_forced());
         let mut visits = 0u64;
-        let mut idle: u32 = 0;
-        loop {
-            let next = self.ready.lock().pop_front();
-            let Some(idx) = next else {
-                if self.visited.load(SeqCst) >= n || self.shutdown.load(SeqCst) {
-                    break;
-                }
-                idle += 1;
-                std::hint::spin_loop();
-                if idle & 15 == 0 {
+        let mut slot_spins = 0u64;
+        while let Some(h) = self.ready.claim() {
+            let mut polls = 0u32;
+            let claimed = self.ready.wait(h, || {
+                slot_spins += 1;
+                polls = polls.wrapping_add(1);
+                if polls & 127 == 0 {
                     std::thread::yield_now();
                 }
-                continue;
-            };
-            idle = 0;
+                self.shutdown.load(Ordering::Acquire)
+            });
+            let Some(idx) = claimed else { break };
             visits += 1;
             // Tick context is re-read per node, not cached per drain: a
-            // straggler drain may pick up the *next* tick's roots (pushed
-            // by prepare_tick before the generation bump) and must stamp
-            // them with the new tick's time.
-            let now = Timestamp::from_secs(self.now_secs.load(SeqCst));
-            let obs = self.obs_tick.load(SeqCst);
+            // straggler drain may claim into the *next* tick's wavefront
+            // and must stamp its nodes with the new tick's time.
+            let now = Timestamp::from_secs(self.now_secs.load(Ordering::Relaxed));
+            let obs = self.obs_tick.load(Ordering::Relaxed);
+            // SAFETY: the claim is unique and each node is published
+            // exactly once per tick, so this thread exclusively owns
+            // `nodes[idx]` until its `visited` increment below; see
+            // [`NodeCell`] for the cross-thread ordering argument.
+            let rt = unsafe { &mut *self.nodes[idx].0.get() };
             {
-                let mut rt = self.nodes[idx].lock();
-                // Merge the inbox in upstream topo order — every upstream
-                // has already been visited this tick, so its lock is only
-                // ever contended by sibling consumers, transiently.
-                for &(u, lane) in &self.plan[idx].merge {
+                // Merge the inbox lanes in upstream topo order — every
+                // upstream has been visited this tick, so this thread is
+                // each lane's sole consumer (and nobody is producing).
+                let queues = &mut rt.queues;
+                let pending = &mut rt.pending;
+                for &(u, edge) in &self.plan[idx].merge {
                     debug_assert!(u < idx);
-                    {
-                        let mut up = self.nodes[u].lock();
-                        std::mem::swap(&mut up.outbox[lane], swap);
-                    }
-                    for (slot, env) in swap.drain(..) {
-                        rt.queues[slot].push_back(env);
-                        rt.pending += 1;
-                    }
+                    self.lanes[edge].drain_into(|(slot, env)| {
+                        queues[slot].push_back(env);
+                        *pending += 1;
+                    });
                 }
-                if let Err(err) = visit_node(&mut rt, now, obs, scratch) {
-                    let mut slot = self.error.lock();
-                    if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
-                        *slot = Some((idx, err));
-                    }
+            }
+            if let Err(err) = visit_node(rt, self.lanes, now, obs, scratch) {
+                let mut slot = self.error.lock();
+                if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
+                    *slot = Some((idx, err));
                 }
             }
             for &d in &self.plan[idx].downstreams {
-                if self.remaining[d].fetch_sub(1, SeqCst) == 1 {
-                    let mut q = self.ready.lock();
-                    q.push_back(d);
+                if self.remaining[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.ready.push(d);
                     if obs {
-                        self.ready_depth.set(q.len() as i64);
+                        self.ready_depth.set(self.ready.depth() as i64);
                     }
                 }
             }
-            self.visited.fetch_add(1, SeqCst);
+            self.visited.0.fetch_add(1, Ordering::Release);
         }
         if visits > 0 {
             self.visit_count[w].add(visits);
+        }
+        if slot_spins > 0 {
+            self.slot_spin.add(slot_spins);
+        }
+        visits
+    }
+
+    /// Coordinator-side tick barrier: spins until every node of the tick
+    /// has been visited. The acquire load pairs with each visitor's
+    /// release increment, so all node mutations (and any error slot
+    /// write) are visible once this returns.
+    fn wait_tick_done(&self) {
+        let n = self.nodes.len();
+        let mut spins: u32 = 0;
+        while self.visited.0.load(Ordering::Acquire) < n {
+            spins = spins.wrapping_add(1);
+            std::hint::spin_loop();
+            if spins & 63 == 0 {
+                std::thread::yield_now();
+            }
         }
     }
 }
@@ -750,6 +937,7 @@ impl std::fmt::Debug for TickEngine {
             .field("now", &self.now)
             .field("threads", &self.threads)
             .field("nodes", &self.nodes.len())
+            .field("lanes", &self.lanes.len())
             .finish()
     }
 }
@@ -779,6 +967,29 @@ mod tests {
             assert_eq!(reason, RunReason::Periodic);
             self.count += 1;
             ctx.emit(self.port.unwrap(), self.count);
+            Ok(())
+        }
+    }
+
+    /// Emits `burst` consecutive samples every tick — enough to overflow
+    /// an edge lane's ring and exercise the spill path.
+    struct Burst {
+        port: Option<PortId>,
+        burst: i64,
+        count: i64,
+    }
+    impl Module for Burst {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("out"));
+            self.burst = ctx.parse_param_or("burst", 1i64)?;
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            for _ in 0..self.burst {
+                self.count += 1;
+                ctx.emit(self.port.unwrap(), self.count);
+            }
             Ok(())
         }
     }
@@ -829,6 +1040,13 @@ mod tests {
         reg.register("source", || {
             Box::new(Source {
                 port: None,
+                count: 0,
+            })
+        });
+        reg.register("burst", || {
+            Box::new(Burst {
+                port: None,
+                burst: 1,
                 count: 0,
             })
         });
@@ -977,9 +1195,77 @@ mod tests {
         // The periodic source ran every tick; each run was timed.
         assert!(reg.histogram("engine.run_ns.obs_probe_src").count() >= 6);
         assert!(reg.histogram("engine.tick_ns").count() >= 6);
-        // The accumulator's queue reached depth 2 before its trigger of 3
-        // fired, and that high-water mark was captured.
-        assert!(reg.gauge("engine.queue_depth.obs_probe_acc").high_water() >= 2);
+        // The accumulator's merged backlog reached depth 3 when its
+        // trigger fired, and that high-water mark was captured.
+        assert!(reg.gauge("engine.lane_depth.obs_probe_acc").high_water() >= 2);
+    }
+
+    #[test]
+    fn single_consumer_routing_never_clones_envelopes() {
+        // An untapped chain with one consumer per edge: every envelope
+        // must *move* through the lanes — the env_clones counters stay at
+        // zero on both the serial and the sharded path. (Unique ids keep
+        // the global counters private to this test.)
+        let cfg = "[source]\nid = zc_src\n\n[acc]\nid = zc_mid\ninput[i] = zc_src.out\n\n\
+                   [acc]\nid = zc_sink\ninput[i] = zc_mid.total\n";
+        engine(cfg).run_for(TickDuration::from_secs(8)).unwrap();
+        engine_with_threads(cfg, 3)
+            .run_for(TickDuration::from_secs(8))
+            .unwrap();
+        let reg = asdf_obs::registry();
+        for id in ["zc_src", "zc_mid", "zc_sink"] {
+            assert_eq!(
+                reg.counter(&format!("engine.env_clones.{id}")).get(),
+                0,
+                "single-consumer edge from {id} must be clone-free"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_routing_counts_shallow_snapshots() {
+        // One producer fanning out to two consumers plus a tap: each
+        // emission makes exactly 2 clones (tap + first consumer; the last
+        // consumer receives the moved original).
+        let cfg = "[source]\nid = bc_src\n\n[acc]\nid = bc_a\ninput[i] = bc_src.out\n\n\
+                   [acc]\nid = bc_b\ninput[i] = bc_src.out\n";
+        let mut eng = engine(cfg);
+        let tap = eng.tap("bc_src").unwrap();
+        eng.run_for(TickDuration::from_secs(3)).unwrap();
+        assert_eq!(tap.len(), 3);
+        let reg = asdf_obs::registry();
+        assert_eq!(reg.counter("engine.env_clones.bc_src").get(), 6);
+        // The consumers re-emit to nobody (untapped, no downstream): no
+        // clones there.
+        assert_eq!(reg.counter("engine.env_clones.bc_a").get(), 0);
+        assert_eq!(reg.counter("engine.env_clones.bc_b").get(), 0);
+    }
+
+    #[test]
+    fn bursts_beyond_lane_capacity_spill_and_stay_ordered() {
+        // 40 emissions per tick through a 16-slot ring: the overflow takes
+        // the spill path, and delivery order must survive it.
+        let cfg = "[burst]\nid = sp_src\nburst = 40\n\n\
+                   [acc]\nid = sp_sink\ntrigger = 40\ninput[i] = sp_src.out\n";
+        let spill = asdf_obs::registry().counter("engine.lane.spill_total");
+        let before = spill.get();
+        for threads in [1, 2] {
+            let mut eng = engine_with_threads(cfg, threads);
+            let tap = eng.tap("sp_sink").unwrap();
+            eng.run_for(TickDuration::from_secs(2)).unwrap();
+            let totals: Vec<i64> = tap
+                .drain()
+                .iter()
+                .map(|e| e.sample.value.as_int().unwrap())
+                .collect();
+            // Sum of 1..=40 and 1..=80: order-independent, but the
+            // accumulator also proves arrival count per trigger window.
+            assert_eq!(totals, [820, 3240], "threads={threads}");
+        }
+        assert!(
+            spill.get() >= before + 2 * (40 - LANE_CAP as u64),
+            "ring overflow must be accounted in engine.lane.spill_total"
+        );
     }
 
     #[test]

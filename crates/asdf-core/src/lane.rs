@@ -1,0 +1,560 @@
+//! Lock-free building blocks for the sharded tick engine.
+//!
+//! Three primitives, all sized once at DAG build time and reused every
+//! tick, none of which takes a lock on any hot path:
+//!
+//! * [`SpscRing`] — a bounded single-producer/single-consumer ring with
+//!   cache-line-padded head/tail atomics. One ring backs each DAG edge:
+//!   the producer is whichever worker visits the upstream node this tick,
+//!   the consumer is whichever worker merges the downstream node's inbox.
+//! * [`EdgeLane`] — an [`SpscRing`] plus a Treiber-stack spill path, so a
+//!   burst larger than the ring capacity degrades to one heap node per
+//!   overflowing envelope instead of blocking (backpressure would
+//!   deadlock the engine: a consumer never drains until *after* its
+//!   producers finish their visits).
+//! * [`ReadyList`] — the atomic readiness wavefront: an injector-style
+//!   array of publish slots with a claim cursor. Every node enters the
+//!   list exactly once per tick, workers claim strictly distinct slots
+//!   with one `fetch_add`, and tick exhaustion is a cursor comparison —
+//!   no mutex, no condvar, no CAS retry loops.
+//!
+//! # Memory-ordering contract
+//!
+//! The engine's cross-thread visibility chain is documented here once and
+//! relied on by `engine.rs`:
+//!
+//! 1. a producer's lane writes are released by [`SpscRing::push`]'s tail
+//!    store (or the spill stack's `compare_exchange` release);
+//! 2. the producer's *visit* as a whole is released by the `AcqRel`
+//!    `fetch_sub` on the consumer's indegree counter;
+//! 3. the worker that decrements the counter to zero publishes the
+//!    consumer via [`ReadyList::push`]'s release slot store;
+//! 4. the claiming worker acquires that slot in [`ReadyList::wait`], so
+//!    every upstream visit (and therefore every lane write) happens-before
+//!    the merge. Release sequences on the indegree RMWs extend the chain
+//!    across *all* upstreams, not just the last one.
+//!
+//! Under `--cfg loom` the atomics come from the `loom` facade so the
+//! model suite (`asdf-core/tests/loom_lane.rs`) exercises the same code
+//! paths. Ring slots use `std::cell::UnsafeCell` unconditionally; the
+//! suite's interleaving coverage note lives in the vendored `loom` crate.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Pads and aligns a value to 128 bytes so neighboring atomics do not
+/// false-share a cache line (two lines: adjacent-line prefetchers pull
+/// pairs).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T>(pub T);
+
+/// A bounded single-producer/single-consumer ring.
+///
+/// `push` may only ever be called by one thread at a time, and `pop` by
+/// one thread at a time (the two may race each other, never themselves).
+/// The engine guarantees this structurally: a DAG node is visited by
+/// exactly one worker per tick, and successive ticks are ordered by the
+/// wavefront protocol (see module docs).
+///
+/// Capacity is rounded up to a power of two (minimum 2). `push` returns
+/// the value back instead of blocking when the ring is full — the caller
+/// decides between backpressure and spilling.
+pub struct SpscRing<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Consumer cursor: next slot to read.
+    head: CachePadded<AtomicUsize>,
+    /// Producer cursor: next slot to write.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the SPSC contract (one producer thread, one consumer thread,
+// synchronized through the head/tail atomics) is what makes handing
+// `&SpscRing` across threads sound; `T: Send` because values cross
+// threads by value.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring holding at least `capacity` elements (rounded up to
+    /// a power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        SpscRing {
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Appends `v`, or returns it when the ring is full (producer side
+    /// only).
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.capacity() {
+            return Err(v);
+        }
+        // SAFETY: `tail - head < capacity`, so this slot is not readable
+        // by the consumer until the release store below publishes it, and
+        // the producer is unique by contract.
+        unsafe { (*self.slots[tail & self.mask].get()).write(v) };
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Removes the oldest element, if any (consumer side only).
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail` means the producer's release store made
+        // this slot's write visible; the consumer is unique by contract,
+        // and the release store below is what lets the producer reuse the
+        // slot.
+        let v = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Approximate occupancy (exact when the caller is the only active
+    /// side).
+    pub fn len(&self) -> usize {
+        self.tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.0.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring currently holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // An engine discarded mid-tick (module error) can leave
+        // undelivered envelopes behind; drop them properly.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for SpscRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+struct SpillNode<T> {
+    v: T,
+    next: *mut SpillNode<T>,
+}
+
+/// One DAG edge's envelope lane: a bounded [`SpscRing`] fast path plus a
+/// lock-free Treiber-stack spill for bursts beyond the ring capacity.
+///
+/// [`EdgeLane::push`] never blocks: bounded backpressure would deadlock
+/// the tick engine, whose consumers only drain *after* their producers
+/// finish. Delivery order is ring contents first, then spilled items in
+/// push order — FIFO overall whenever a producer's burst is not
+/// interleaved with a drain, which the engine's visit-then-merge
+/// alternation guarantees.
+pub struct EdgeLane<T> {
+    ring: SpscRing<T>,
+    spill: AtomicPtr<SpillNode<T>>,
+}
+
+// SAFETY: same contract as the ring; the spill stack is a standard
+// Treiber stack (push via CAS, drain via swap), safe under arbitrary
+// concurrency.
+unsafe impl<T: Send> Sync for EdgeLane<T> {}
+unsafe impl<T: Send> Send for EdgeLane<T> {}
+
+impl<T> EdgeLane<T> {
+    /// Creates a lane whose ring holds at least `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EdgeLane {
+            ring: SpscRing::with_capacity(capacity),
+            spill: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// The ring capacity (spills are unbounded).
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Appends `v`. Returns `true` when the ring accepted it, `false`
+    /// when it overflowed onto the spill stack (the caller's contention
+    /// counter hook).
+    pub fn push(&self, v: T) -> bool {
+        match self.ring.push(v) {
+            Ok(()) => true,
+            Err(v) => {
+                let node = Box::into_raw(Box::new(SpillNode {
+                    v,
+                    next: ptr::null_mut(),
+                }));
+                let mut head = self.spill.load(Ordering::Relaxed);
+                loop {
+                    // SAFETY: `node` is owned by this thread until the
+                    // CAS below publishes it.
+                    unsafe { (*node).next = head };
+                    match self.spill.compare_exchange_weak(
+                        head,
+                        node,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return false,
+                        Err(cur) => head = cur,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains every buffered element into `f`: ring first, then spills in
+    /// push order (consumer side only).
+    pub fn drain_into(&self, mut f: impl FnMut(T)) {
+        while let Some(v) = self.ring.pop() {
+            f(v);
+        }
+        let mut head = self.spill.swap(ptr::null_mut(), Ordering::Acquire);
+        if head.is_null() {
+            return;
+        }
+        // The stack pops newest-first; reverse the chain in place to
+        // recover push order before delivering.
+        let mut prev: *mut SpillNode<T> = ptr::null_mut();
+        while !head.is_null() {
+            // SAFETY: the swap above took sole ownership of the chain.
+            let next = unsafe { (*head).next };
+            unsafe { (*head).next = prev };
+            prev = head;
+            head = next;
+        }
+        while !prev.is_null() {
+            // SAFETY: each node was allocated by `Box::into_raw` in
+            // `push` and is freed exactly once here.
+            let node = unsafe { Box::from_raw(prev) };
+            prev = node.next;
+            f(node.v);
+        }
+    }
+
+    /// Whether nothing is currently buffered (approximate under
+    /// concurrency, exact between ticks).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty() && self.spill.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T> Drop for EdgeLane<T> {
+    fn drop(&mut self) {
+        self.drain_into(drop);
+    }
+}
+
+impl<T> std::fmt::Debug for EdgeLane<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeLane")
+            .field("ring", &self.ring)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sentinel marking a [`ReadyList`] slot that has been reserved but not
+/// yet published.
+const EMPTY: usize = usize::MAX;
+
+/// The atomic readiness wavefront behind one sharded tick.
+///
+/// A fixed array of `n` publish slots (one per DAG node — every node
+/// enters the ready set exactly once per tick) plus two cursors:
+///
+/// * **publish** — [`ReadyList::push`] reserves the next slot with one
+///   `fetch_add` and release-stores the node index into it;
+/// * **claim** — [`ReadyList::claim`] hands each caller a strictly
+///   distinct slot with one `fetch_add`. A claim at or past `n` means
+///   every node of the tick is already owned by some worker, i.e. the
+///   claimant is done; a claimed slot that is still `EMPTY` simply has
+///   not been published yet, and [`ReadyList::wait`] spins for it.
+///
+/// Claims are unique, so the node behind a claimed slot is owned
+/// exclusively by the claimant — this is what lets the engine visit
+/// nodes through plain `UnsafeCell`s with no per-node lock. Between
+/// ticks the coordinator calls [`ReadyList::reset`]; its final release
+/// store on the claim cursor publishes the wiped slots to any straggling
+/// claimant (see `engine.rs` for the straggler analysis).
+pub struct ReadyList {
+    slots: Box<[AtomicUsize]>,
+    claim: CachePadded<AtomicUsize>,
+    publish: CachePadded<AtomicUsize>,
+}
+
+impl ReadyList {
+    /// Creates a wavefront list for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ReadyList {
+            slots: (0..n).map(|_| AtomicUsize::new(EMPTY)).collect(),
+            claim: CachePadded(AtomicUsize::new(0)),
+            publish: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of publish slots (= DAG nodes per tick).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the list was built for an empty DAG.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Rearms the list for a new tick. Caller must guarantee the previous
+    /// tick is fully drained (every slot claimed *and* visited); the
+    /// engine's coordinator does, by waiting for the visited count.
+    ///
+    /// The claim-cursor store is intentionally last and `Release`: a
+    /// straggler's next claim acquires it and therefore observes every
+    /// wiped slot, never a stale node index.
+    pub fn reset(&self) {
+        for s in self.slots.iter() {
+            s.store(EMPTY, Ordering::Relaxed);
+        }
+        self.publish.0.store(0, Ordering::Relaxed);
+        self.claim.0.store(0, Ordering::Release);
+    }
+
+    /// Publishes `idx` as ready. May be called concurrently from any
+    /// worker; each call takes a distinct slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if more than `n` nodes are pushed in one tick —
+    /// that would mean a node entered the wavefront twice.
+    pub fn push(&self, idx: usize) {
+        let t = self.publish.0.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(t < self.slots.len(), "node {idx} entered the wavefront twice");
+        self.slots[t].store(idx, Ordering::Release);
+    }
+
+    /// Reserves the next unclaimed slot, or `None` when every slot of
+    /// this tick is already owned (the claimant's drain is over).
+    pub fn claim(&self) -> Option<usize> {
+        let h = self.claim.0.fetch_add(1, Ordering::AcqRel);
+        (h < self.slots.len()).then_some(h)
+    }
+
+    /// Spins until the claimed slot `h` is published, returning the node
+    /// index — or `None` when `give_up` says to stop (shutdown). The
+    /// closure runs once per spin iteration; callers put their yield /
+    /// contention-counting policy there.
+    pub fn wait(&self, h: usize, mut give_up: impl FnMut() -> bool) -> Option<usize> {
+        loop {
+            let v = self.slots[h].load(Ordering::Acquire);
+            if v != EMPTY {
+                return Some(v);
+            }
+            if give_up() {
+                return None;
+            }
+            #[cfg(not(loom))]
+            std::hint::spin_loop();
+            #[cfg(loom)]
+            loom::hint::spin_loop();
+        }
+    }
+
+    /// Published-but-unclaimed count (the instantaneous runnable-set
+    /// size; saturates at zero when claims have overshot).
+    pub fn depth(&self) -> usize {
+        let p = self.publish.0.load(Ordering::Relaxed);
+        let c = self.claim.0.load(Ordering::Relaxed);
+        p.saturating_sub(c)
+    }
+}
+
+impl std::fmt::Debug for ReadyList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadyList")
+            .field("len", &self.len())
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_rounds_capacity_up_to_power_of_two() {
+        assert_eq!(SpscRing::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(SpscRing::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(SpscRing::<u8>::with_capacity(32).capacity(), 32);
+    }
+
+    #[test]
+    fn ring_push_pop_is_fifo() {
+        let r = SpscRing::with_capacity(4);
+        for i in 0..4 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.push(99), Err(99), "full ring rejects");
+        assert_eq!(r.len(), 4);
+        for i in 0..4 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+        // Wrap-around: cursors keep counting past the capacity.
+        for round in 0..10 {
+            r.push(round).unwrap();
+            assert_eq!(r.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn ring_drop_releases_buffered_values() {
+        let token = Arc::new(());
+        let r = SpscRing::with_capacity(8);
+        for _ in 0..5 {
+            r.push(Arc::clone(&token)).unwrap();
+        }
+        drop(r);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn lane_spills_beyond_ring_capacity_in_order() {
+        let lane = EdgeLane::with_capacity(4);
+        let mut spilled = 0;
+        for i in 0..11 {
+            if !lane.push(i) {
+                spilled += 1;
+            }
+        }
+        assert_eq!(spilled, 7, "ring holds 4, the rest spill");
+        let mut got = Vec::new();
+        lane.drain_into(|v| got.push(v));
+        assert_eq!(got, (0..11).collect::<Vec<_>>());
+        assert!(lane.is_empty());
+        // The lane is reusable after a drain.
+        assert!(lane.push(42));
+        let mut again = Vec::new();
+        lane.drain_into(|v| again.push(v));
+        assert_eq!(again, [42]);
+    }
+
+    #[test]
+    fn lane_drop_releases_ring_and_spill_values() {
+        let token = Arc::new(());
+        let lane = EdgeLane::with_capacity(2);
+        for _ in 0..7 {
+            lane.push(Arc::clone(&token));
+        }
+        drop(lane);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn ready_list_claims_are_distinct_and_exhaust() {
+        let list = ReadyList::new(3);
+        list.push(10);
+        list.push(11);
+        list.push(12);
+        let mut got: Vec<usize> = (0..3)
+            .map(|_| {
+                let h = list.claim().unwrap();
+                list.wait(h, || false).unwrap()
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, [10, 11, 12]);
+        assert!(list.claim().is_none(), "fourth claim sees exhaustion");
+        list.reset();
+        list.push(7);
+        let h = list.claim().unwrap();
+        assert_eq!(list.wait(h, || false), Some(7));
+    }
+
+    #[test]
+    fn ready_list_wait_gives_up_on_request() {
+        let list = ReadyList::new(2);
+        let h = list.claim().unwrap();
+        let mut polls = 0;
+        let got = list.wait(h, || {
+            polls += 1;
+            polls > 3
+        });
+        assert_eq!(got, None);
+        assert!(polls > 3);
+    }
+
+    #[test]
+    fn ready_list_depth_tracks_publish_minus_claim() {
+        let list = ReadyList::new(4);
+        assert_eq!(list.depth(), 0);
+        list.push(0);
+        list.push(1);
+        assert_eq!(list.depth(), 2);
+        let _ = list.claim();
+        assert_eq!(list.depth(), 1);
+    }
+
+    #[test]
+    fn ring_concurrent_producer_consumer_preserves_order() {
+        // Std-build smoke version of the loom model: one producer, one
+        // consumer, a ring much smaller than the stream.
+        let ring = Arc::new(SpscRing::with_capacity(4));
+        let n = 10_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    let mut v = i;
+                    while let Err(back) = ring.push(v) {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut expect = 0u64;
+        while expect < n {
+            if let Some(v) = ring.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(ring.pop().is_none());
+    }
+}

@@ -63,6 +63,7 @@ pub mod config;
 pub mod dag;
 pub mod engine;
 pub mod error;
+pub mod lane;
 pub mod module;
 pub mod online;
 pub mod registry;

@@ -72,6 +72,12 @@ impl fmt::Display for OutputMeta {
 /// Analysis modules receiving data from many upstream ports use the
 /// [`Envelope::source`] metadata (port name, origin) to tell the streams
 /// apart.
+///
+/// Both fields are `Arc`-backed ([`crate::value::Value`]'s heap variants
+/// hold `Arc<str>` / `Arc<[f64]>`), so `clone` is always a shallow
+/// reference-count bump — the engine broadcasts fan-out deliveries as
+/// such snapshots and *moves* the envelope into single-consumer edges
+/// without cloning at all (counted by `engine.env_clones.<id>`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// The emitting port.

@@ -118,24 +118,28 @@ proptest! {
         prop_assert_eq!(buf, naive_classify_k(&model, &raw, k));
     }
 
-    /// The deprecated `classify_k` wrappers stay pinned to the canonical
-    /// `classify_k_into` until they are removed.
+    /// `classify_k_into` is insensitive to the reused buffer's prior
+    /// contents and capacity — model and classifier context agree through
+    /// arbitrary dirty buffers.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_canonical(
+    fn classify_k_into_ignores_prior_buffer_contents(
         centroids in proptest::collection::vec(
             proptest::collection::vec(-10.0f64..10.0, DIM),
             1..5,
         ),
         raw in proptest::collection::vec(0.0f64..100.0, DIM),
+        garbage in proptest::collection::vec(0usize..1000, 0..32),
     ) {
         let model = model_from(&centroids, vec![1.0; DIM]);
         let k = model.centroids.len();
         let mut want = Vec::new();
         model.classify_k_into(&raw, k, &mut want);
-        prop_assert_eq!(&model.classify_k(&raw, k), &want);
+        let mut dirty = garbage.clone();
+        model.classify_k_into(&raw, k, &mut dirty);
+        prop_assert_eq!(&dirty, &want);
         let mut ctx = model.into_classifier();
-        let got: Vec<usize> = ctx.classify_k(&raw, k).collect();
+        let mut got = garbage;
+        ctx.classify_k_into(&raw, k, &mut got);
         prop_assert_eq!(got, want);
     }
 }

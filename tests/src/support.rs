@@ -160,6 +160,27 @@ pub fn random_dag_config(seed: u64) -> String {
     text
 }
 
+/// A broadcast-heavy synthetic DAG: one `pulse` root fanning out to
+/// `consumers` independent `mix` nodes (each on its own edge lane), with
+/// seed-varied period/burst/trigger parameters. This is the shape that
+/// maximizes single-producer fan-out — every emission is routed once per
+/// consumer — and the worst case for envelope-snapshot broadcasting.
+pub fn broadcast_config(consumers: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut text = format!(
+        "[pulse]\nid = root\nperiod = {}\nburst = {}\n\n",
+        rng.gen_range(1..=2u64),
+        rng.gen_range(1..=3u64),
+    );
+    for c in 0..consumers {
+        text.push_str(&format!(
+            "[mix]\nid = fan{c}\ntrigger = {}\ninput[i] = root.out\n\n",
+            rng.gen_range(1..=3usize),
+        ));
+    }
+    text
+}
+
 /// Every instance id declared in `config_text`, in declaration order.
 pub fn instance_ids(config_text: &str) -> Vec<String> {
     let cfg: Config = config_text.parse().expect("harness config parses");

@@ -113,6 +113,58 @@ fn engine_threads_compose_with_campaign_threads() {
     );
 }
 
+#[test]
+fn degenerate_and_stress_shapes_are_schedule_invariant() {
+    // Engine shapes the lock-free lanes must survive without special
+    // casing: a single-node DAG (no edges, no merges), a zero-edge DAG of
+    // disconnected roots, and worker counts far beyond the node count
+    // (the engine clamps workers to nodes, so oversubscription exercises
+    // the clamp plus idle-worker parking). 16 includes "more threads than
+    // any of these DAGs has nodes".
+    let shapes: [(&str, String); 3] = [
+        ("single-node", "[pulse]\nid = solo\nperiod = 1\nburst = 2\n\n".to_owned()),
+        (
+            "zero-edge",
+            "[pulse]\nid = a\nperiod = 1\nburst = 1\n\n\
+             [pulse]\nid = b\nperiod = 2\nburst = 3\n\n\
+             [pulse]\nid = c\nperiod = 3\nburst = 2\n\n"
+                .to_owned(),
+        ),
+        ("deep-trigger", support::random_dag_config(424_242)),
+    ];
+    for (name, config) in &shapes {
+        let reference = support::run_synthetic(config, 12, 1);
+        assert!(
+            reference.iter().any(|s| !s.is_empty()),
+            "{name}: reference run must emit"
+        );
+        for threads in [2, 4, 8, 16] {
+            let got = support::run_synthetic(config, 12, threads);
+            assert_eq!(&reference, &got, "{name} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn broadcast_heavy_fanout_is_schedule_invariant() {
+    // One producer, 16 consumers: every emission is snapshot-broadcast
+    // across 16 edge lanes. Seeds vary period/burst/trigger so lane
+    // occupancy differs per case; threads {2,4,8,16} cover partial pools
+    // through full oversubscription (17 nodes).
+    for seed in [1u64, 7, 23] {
+        let config = support::broadcast_config(16, seed);
+        let reference = support::run_synthetic(&config, 15, 1);
+        assert!(reference.iter().all(|s| !s.is_empty()), "seed {seed}");
+        for threads in [2, 4, 8, 16] {
+            let got = support::run_synthetic(&config, 15, threads);
+            assert_eq!(
+                &reference, &got,
+                "broadcast fan-out diverged: seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
