@@ -254,7 +254,10 @@ struct Parser {
 impl Parser {
     fn line(&mut self, line_no: usize, raw: &str) -> Result<(), ParseConfigError> {
         let line = raw.trim();
-        let err = |kind| ParseConfigError { line: line_no, kind };
+        let err = |kind| ParseConfigError {
+            line: line_no,
+            kind,
+        };
 
         if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
             return Ok(());
@@ -306,15 +309,17 @@ impl Parser {
             if current.inputs.iter().any(|(s, _)| s == slot) {
                 return Err(err(ParseConfigErrorKind::DuplicateInput(slot.to_owned())));
             }
-            let conn: Connection = value.parse().map_err(|()| {
-                err(ParseConfigErrorKind::MalformedConnection(value.to_owned()))
-            })?;
+            let conn: Connection = value
+                .parse()
+                .map_err(|()| err(ParseConfigErrorKind::MalformedConnection(value.to_owned())))?;
             current.inputs.push((slot.to_owned(), conn));
             return Ok(());
         }
 
         if current.params.contains_key(key) {
-            return Err(err(ParseConfigErrorKind::DuplicateParameter(key.to_owned())));
+            return Err(err(ParseConfigErrorKind::DuplicateParameter(
+                key.to_owned(),
+            )));
         }
         current.params.insert(key.to_owned(), value.to_owned());
         Ok(())
@@ -408,7 +413,9 @@ input[a] = @analysis
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let cfg: Config = "# leading comment\n\n[print]\n; another\nid = p\n".parse().unwrap();
+        let cfg: Config = "# leading comment\n\n[print]\n; another\nid = p\n"
+            .parse()
+            .unwrap();
         assert_eq!(cfg.instances().len(), 1);
     }
 
@@ -453,7 +460,9 @@ input[a] = @analysis
 
     #[test]
     fn duplicate_ids_inputs_and_params_are_rejected() {
-        let err = "[a]\nid = x\n\n[b]\nid = x\n".parse::<Config>().unwrap_err();
+        let err = "[a]\nid = x\n\n[b]\nid = x\n"
+            .parse::<Config>()
+            .unwrap_err();
         assert_eq!(
             err.kind,
             ParseConfigErrorKind::DuplicateInstanceId("x".into())
@@ -482,7 +491,9 @@ input[a] = @analysis
         );
         assert_eq!(
             "@a".parse::<Connection>().unwrap(),
-            Connection::AllOutputs { instance: "a".into() }
+            Connection::AllOutputs {
+                instance: "a".into()
+            }
         );
         assert!("".parse::<Connection>().is_err());
         assert!("@".parse::<Connection>().is_err());

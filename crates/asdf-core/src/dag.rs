@@ -199,11 +199,8 @@ impl Dag {
                         .expect("upstream initialized before dependent");
                     let sources: Vec<Arc<OutputMeta>> = match conn {
                         Connection::Port { output, .. } => {
-                            let found = upstream
-                                .outputs
-                                .iter()
-                                .find(|m| m.name == *output)
-                                .cloned();
+                            let found =
+                                upstream.outputs.iter().find(|m| m.name == *output).cloned();
                             match found {
                                 Some(m) => vec![m],
                                 None => {
@@ -243,12 +240,12 @@ impl Dag {
                         outputs: &mut outputs,
                         schedule: &mut schedule,
                     };
-                    module.init(&mut ctx).map_err(|source| {
-                        BuildDagError::ModuleInit {
+                    module
+                        .init(&mut ctx)
+                        .map_err(|source| BuildDagError::ModuleInit {
                             instance: inst.id.clone(),
                             source,
-                        }
-                    })?;
+                        })?;
                 }
 
                 initialized[cfg_idx] = Some(InitializedNode {
@@ -514,7 +511,9 @@ id = s
 
     #[test]
     fn unknown_instance_reference_is_reported() {
-        let cfg: Config = "[sink]\nid = k\ninput[a] = ghost.output0\n".parse().unwrap();
+        let cfg: Config = "[sink]\nid = k\ninput[a] = ghost.output0\n"
+            .parse()
+            .unwrap();
         let err = Dag::build(&registry(), &cfg).unwrap_err();
         assert!(
             matches!(err, BuildDagError::UnknownInstance { ref upstream, .. } if upstream == "ghost")

@@ -39,6 +39,19 @@
 //! *exactly* — the sharded engine is bitwise-equivalent to the serial one
 //! (`tests/tests/shard_equivalence.rs` holds the differential harness).
 //!
+//! # Batched hand-off
+//!
+//! [`TickEngine::set_batch_size`] raises the lane hand-off granularity:
+//! above 1, a producing visit accumulates its deliveries per edge and
+//! flushes whole `EnvBatch::Many` batches when the flush watermark (the
+//! batch size) is hit and again at end of run, and modules are entered
+//! through [`crate::module::Module::run_batch`] so migrated hot paths can
+//! process their whole backlog columnarly. Batch contents unpack in
+//! emission order on the consumer side, so every observable stays bitwise
+//! identical to the per-envelope path at any batch size and thread count;
+//! `engine.batch_len.<id>` histograms and `engine.batch_flush_total`
+//! expose the batch-size distribution actually achieved.
+//!
 //! Determinism is what makes the reproduction's experiments exactly
 //! repeatable; the threaded [`crate::online::OnlineEngine`] runs the same
 //! modules against a wall clock for genuinely online deployments.
@@ -48,13 +61,13 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
-use asdf_obs::{Counter, Gauge, SpanHandle};
+use asdf_obs::{Counter, Gauge, Histogram, SpanHandle};
 use parking_lot::Mutex;
 
 use crate::dag::{Dag, DagNode};
 use crate::error::RunEngineError;
 use crate::lane::{CachePadded, EdgeLane, ReadyList};
-use crate::module::{Envelope, PortId, RunCtx, RunReason};
+use crate::module::{Envelope, PortId, RowBlock, RowEmit, RunCtx, RunReason};
 use crate::time::{TickDuration, Timestamp};
 use crate::value::Sample;
 
@@ -132,8 +145,34 @@ impl TapHandle {
     }
 }
 
-/// The per-edge envelope lane: `(destination slot, envelope)` pairs.
-type EnvLane = EdgeLane<(usize, Envelope)>;
+/// One hand-off unit on an edge lane: a single delivery or a whole batch.
+///
+/// With the engine's batch size at 1 (the default), every emission takes
+/// the allocation-free [`EnvBatch::One`] path and the engine behaves —
+/// spill accounting included — exactly like the historical per-envelope
+/// lanes. With a batch size above 1, the producing visit accumulates
+/// deliveries per edge and flushes them as [`EnvBatch::Many`] when the
+/// flush watermark (the batch size) is reached and at the end of the run,
+/// so a batch never spans two runs. Consumers unpack batches in emission
+/// order, which keeps the merged queue contents — and therefore every
+/// observable — bitwise identical at any batch size.
+enum EnvBatch {
+    /// A single `(destination slot, envelope)` delivery.
+    One(usize, Envelope),
+    /// A flushed batch of deliveries for one edge, in emission order.
+    Many(Vec<(usize, Envelope)>),
+    /// A columnar [`RowBlock`] for one destination slot: a whole tick-range
+    /// of same-port vector rows sharing one allocation. Pushed only on
+    /// edges whose consumer opted in via
+    /// [`crate::module::Module::accepts_row_blocks`] and only when the
+    /// block holds more than one row; every other edge receives the
+    /// materialized per-sample envelopes instead, so observables never
+    /// depend on which representation travelled.
+    Rows(usize, Arc<RowBlock>),
+}
+
+/// The per-edge envelope lane, carrying single deliveries or whole batches.
+type EnvLane = EdgeLane<EnvBatch>;
 
 /// Static scheduling facts about one node, shared by every engine worker.
 ///
@@ -176,6 +215,40 @@ struct RuntimeNode {
     /// Shared handle on `engine.lane.spill_total`: emissions that
     /// overflowed a lane's ring onto its spill stack.
     spill_count: Arc<Counter>,
+    /// Lane hand-off granularity: 1 = one [`EnvBatch::One`] per emission
+    /// (the historical path), >1 = accumulate per-edge batches and flush
+    /// at this watermark. Observables are identical at any setting.
+    batch_size: usize,
+    /// Global index of this node's first outgoing edge; edges are numbered
+    /// producer-major, so `edge - first_edge` is the local lane index into
+    /// `batch_bufs`.
+    first_edge: usize,
+    /// Per-outgoing-edge accumulation buffers for the batched path, all
+    /// flushed before `run_module` returns (a batch never spans runs).
+    batch_bufs: Vec<Vec<(usize, Envelope)>>,
+    /// `engine.batch_len.<id>`: log-bucket histogram of flushed batch
+    /// lengths — the batch-size distribution this node actually achieves.
+    batch_hist: Arc<Histogram>,
+    /// Shared handle on `engine.batch_flush_total`: batches flushed into
+    /// lanes across the engine (watermark and end-of-run flushes alike).
+    flush_count: Arc<Counter>,
+    /// Envelope deliveries routed into edge lanes by this node — the
+    /// transport volume behind [`TickEngine::envelopes_routed`].
+    routed: u64,
+    /// Whether this node's module consumes whole [`RowBlock`]s (set once
+    /// from [`crate::module::Module::accepts_row_blocks`]).
+    accepts_rows: bool,
+    /// Per outgoing lane: does the edge's consumer accept row blocks?
+    /// Indexed like `batch_bufs` (`edge - first_edge`).
+    edge_accepts: Vec<bool>,
+    /// Undelivered [`RowBlock`]s per input slot, in arrival order. The
+    /// merge invariant: a slot never has rows here *and* envelopes in its
+    /// queue — an arriving envelope settles (materializes) the slot's
+    /// blocks into the queue first, so per-slot order is always total.
+    row_backlog: Vec<(usize, Arc<RowBlock>)>,
+    /// Reusable scratch for the module's `emit_row` accumulation, routed
+    /// after the scalar emissions of the same run.
+    row_emit: Vec<RowEmit>,
 }
 
 /// Deterministic simulated-time executor for a module [`Dag`].
@@ -224,6 +297,9 @@ pub struct TickEngine {
     /// Requested engine worker count: `1` = serial, `0` = all available
     /// parallelism, resolved per [`TickEngine::run_for`] call.
     threads: usize,
+    /// Lane hand-off granularity, mirrored into every node (see
+    /// [`RuntimeNode::batch_size`]); 1 = per-envelope hand-off.
+    batch_size: usize,
     now: Timestamp,
     scratch: Vec<(PortId, Sample)>,
     /// Wraps each whole [`TickEngine::tick`], so per-module spans nest
@@ -263,30 +339,32 @@ impl TickEngine {
         // per-consumer merge lists sorted by upstream topological index.
         let mut plan: Vec<NodePlan> = Vec::with_capacity(n);
         let mut route_maps: Vec<Vec<Vec<(usize, usize)>>> = Vec::with_capacity(n);
+        let mut first_edges: Vec<usize> = Vec::with_capacity(n);
         let mut edge_count = 0usize;
         for node in &dag.nodes {
+            first_edges.push(edge_count);
             let mut downstreams: Vec<usize> = Vec::new();
             // `edge_count + local lane` is the edge's global id: edges are
             // numbered producer-major, lane order within the producer.
-            let route_map = node
-                .routes
-                .iter()
-                .map(|targets| {
-                    targets
-                        .iter()
-                        .map(|&(dst, slot)| {
-                            let lane = downstreams
-                                .iter()
-                                .position(|&d| d == dst)
-                                .unwrap_or_else(|| {
-                                    downstreams.push(dst);
-                                    downstreams.len() - 1
-                                });
-                            (edge_count + lane, slot)
-                        })
-                        .collect()
-                })
-                .collect();
+            let route_map =
+                node.routes
+                    .iter()
+                    .map(|targets| {
+                        targets
+                            .iter()
+                            .map(|&(dst, slot)| {
+                                let lane = downstreams
+                                    .iter()
+                                    .position(|&d| d == dst)
+                                    .unwrap_or_else(|| {
+                                        downstreams.push(dst);
+                                        downstreams.len() - 1
+                                    });
+                                (edge_count + lane, slot)
+                            })
+                            .collect()
+                    })
+                    .collect();
             edge_count += downstreams.len();
             route_maps.push(route_map);
             plan.push(NodePlan {
@@ -311,11 +389,18 @@ impl TickEngine {
             .collect();
 
         let spill_count = reg.counter("engine.lane.spill_total");
+        let flush_count = reg.counter("engine.batch_flush_total");
+        let accepts: Vec<bool> = dag
+            .nodes
+            .iter()
+            .map(|n| n.module.accepts_row_blocks())
+            .collect();
         let nodes = dag
             .nodes
             .into_iter()
             .zip(&plan)
-            .map(|(node, _)| {
+            .enumerate()
+            .map(|(idx, (node, p))| {
                 let span = SpanHandle::new(
                     "engine",
                     node.id.as_str(),
@@ -323,6 +408,7 @@ impl TickEngine {
                 );
                 let lane_gauge = reg.gauge(&format!("engine.lane_depth.{}", node.id));
                 let clone_count = reg.counter(&format!("engine.env_clones.{}", node.id));
+                let batch_hist = reg.histogram(&format!("engine.batch_len.{}", node.id));
                 RuntimeNode {
                     next_periodic: node.schedule.periodic.map(|_| Timestamp::EPOCH),
                     queues: vec![VecDeque::new(); node.slots.len()],
@@ -335,6 +421,16 @@ impl TickEngine {
                     lane_gauge,
                     clone_count,
                     spill_count: Arc::clone(&spill_count),
+                    batch_size: 1,
+                    first_edge: first_edges[idx],
+                    batch_bufs: vec![Vec::new(); p.downstreams.len()],
+                    batch_hist,
+                    flush_count: Arc::clone(&flush_count),
+                    routed: 0,
+                    accepts_rows: accepts[idx],
+                    edge_accepts: p.downstreams.iter().map(|&d| accepts[d]).collect(),
+                    row_backlog: Vec::new(),
+                    row_emit: Vec::new(),
                 }
             })
             .collect();
@@ -343,6 +439,7 @@ impl TickEngine {
             plan,
             lanes,
             threads,
+            batch_size: 1,
             now: Timestamp::EPOCH,
             scratch: Vec::new(),
             tick_span: SpanHandle::new("engine", "tick", reg.histogram("engine.tick_ns")),
@@ -366,6 +463,39 @@ impl TickEngine {
     /// parallelism). Results are identical at any setting.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
+    }
+
+    /// The current lane batch size (1 = per-envelope hand-off).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Changes the lane hand-off granularity: with `batch_size > 1` each
+    /// producing run accumulates per-edge batches and flushes them at this
+    /// watermark (and at end of run), and modules are entered through
+    /// [`crate::module::Module::run_batch`]. Observables — envelope
+    /// streams, tap contents, error attribution — are bitwise identical at
+    /// any setting and any thread count; the knob only changes hand-off
+    /// amortization. `0` is treated as `1`.
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        let batch_size = batch_size.max(1);
+        self.batch_size = batch_size;
+        for rt in &mut self.nodes {
+            rt.batch_size = batch_size;
+            if batch_size > 1 {
+                for buf in &mut rt.batch_bufs {
+                    buf.reserve(batch_size);
+                }
+            }
+        }
+    }
+
+    /// Total envelope deliveries routed into edge lanes since
+    /// construction, summed across nodes — the denominator for
+    /// envelopes/sec transport throughput (taps and dropped emissions are
+    /// not transport and are excluded).
+    pub fn envelopes_routed(&self) -> u64 {
+        self.nodes.iter().map(|rt| rt.routed).sum()
     }
 
     /// Registers a tap on the instance with id `id`, returning a handle that
@@ -392,8 +522,8 @@ impl TickEngine {
     /// Propagates the first module failure as a [`RunEngineError`]; the
     /// engine should be discarded afterwards.
     pub fn tick(&mut self) -> Result<(), RunEngineError> {
-        self.obs_this_tick = asdf_obs::enabled()
-            && (asdf_obs::tracing_on() || self.tick_sampler.sample());
+        self.obs_this_tick =
+            asdf_obs::enabled() && (asdf_obs::tracing_on() || self.tick_sampler.sample());
         let obs = self.obs_this_tick;
         let tick_span = self.tick_span.clone();
         let _tick_timer = obs.then(|| tick_span.enter_forced());
@@ -418,10 +548,24 @@ impl TickEngine {
             return;
         }
         let dst = &mut self.nodes[idx];
+        let accepts = dst.accepts_rows;
         for &(_u, edge) in merge {
-            self.lanes[edge].drain_into(|(slot, env)| {
-                dst.queues[slot].push_back(env);
-                dst.pending += 1;
+            self.lanes[edge].drain_into(|batch| match batch {
+                EnvBatch::One(slot, env) => {
+                    if !dst.row_backlog.is_empty() {
+                        settle_backlog(&mut dst.queues, &mut dst.row_backlog, slot);
+                    }
+                    dst.queues[slot].push_back(env);
+                    dst.pending += 1;
+                }
+                EnvBatch::Many(items) => {
+                    dst.pending += items.len();
+                    deliver_many(&mut dst.queues, &mut dst.row_backlog, items);
+                }
+                EnvBatch::Rows(slot, block) => {
+                    dst.pending += block.len();
+                    deliver_rows(&mut dst.queues, &mut dst.row_backlog, accepts, slot, block);
+                }
             });
         }
     }
@@ -509,8 +653,8 @@ impl TickEngine {
             let mut out = Ok(());
             let mut solo_streak: u32 = 0;
             for t in 0..ticks {
-                let obs = asdf_obs::enabled()
-                    && (asdf_obs::tracing_on() || self.tick_sampler.sample());
+                let obs =
+                    asdf_obs::enabled() && (asdf_obs::tracing_on() || self.tick_sampler.sample());
                 self.obs_this_tick = obs;
                 let tick_span = self.tick_span.clone();
                 let _tick_timer = obs.then(|| tick_span.enter_forced());
@@ -520,8 +664,7 @@ impl TickEngine {
                 // one core, where waking parked workers is pure futex
                 // overhead), stop notifying except for a periodic probe.
                 // Spinning workers keep observing generation regardless.
-                let wake =
-                    solo_streak < SOLO_TICKS_BEFORE_LAZY || t % LAZY_PROBE_PERIOD == 0;
+                let wake = solo_streak < SOLO_TICKS_BEFORE_LAZY || t % LAZY_PROBE_PERIOD == 0;
                 run.release_tick(wake);
                 let own = run.drain(0, &mut scratch);
                 run.wait_tick_done();
@@ -610,14 +753,23 @@ fn run_module(
         queues: &mut rt.queues,
         emitted,
         n_outputs: rt.node.outputs.len(),
+        emitted_rows: &mut rt.row_emit,
+        row_backlog: &mut rt.row_backlog,
     };
+    let batch_size = rt.batch_size;
     let result = {
         let _timer = obs.then(|| rt.span.enter_forced());
-        rt.node.module.run(&mut ctx, reason)
+        if batch_size > 1 {
+            rt.node.module.run_batch(&mut ctx, reason)
+        } else {
+            rt.node.module.run(&mut ctx, reason)
+        }
     };
-    rt.pending = rt.queues.iter().map(VecDeque::len).sum();
+    rt.pending = rt.queues.iter().map(VecDeque::len).sum::<usize>()
+        + rt.row_backlog.iter().map(|(_, b)| b.len()).sum::<usize>();
     if let Err(source) = result {
         emitted.clear();
+        rt.row_emit.clear();
         return Err(RunEngineError {
             instance: rt.node.id.clone(),
             at_secs: now.as_secs(),
@@ -626,6 +778,7 @@ fn run_module(
     }
     let mut clones = 0u64;
     let mut spills = 0u64;
+    let mut flushes = 0u64;
     for (port, sample) in emitted.drain(..) {
         let env = Envelope {
             source: Arc::clone(&rt.node.outputs[port.index()]),
@@ -637,14 +790,40 @@ fn run_module(
                 tap.push(env.clone());
                 clones += 1;
             }
-            for &(edge, slot) in rest {
-                clones += 1;
-                if !lanes[edge].push((slot, env.clone())) {
+            rt.routed += routes.len() as u64;
+            if batch_size > 1 {
+                for &(edge, slot) in rest {
+                    clones += 1;
+                    let buf = &mut rt.batch_bufs[edge - rt.first_edge];
+                    buf.push((slot, env.clone()));
+                    if buf.len() >= batch_size {
+                        flush_batch(lanes, edge, buf, batch_size, &rt.batch_hist, &mut spills);
+                        flushes += 1;
+                    }
+                }
+                let buf = &mut rt.batch_bufs[last_edge - rt.first_edge];
+                buf.push((last_slot, env));
+                if buf.len() >= batch_size {
+                    flush_batch(
+                        lanes,
+                        last_edge,
+                        buf,
+                        batch_size,
+                        &rt.batch_hist,
+                        &mut spills,
+                    );
+                    flushes += 1;
+                }
+            } else {
+                for &(edge, slot) in rest {
+                    clones += 1;
+                    if !lanes[edge].push(EnvBatch::One(slot, env.clone())) {
+                        spills += 1;
+                    }
+                }
+                if !lanes[last_edge].push(EnvBatch::One(last_slot, env)) {
                     spills += 1;
                 }
-            }
-            if !lanes[last_edge].push((last_slot, env)) {
-                spills += 1;
             }
         } else if let Some((last, rest)) = rt.taps.split_last() {
             for tap in rest {
@@ -655,13 +834,269 @@ fn run_module(
         }
         // No routes and no taps: the envelope is dropped without a clone.
     }
+    // Row emissions route after the scalar ones of the same run — on every
+    // engine configuration, so the two paths order identically. Each
+    // accumulated entry becomes one shared columnar block on edges whose
+    // consumer opted in, and materializes into the exact per-sample
+    // envelopes everywhere else (taps included).
+    if !rt.row_emit.is_empty() {
+        let mut entries = std::mem::take(&mut rt.row_emit);
+        for entry in entries.drain(..) {
+            if entry.stamps.is_empty() {
+                continue;
+            }
+            let block = RowBlock {
+                source: Arc::clone(&rt.node.outputs[entry.port.index()]),
+                dim: entry.dim,
+                stamps: entry.stamps,
+                data: entry.data,
+            };
+            let n_rows = block.len();
+            for r in 0..n_rows {
+                for tap in &rt.taps {
+                    tap.push(block.envelope(r));
+                    clones += 1;
+                }
+            }
+            let routes = &rt.route_map[entry.port.index()];
+            if routes.is_empty() {
+                continue;
+            }
+            rt.routed += (n_rows * routes.len()) as u64;
+            if batch_size > 1 && n_rows > 1 {
+                let block = Arc::new(block);
+                for (i, &(edge, slot)) in routes.iter().enumerate() {
+                    let lane_idx = edge - rt.first_edge;
+                    if rt.edge_accepts[lane_idx] {
+                        // Edge FIFO: scalars accumulated for this edge
+                        // earlier in the run must leave before the block.
+                        if !rt.batch_bufs[lane_idx].is_empty() {
+                            flush_batch(
+                                lanes,
+                                edge,
+                                &mut rt.batch_bufs[lane_idx],
+                                batch_size,
+                                &rt.batch_hist,
+                                &mut spills,
+                            );
+                            flushes += 1;
+                        }
+                        rt.batch_hist.record(n_rows as u64);
+                        if !lanes[edge].push(EnvBatch::Rows(slot, Arc::clone(&block))) {
+                            spills += 1;
+                        }
+                        flushes += 1;
+                        if i > 0 {
+                            clones += 1;
+                        }
+                    } else {
+                        // Consumer did not opt in: per-sample envelopes
+                        // through the ordinary batched accumulation.
+                        let buf = &mut rt.batch_bufs[lane_idx];
+                        for r in 0..n_rows {
+                            buf.push((slot, block.envelope(r)));
+                            if buf.len() >= batch_size {
+                                flush_batch(
+                                    lanes,
+                                    edge,
+                                    buf,
+                                    batch_size,
+                                    &rt.batch_hist,
+                                    &mut spills,
+                                );
+                                flushes += 1;
+                            }
+                        }
+                        if i > 0 {
+                            clones += n_rows as u64;
+                        }
+                    }
+                }
+            } else {
+                // Per-sample degradation: batch size 1, or a single-row
+                // entry whose Arc + block bookkeeping would cost more than
+                // it saves.
+                let (&(last_edge, last_slot), rest) =
+                    routes.split_last().expect("routes checked non-empty");
+                for r in 0..n_rows {
+                    let env = block.envelope(r);
+                    if batch_size > 1 {
+                        for &(edge, slot) in rest {
+                            clones += 1;
+                            let buf = &mut rt.batch_bufs[edge - rt.first_edge];
+                            buf.push((slot, env.clone()));
+                            if buf.len() >= batch_size {
+                                flush_batch(
+                                    lanes,
+                                    edge,
+                                    buf,
+                                    batch_size,
+                                    &rt.batch_hist,
+                                    &mut spills,
+                                );
+                                flushes += 1;
+                            }
+                        }
+                        let buf = &mut rt.batch_bufs[last_edge - rt.first_edge];
+                        buf.push((last_slot, env));
+                        if buf.len() >= batch_size {
+                            flush_batch(
+                                lanes,
+                                last_edge,
+                                buf,
+                                batch_size,
+                                &rt.batch_hist,
+                                &mut spills,
+                            );
+                            flushes += 1;
+                        }
+                    } else {
+                        for &(edge, slot) in rest {
+                            clones += 1;
+                            if !lanes[edge].push(EnvBatch::One(slot, env.clone())) {
+                                spills += 1;
+                            }
+                        }
+                        if !lanes[last_edge].push(EnvBatch::One(last_slot, env)) {
+                            spills += 1;
+                        }
+                    }
+                }
+            }
+        }
+        rt.row_emit = entries;
+    }
+    if batch_size > 1 {
+        // End-of-run flush: whatever accumulated below the watermark goes
+        // out now, so a batch never spans two runs and downstream visits
+        // this tick see everything the serial per-envelope path would.
+        for lane_idx in 0..rt.batch_bufs.len() {
+            if !rt.batch_bufs[lane_idx].is_empty() {
+                let edge = rt.first_edge + lane_idx;
+                flush_batch(
+                    lanes,
+                    edge,
+                    &mut rt.batch_bufs[lane_idx],
+                    batch_size,
+                    &rt.batch_hist,
+                    &mut spills,
+                );
+                flushes += 1;
+            }
+        }
+    }
     if clones > 0 {
         rt.clone_count.add(clones);
     }
     if spills > 0 {
         rt.spill_count.add(spills);
     }
+    if flushes > 0 {
+        rt.flush_count.add(flushes);
+    }
     Ok(())
+}
+
+/// Unpacks a [`EnvBatch::Many`] into a consumer's slot queues in emission
+/// order. Consecutive same-slot runs (the common case: most batches come
+/// from a single output port) share one queue borrow and one bulk
+/// reservation instead of a fresh indexed lookup per envelope. Any row
+/// blocks pending for a touched slot settle into the queue first, so the
+/// slot's total order matches the per-sample path's exactly.
+fn deliver_many(
+    queues: &mut [VecDeque<Envelope>],
+    backlog: &mut Vec<(usize, Arc<RowBlock>)>,
+    items: Vec<(usize, Envelope)>,
+) {
+    let mut iter = items.into_iter().peekable();
+    while let Some((slot, env)) = iter.next() {
+        if !backlog.is_empty() {
+            settle_backlog(queues, backlog, slot);
+        }
+        let q = &mut queues[slot];
+        q.push_back(env);
+        while let Some((next_slot, _)) = iter.peek() {
+            if *next_slot != slot {
+                break;
+            }
+            let (_, env) = iter.next().expect("peeked");
+            q.push_back(env);
+        }
+    }
+}
+
+/// Delivers a columnar block to one input slot.
+///
+/// The block stays whole — appended to the row backlog for a zero-copy
+/// [`crate::module::RunCtx::take_row_blocks`] — only when the consumer
+/// opted in *and* the slot's queue is empty; otherwise it materializes
+/// behind the queued envelopes. Together with [`settle_backlog`] on the
+/// envelope arms this keeps the per-slot invariant: rows in the backlog
+/// are always newer than everything in the slot's queue.
+fn deliver_rows(
+    queues: &mut [VecDeque<Envelope>],
+    backlog: &mut Vec<(usize, Arc<RowBlock>)>,
+    accepts: bool,
+    slot: usize,
+    block: Arc<RowBlock>,
+) {
+    if accepts && queues[slot].is_empty() {
+        backlog.push((slot, block));
+    } else {
+        materialize_block(&mut queues[slot], &block);
+    }
+}
+
+/// Materializes every pending block of `slot` into its queue, in arrival
+/// order, ahead of an incoming per-sample envelope.
+fn settle_backlog(
+    queues: &mut [VecDeque<Envelope>],
+    backlog: &mut Vec<(usize, Arc<RowBlock>)>,
+    slot: usize,
+) {
+    backlog.retain(|&(s, ref block)| {
+        if s != slot {
+            return true;
+        }
+        materialize_block(&mut queues[slot], block);
+        false
+    });
+}
+
+/// Appends a block's rows to a queue as the exact envelopes the per-sample
+/// path would have delivered.
+fn materialize_block(q: &mut VecDeque<Envelope>, block: &RowBlock) {
+    q.reserve(block.len());
+    for r in 0..block.len() {
+        q.push_back(block.envelope(r));
+    }
+}
+
+/// Pushes one accumulated batch into its edge lane, recording its length
+/// into the node's `engine.batch_len.<id>` histogram. A one-element batch
+/// degrades to the allocation-free [`EnvBatch::One`]; larger ones hand the
+/// buffer off wholesale, leaving a fresh watermark-capacity buffer behind
+/// so the next accumulation never re-grows through doubling reallocations.
+/// Spills are counted per batch pushed, since the batch is the lane's unit
+/// of hand-off.
+fn flush_batch(
+    lanes: &[EnvLane],
+    edge: usize,
+    buf: &mut Vec<(usize, Envelope)>,
+    batch_size: usize,
+    hist: &Histogram,
+    spills: &mut u64,
+) {
+    hist.record(buf.len() as u64);
+    let batch = if buf.len() == 1 {
+        let (slot, env) = buf.pop().expect("flush_batch requires a non-empty buffer");
+        EnvBatch::One(slot, env)
+    } else {
+        EnvBatch::Many(std::mem::replace(buf, Vec::with_capacity(batch_size)))
+    };
+    if !lanes[edge].push(batch) {
+        *spills += 1;
+    }
 }
 
 /// A [`RuntimeNode`] shared across the worker pool *without* a lock.
@@ -872,11 +1307,26 @@ impl ShardRun<'_> {
                 // each lane's sole consumer (and nobody is producing).
                 let queues = &mut rt.queues;
                 let pending = &mut rt.pending;
+                let backlog = &mut rt.row_backlog;
+                let accepts = rt.accepts_rows;
                 for &(u, edge) in &self.plan[idx].merge {
                     debug_assert!(u < idx);
-                    self.lanes[edge].drain_into(|(slot, env)| {
-                        queues[slot].push_back(env);
-                        *pending += 1;
+                    self.lanes[edge].drain_into(|batch| match batch {
+                        EnvBatch::One(slot, env) => {
+                            if !backlog.is_empty() {
+                                settle_backlog(queues, backlog, slot);
+                            }
+                            queues[slot].push_back(env);
+                            *pending += 1;
+                        }
+                        EnvBatch::Many(items) => {
+                            *pending += items.len();
+                            deliver_many(queues, backlog, items);
+                        }
+                        EnvBatch::Rows(slot, block) => {
+                            *pending += block.len();
+                            deliver_rows(queues, backlog, accepts, slot, block);
+                        }
                     });
                 }
             }
@@ -936,6 +1386,7 @@ impl std::fmt::Debug for TickEngine {
         f.debug_struct("TickEngine")
             .field("now", &self.now)
             .field("threads", &self.threads)
+            .field("batch_size", &self.batch_size)
             .field("nodes", &self.nodes.len())
             .field("lanes", &self.lanes.len())
             .finish()
@@ -1016,6 +1467,171 @@ mod tests {
         }
     }
 
+    /// Emits `burst` deterministic vector rows per tick through
+    /// [`RunCtx::emit_row`] — the columnar producer fixture.
+    struct RowBurst {
+        port: Option<PortId>,
+        burst: usize,
+        dim: usize,
+        count: u64,
+    }
+    impl Module for RowBurst {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("rows"));
+            self.burst = ctx.parse_param_or("burst", 1usize)?;
+            self.dim = ctx.parse_param_or("dim", 3usize)?;
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            let mut row = vec![0.0; self.dim];
+            for _ in 0..self.burst {
+                self.count += 1;
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = (self.count * 31 + j as u64) as f64 * 0.5;
+                }
+                ctx.emit_row(self.port.unwrap(), &row);
+            }
+            Ok(())
+        }
+    }
+
+    /// Order-sensitive fold over numeric samples: each component feeds a
+    /// non-commutative accumulator, so any reordering, loss, or duplication
+    /// anywhere upstream changes every digest after it. Opts into row
+    /// blocks via the `accept` parameter; `report = 1` additionally emits
+    /// the cumulative count of whole blocks received (port `blocks`).
+    struct RowFold {
+        digest: Option<PortId>,
+        blocks: Option<PortId>,
+        acc: f64,
+        accept: bool,
+        report: bool,
+        blocks_seen: u64,
+    }
+    impl RowFold {
+        fn fold(&mut self, ts: Timestamp, value: &Value) {
+            let t = ts.as_secs() as f64;
+            match value {
+                Value::Vector(v) => {
+                    for &x in v.iter() {
+                        self.acc = self.acc.mul_add(1.000_000_1, x + t);
+                    }
+                }
+                Value::Int(x) => self.acc = self.acc.mul_add(1.000_000_1, *x as f64 + t),
+                Value::Float(x) => self.acc = self.acc.mul_add(1.000_000_1, x + t),
+                _ => {}
+            }
+        }
+        fn fold_row(&mut self, ts: Timestamp, row: &[f64]) {
+            let t = ts.as_secs() as f64;
+            for &x in row {
+                self.acc = self.acc.mul_add(1.000_000_1, x + t);
+            }
+        }
+    }
+    impl Module for RowFold {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.digest = Some(ctx.declare_output("digest"));
+            self.accept = ctx.parse_param_or("accept", 1u8)? != 0;
+            self.report = ctx.parse_param_or("report", 0u8)? != 0;
+            if self.report {
+                self.blocks = Some(ctx.declare_output("blocks"));
+            }
+            let trigger = ctx.parse_param_or("trigger", 1usize)?;
+            ctx.set_input_trigger(trigger);
+            Ok(())
+        }
+        fn accepts_row_blocks(&self) -> bool {
+            self.accept
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            for (_, env) in ctx.drain_all() {
+                self.fold(env.sample.timestamp, &env.sample.value);
+            }
+            ctx.emit(self.digest.unwrap(), self.acc);
+            if self.report {
+                ctx.emit(self.blocks.unwrap(), self.blocks_seen as i64);
+            }
+            Ok(())
+        }
+        fn run_batch(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            // Queue first, then blocks: the engine's per-slot invariant is
+            // that backlog rows are newer than every queued envelope.
+            let blocks = ctx.take_row_blocks();
+            for (_, env) in ctx.drain_all() {
+                self.fold(env.sample.timestamp, &env.sample.value);
+            }
+            for (_, block) in &blocks {
+                for (ts, row) in block.rows() {
+                    self.fold_row(ts, row);
+                }
+            }
+            self.blocks_seen += blocks.len() as u64;
+            ctx.emit(self.digest.unwrap(), self.acc);
+            if self.report {
+                ctx.emit(self.blocks.unwrap(), self.blocks_seen as i64);
+            }
+            Ok(())
+        }
+    }
+
+    /// Interleaves scalar `emit` and columnar `emit_row` in one run, so the
+    /// scalars-before-rows routing order is observable downstream.
+    struct MixedEmit {
+        port: Option<PortId>,
+        count: u64,
+    }
+    impl Module for MixedEmit {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("out"));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            let port = self.port.unwrap();
+            for _ in 0..2 {
+                self.count += 1;
+                ctx.emit(port, self.count as i64);
+            }
+            for _ in 0..3 {
+                self.count += 1;
+                ctx.emit_row(port, &[self.count as f64, -(self.count as f64)]);
+            }
+            Ok(())
+        }
+    }
+
+    /// Alternates rows-only and scalar-only ticks on one port: a pending
+    /// row block must settle into the queue when the later scalar arrives
+    /// (the consumer's trigger spans both ticks).
+    struct PhasedEmit {
+        port: Option<PortId>,
+        count: u64,
+        tick: u64,
+    }
+    impl Module for PhasedEmit {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.port = Some(ctx.declare_output("out"));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            let port = self.port.unwrap();
+            self.tick += 1;
+            if self.tick % 2 == 1 {
+                for _ in 0..3 {
+                    self.count += 1;
+                    ctx.emit_row(port, &[self.count as f64 * 0.25, self.count as f64]);
+                }
+            } else {
+                self.count += 1;
+                ctx.emit(port, self.count as i64);
+            }
+            Ok(())
+        }
+    }
+
     struct FailAt {
         at: i64,
         count: i64,
@@ -1057,6 +1673,37 @@ mod tests {
             })
         });
         reg.register("failat", || Box::new(FailAt { at: 0, count: 0 }));
+        reg.register("rowburst", || {
+            Box::new(RowBurst {
+                port: None,
+                burst: 1,
+                dim: 3,
+                count: 0,
+            })
+        });
+        reg.register("rowfold", || {
+            Box::new(RowFold {
+                digest: None,
+                blocks: None,
+                acc: 0.0,
+                accept: true,
+                report: false,
+                blocks_seen: 0,
+            })
+        });
+        reg.register("mixed", || {
+            Box::new(MixedEmit {
+                port: None,
+                count: 0,
+            })
+        });
+        reg.register("phased", || {
+            Box::new(PhasedEmit {
+                port: None,
+                count: 0,
+                tick: 0,
+            })
+        });
         reg
     }
 
@@ -1108,9 +1755,7 @@ mod tests {
 
     #[test]
     fn input_trigger_batches_runs() {
-        let mut eng = engine(
-            "[source]\nid = s\n\n[acc]\nid = a\ntrigger = 3\ninput[i] = s.out\n",
-        );
+        let mut eng = engine("[source]\nid = s\n\n[acc]\nid = a\ntrigger = 3\ninput[i] = s.out\n");
         let tap = eng.tap("a").unwrap();
         eng.run_for(TickDuration::from_secs(7)).unwrap();
         // Runs at t=2 (samples 1+2+3=6) and t=5 (4+5+6 -> 21).
@@ -1135,7 +1780,9 @@ mod tests {
         // Two independent failing chains: the reported error must name the
         // topologically-first one, exactly as the serial engine does.
         let cfg = "[failat]\nid = f1\nat = 3\n\n[failat]\nid = f2\nat = 3\n";
-        let serial = engine(cfg).run_for(TickDuration::from_secs(10)).unwrap_err();
+        let serial = engine(cfg)
+            .run_for(TickDuration::from_secs(10))
+            .unwrap_err();
         let sharded = engine_with_threads(cfg, 4)
             .run_for(TickDuration::from_secs(10))
             .unwrap_err();
@@ -1347,6 +1994,86 @@ input[i] = join.total
     }
 
     #[test]
+    fn batched_streams_match_per_sample_bitwise() {
+        // The engine-level differential check: at any batch size and any
+        // thread count, every tapped stream must equal the per-envelope
+        // serial reference with `==`. 7 covers the non-power-of-two and
+        // partial-final-batch cases; 64 exceeds any per-tick emission
+        // volume so whole backlogs ride single batches.
+        let ids = ["s1", "s2", "r1", "r2", "join", "sink"];
+        let reference: Vec<Vec<Envelope>> = {
+            let mut eng = engine(FAN_IN_CFG);
+            let taps: Vec<_> = ids.iter().map(|id| eng.tap(id).unwrap()).collect();
+            eng.run_for(TickDuration::from_secs(25)).unwrap();
+            taps.iter().map(TapHandle::drain).collect()
+        };
+        assert!(reference.iter().all(|s| !s.is_empty()));
+        for batch in [2, 7, 64] {
+            for threads in [1, 4] {
+                let mut eng = engine_with_threads(FAN_IN_CFG, threads);
+                eng.set_batch_size(batch);
+                assert_eq!(eng.batch_size(), batch);
+                let taps: Vec<_> = ids.iter().map(|id| eng.tap(id).unwrap()).collect();
+                eng.run_for(TickDuration::from_secs(25)).unwrap();
+                let streams: Vec<Vec<Envelope>> = taps.iter().map(TapHandle::drain).collect();
+                assert_eq!(reference, streams, "batch={batch} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_bursts_survive_lane_overflow() {
+        // 40 emissions per tick at watermark 4 = 10 batches through a
+        // 16-slot ring: stays under ring capacity where the per-envelope
+        // path spills, and the delivered stream is still identical.
+        let cfg = "[burst]\nid = bb_src\nburst = 40\n\n\
+                   [acc]\nid = bb_sink\ntrigger = 40\ninput[i] = bb_src.out\n";
+        for batch in [4, 64] {
+            let mut eng = engine(cfg);
+            eng.set_batch_size(batch);
+            let tap = eng.tap("bb_sink").unwrap();
+            eng.run_for(TickDuration::from_secs(2)).unwrap();
+            let totals: Vec<i64> = tap
+                .drain()
+                .iter()
+                .map(|e| e.sample.value.as_int().unwrap())
+                .collect();
+            assert_eq!(totals, [820, 3240], "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batch_metrics_feed_the_obs_layer() {
+        // Unique ids so the histogram belongs to this test alone; the
+        // flush counter is engine-global, so assert on its delta.
+        let cfg = "[burst]\nid = bm_src\nburst = 10\n\n\
+                   [acc]\nid = bm_sink\ntrigger = 10\ninput[i] = bm_src.out\n";
+        let reg = asdf_obs::registry();
+        let flushes_before = reg.counter("engine.batch_flush_total").get();
+        let mut eng = engine(cfg);
+        eng.set_batch_size(4);
+        eng.run_for(TickDuration::from_secs(3)).unwrap();
+        // 10 emissions per tick at watermark 4: flushes of 4, 4, 2 — three
+        // per tick, batch lengths capped by the watermark.
+        assert_eq!(
+            reg.counter("engine.batch_flush_total").get(),
+            flushes_before + 9
+        );
+        let hist = reg.histogram("engine.batch_len.bm_src");
+        assert_eq!(hist.count(), 9);
+        assert_eq!(hist.sum(), 30, "every emission rides exactly one batch");
+        // Lengths 4 and 2 land in the [4,8) and [2,4) log buckets.
+        assert!(hist.snapshot().max_bound() <= 7);
+    }
+
+    #[test]
+    fn batch_size_zero_is_treated_as_one() {
+        let mut eng = engine("[source]\nid = s\n");
+        eng.set_batch_size(0);
+        assert_eq!(eng.batch_size(), 1);
+    }
+
+    #[test]
     fn thread_count_zero_resolves_to_available_parallelism() {
         let mut eng = engine_with_threads("[source]\nid = s\n", 0);
         assert_eq!(eng.threads(), 0);
@@ -1355,5 +2082,134 @@ input[i] = join.total
         assert_eq!(tap.len(), 3);
         eng.set_threads(2);
         assert_eq!(eng.threads(), 2);
+    }
+
+    /// Runs `cfg` for `ticks` seconds at the given engine shape and returns
+    /// the sink's tapped stream as `(secs, value)` pairs.
+    fn tapped_stream(
+        cfg: &str,
+        sink: &str,
+        ticks: u64,
+        threads: usize,
+        batch: usize,
+    ) -> Vec<(u64, Value)> {
+        let mut eng = engine_with_threads(cfg, threads);
+        eng.set_batch_size(batch);
+        let tap = eng.tap(sink).unwrap();
+        eng.run_for(TickDuration::from_secs(ticks)).unwrap();
+        tap.drain()
+            .into_iter()
+            .map(|e| (e.sample.timestamp.as_secs(), e.sample.value))
+            .collect()
+    }
+
+    #[test]
+    fn row_blocks_match_per_sample_for_accepting_consumer() {
+        // Bursty columnar producer into an opted-in consumer whose fold is
+        // order-sensitive: the per-sample serial stream is the reference,
+        // and every batch size (including non-power-of-two bursts and
+        // watermarks) and thread count must reproduce it bitwise.
+        for (burst, dim) in [(1usize, 4usize), (5, 3), (16, 2)] {
+            let cfg = format!(
+                "[rowburst]\nid = rb\nburst = {burst}\ndim = {dim}\n\n\
+                 [rowfold]\nid = f\ninput[i] = rb.rows\n\n"
+            );
+            let reference = tapped_stream(&cfg, "f", 12, 1, 1);
+            assert!(!reference.is_empty());
+            for batch in [2usize, 7, 64] {
+                for threads in [1usize, 4] {
+                    let got = tapped_stream(&cfg, "f", 12, threads, batch);
+                    assert_eq!(
+                        reference, got,
+                        "diverged: burst {burst}, dim {dim}, batch {batch}, threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_emissions_materialize_for_non_accepting_consumer() {
+        // Same producer, consumer with the opt-in turned off: the engine
+        // must fall back to per-sample envelopes and the streams still
+        // match the per-sample reference at any batch size.
+        let cfg = "[rowburst]\nid = rb\nburst = 6\ndim = 3\n\n\
+                   [rowfold]\nid = f\naccept = 0\ninput[i] = rb.rows\n\n";
+        let reference = tapped_stream(cfg, "f", 10, 1, 1);
+        for batch in [7usize, 64] {
+            for threads in [1usize, 2] {
+                let got = tapped_stream(cfg, "f", 10, threads, batch);
+                assert_eq!(reference, got, "batch {batch}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_producer_taps_see_per_sample_envelopes() {
+        // Taps materialize each row: the tapped stream of the producer
+        // itself must be identical whether rows travel columnar or not.
+        let cfg = "[rowburst]\nid = rb\nburst = 4\ndim = 2\n\n\
+                   [rowfold]\nid = f\ninput[i] = rb.rows\n\n";
+        let reference = tapped_stream(cfg, "rb", 8, 1, 1);
+        assert_eq!(reference.len(), 8 * 4);
+        let batched = tapped_stream(cfg, "rb", 8, 1, 64);
+        assert_eq!(reference, batched);
+    }
+
+    #[test]
+    fn mixed_scalar_and_row_emissions_keep_one_order() {
+        // A module interleaving scalar emits with row emits: both engine
+        // paths route the run's scalars first, then its rows, so the
+        // digest streams must agree bitwise.
+        let cfg = "[mixed]\nid = m\n\n[rowfold]\nid = f\ninput[i] = m.out\n\n";
+        let reference = tapped_stream(cfg, "f", 10, 1, 1);
+        for batch in [2usize, 7, 64] {
+            let got = tapped_stream(cfg, "f", 10, 1, batch);
+            assert_eq!(reference, got, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn row_backlog_settles_behind_queued_envelopes() {
+        // Rows-only ticks followed by scalar-only ticks on one slot, with
+        // the consumer's trigger spanning both: the pending block parks in
+        // the backlog across a tick, and the later scalar envelope must
+        // settle it into the queue ahead of itself. Order-sensitive digest
+        // turns any settle mistake into a different stream.
+        let cfg = "[phased]\nid = p\n\n\
+                   [rowfold]\nid = f\ntrigger = 4\ninput[i] = p.out\n\n";
+        let reference = tapped_stream(cfg, "f", 12, 1, 1);
+        assert!(!reference.is_empty());
+        for batch in [7usize, 64] {
+            for threads in [1usize, 4] {
+                let got = tapped_stream(cfg, "f", 12, threads, batch);
+                assert_eq!(reference, got, "batch {batch}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_blocks_reach_an_accepting_consumer() {
+        // Proof the columnar hand-off is actually live: the consumer
+        // reports how many whole blocks it received, and under a batched
+        // engine with a multi-row burst that count must grow.
+        let cfg = "[rowburst]\nid = rb\nburst = 8\ndim = 4\n\n\
+                   [rowfold]\nid = fblk\nreport = 1\ninput[i] = rb.rows\n\n";
+        let mut eng = engine(cfg);
+        eng.set_batch_size(64);
+        let tap = eng.tap("fblk").unwrap();
+        eng.run_for(TickDuration::from_secs(5)).unwrap();
+        let blocks: Vec<i64> = tap
+            .drain()
+            .into_iter()
+            .filter(|e| e.source.name == "blocks")
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        assert_eq!(blocks.len(), 5);
+        assert_eq!(
+            *blocks.last().unwrap(),
+            5,
+            "one whole block per tick must arrive columnar, got {blocks:?}"
+        );
     }
 }

@@ -359,7 +359,10 @@ impl ReadyList {
     /// that would mean a node entered the wavefront twice.
     pub fn push(&self, idx: usize) {
         let t = self.publish.0.fetch_add(1, Ordering::Relaxed);
-        debug_assert!(t < self.slots.len(), "node {idx} entered the wavefront twice");
+        debug_assert!(
+            t < self.slots.len(),
+            "node {idx} entered the wavefront twice"
+        );
         self.slots[t].store(idx, Ordering::Release);
     }
 

@@ -39,7 +39,11 @@ impl RegistryError {
 
 impl fmt::Display for RegistryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown module type `{}`; registered types: ", self.requested)?;
+        write!(
+            f,
+            "unknown module type `{}`; registered types: ",
+            self.requested
+        )?;
         if self.registered.is_empty() {
             write!(f, "(none)")
         } else {

@@ -89,7 +89,10 @@ fn samples_traverse_a_deep_relay_chain_in_order() {
         .start()
         .unwrap();
     std::thread::sleep(Duration::from_millis(160));
-    let tap = engine.tap_handle(&format!("r{}", depth - 1)).unwrap().clone();
+    let tap = engine
+        .tap_handle(&format!("r{}", depth - 1))
+        .unwrap()
+        .clone();
     engine.stop().unwrap();
     let values: Vec<i64> = tap
         .drain()

@@ -100,7 +100,10 @@ impl Module for AnalysisBb {
     fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
         self.n_states = ctx.parse_param("n_states")?;
         if self.n_states == 0 {
-            return Err(ModuleError::invalid_parameter("n_states", "must be positive"));
+            return Err(ModuleError::invalid_parameter(
+                "n_states",
+                "must be positive",
+            ));
         }
         self.window = ctx.parse_param_or("window", 60usize)?;
         if self.window == 0 {
@@ -147,7 +150,11 @@ impl Module for AnalysisBb {
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
         let n_nodes = self.history.len();
-        for (slot_idx, env) in ctx.take_all() {
+        // Borrowing drain: the fan-in hot path ingests a whole tick-range
+        // (one sample per node per tick, a full batch under a batched
+        // engine) into the aligner without a per-run Vec; emissions happen
+        // after the drain, once rows align.
+        for (slot_idx, env) in ctx.drain_all() {
             let idx = env.sample.value.as_int().ok_or_else(|| {
                 ModuleError::Other(format!(
                     "analysis_bb expects integer state indices, got {}",
@@ -263,7 +270,11 @@ mod tests {
         }
         fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
             self.t += 1;
-            let state = if self.t > self.deviate_after { 3 } else { (self.t % 3) as i64 };
+            let state = if self.t > self.deviate_after {
+                3
+            } else {
+                (self.t % 3) as i64
+            };
             ctx.emit(self.port.unwrap(), state);
             Ok(())
         }
@@ -320,18 +331,10 @@ input[l2] = n2.out
         tap.drain()
     }
 
-    fn alarms_of<'a>(
-        out: &'a [asdf_core::module::Envelope],
-        port: &str,
-    ) -> Vec<(&'a str, bool)> {
+    fn alarms_of<'a>(out: &'a [asdf_core::module::Envelope], port: &str) -> Vec<(&'a str, bool)> {
         out.iter()
             .filter(|e| e.source.name == port)
-            .map(|e| {
-                (
-                    e.source.origin.as_str(),
-                    e.sample.value.as_bool().unwrap(),
-                )
-            })
+            .map(|e| (e.source.origin.as_str(), e.sample.value.as_bool().unwrap()))
             .collect()
     }
 

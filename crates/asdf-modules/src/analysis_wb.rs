@@ -92,9 +92,9 @@ impl Module for AnalysisWb {
                 .map(|m| m.origin.clone())
                 .unwrap_or_default();
             if let Some(rest) = name.strip_prefix('a') {
-                let node: usize = rest.parse().map_err(|_| {
-                    ModuleError::BadInputs(format!("bad mean slot name `{name}`"))
-                })?;
+                let node: usize = rest
+                    .parse()
+                    .map_err(|_| ModuleError::BadInputs(format!("bad mean slot name `{name}`")))?;
                 mean_slots.push((node, slot_idx, origin));
             } else if let Some(rest) = name.strip_prefix('d') {
                 let node: usize = rest.parse().map_err(|_| {
@@ -116,7 +116,10 @@ impl Module for AnalysisWb {
             )));
         }
         if sd_slots.len() != n
-            || mean_slots.iter().enumerate().any(|(i, &(node, _, _))| node != i)
+            || mean_slots
+                .iter()
+                .enumerate()
+                .any(|(i, &(node, _, _))| node != i)
             || sd_slots.iter().enumerate().any(|(i, &(node, _))| node != i)
         {
             return Err(ModuleError::BadInputs(
@@ -325,7 +328,10 @@ input[d2] = n2.stddev
         // Bias 5.0 vs σ_median 0.5: k_crit = 10 > k = 3 → flagged.
         let out = run(&config(5.0, 10, 3.0, 3), 40);
         let culprit = alarms(&out, "alarm2");
-        assert!(culprit.iter().any(|a| *a), "culprit must alarm: {culprit:?}");
+        assert!(
+            culprit.iter().any(|a| *a),
+            "culprit must alarm: {culprit:?}"
+        );
         assert!(alarms(&out, "alarm0").iter().all(|a| !a));
         assert!(alarms(&out, "alarm1").iter().all(|a| !a));
         // Confirmation depth: first alarm no sooner than 3 windows in.
@@ -400,9 +406,6 @@ input[d2] = n2.stddev
             .filter(|e| e.source.name.starts_with("alarm"))
             .map(|e| e.source.origin.as_str())
             .collect();
-        assert_eq!(
-            origins,
-            ["peer0", "peer1", "culprit"].into_iter().collect()
-        );
+        assert_eq!(origins, ["peer0", "peer1", "culprit"].into_iter().collect());
     }
 }

@@ -20,7 +20,6 @@
 use asdf_core::error::ModuleError;
 use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
 use asdf_core::time::TickDuration;
-use asdf_core::value::Value;
 use asdf_rpc::daemons::{ClusterHandle, HadoopLogRpcd, LogDaemon, SadcRpcd, StraceRpcd};
 
 /// Advances the simulated cluster one second per engine tick and emits a
@@ -98,13 +97,16 @@ impl Module for Sadc {
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        ctx.take_all(); // consume the clock pulse, if wired
+        ctx.discard_pending(); // consume the clock pulse, if wired
         let daemon = self.daemon.as_mut().expect("initialized");
         let snap = daemon
             .poll()
             .map_err(|e| ModuleError::Other(format!("sadc_rpcd poll failed: {e}")))?;
         if let Some(snap) = snap {
-            ctx.emit(self.out.unwrap(), Value::from(snap.values));
+            // Columnar emission: under a batching engine consecutive
+            // snapshots pack into one row block instead of one
+            // `Vec`-allocating envelope per poll.
+            ctx.emit_row(self.out.unwrap(), &snap.values);
         }
         Ok(())
     }
@@ -166,12 +168,12 @@ impl Module for HadoopLog {
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        ctx.take_all();
+        ctx.discard_pending();
         let daemon = self.daemon.as_mut().expect("initialized");
         let snap = daemon
             .poll()
             .map_err(|e| ModuleError::Other(format!("hadoop_log_rpcd poll failed: {e}")))?;
-        ctx.emit(self.out.unwrap(), Value::from(snap.counts));
+        ctx.emit_row(self.out.unwrap(), &snap.counts);
         Ok(())
     }
 }
@@ -227,13 +229,13 @@ impl Module for Strace {
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        ctx.take_all();
+        ctx.discard_pending();
         let daemon = self.daemon.as_mut().expect("initialized");
         let snap = daemon
             .poll()
             .map_err(|e| ModuleError::Other(format!("strace_rpcd poll failed: {e}")))?;
         if let Some(snap) = snap {
-            ctx.emit(self.out.unwrap(), Value::from(snap.counts));
+            ctx.emit_row(self.out.unwrap(), &snap.counts);
         }
         Ok(())
     }

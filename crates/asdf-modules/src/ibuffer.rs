@@ -60,7 +60,12 @@ impl Module for IBuffer {
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        for (_, env) in ctx.take_all() {
+        // Borrowing drain: the rate-matching hot path consumes its whole
+        // backlog (a full tick-range under a batched engine) without a
+        // per-run Vec allocation.
+        let out = self.out.expect("initialized");
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (_, env) in drain {
             let x = env.sample.value.as_float().ok_or_else(|| {
                 ModuleError::Other(format!(
                     "ibuffer expects scalar samples, got {}",
@@ -70,10 +75,7 @@ impl Module for IBuffer {
             self.buf.push_back(x);
             if self.buf.len() >= self.size {
                 let batch: Vec<f64> = self.buf.iter().copied().collect();
-                ctx.emit_sample(
-                    self.out.unwrap(),
-                    Sample::new(env.sample.timestamp, Value::from(batch)),
-                );
+                emit.emit_sample(out, Sample::new(env.sample.timestamp, Value::from(batch)));
                 if self.sliding {
                     self.buf.pop_front();
                 } else {

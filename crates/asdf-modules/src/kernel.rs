@@ -218,6 +218,15 @@ impl CentroidBlock {
     pub fn zero(&mut self) {
         self.data.fill(Lane4::default());
     }
+
+    /// Removes every row while keeping the dimension and the allocation,
+    /// so a scratch block can be refilled with [`Self::push_row`] without
+    /// reallocating — the batched classification path packs each
+    /// tick-range into one reused block this way.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.n_rows = 0;
+    }
 }
 
 impl PartialEq for CentroidBlock {

@@ -18,14 +18,19 @@
 
 use asdf_core::error::ModuleError;
 use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::time::Timestamp;
 use asdf_core::value::{Sample, Value};
 
+use crate::kernel::CentroidBlock;
 use crate::training::{BlackBoxModel, Classifier};
 
 /// 1-NN / k-NN workload-state classifier.
 ///
 /// Holds a [`Classifier`] context so the per-tick path reuses its scaling
-/// and ranking buffers instead of allocating per sample.
+/// and ranking buffers instead of allocating per sample. Under a batched
+/// engine, [`Module::run_batch`] packs the whole pending tick-range into a
+/// columnar [`CentroidBlock`] and feeds full query rows to the
+/// `argmin_dist2` kernel scan — bitwise identical to the per-sample path.
 #[derive(Debug, Default)]
 pub struct Knn {
     classifier: Option<Classifier>,
@@ -33,6 +38,12 @@ pub struct Knn {
     out: Option<PortId>,
     /// Reused across ticks by `classify_k_into`.
     ranked: Vec<usize>,
+    /// Columnar batch scratch: one padded query row per pending sample.
+    batch_rows: CentroidBlock,
+    /// Per-row timestamps matching `batch_rows`.
+    batch_stamps: Vec<Timestamp>,
+    /// Per-row 1-NN states from `classify_block_into`.
+    batch_states: Vec<usize>,
 }
 
 impl Knn {
@@ -58,13 +69,17 @@ impl Module for Knn {
         ctx.expect_input_count(1)?;
         let origin = ctx.input_slots()[0].1[0].origin.clone();
         self.out = Some(ctx.declare_output_with_origin("output0", origin));
+        self.batch_rows = CentroidBlock::with_dim(model.stddev.len());
         self.classifier = Some(model.into_classifier());
         Ok(())
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
         let classifier = self.classifier.as_mut().expect("initialized");
-        for (_, env) in ctx.take_all() {
+        let out = self.out.expect("initialized");
+        let k = self.k;
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (_, env) in drain {
             let Some(raw) = env.sample.value.as_vector() else {
                 return Err(ModuleError::Other(format!(
                     "knn expects vector samples, got {}",
@@ -79,13 +94,81 @@ impl Module for Knn {
                 )));
             }
             let ts = env.sample.timestamp;
-            if self.k == 1 {
+            if k == 1 {
                 let idx = classifier.classify(raw) as i64;
-                ctx.emit_sample(self.out.unwrap(), Sample::new(ts, idx));
+                emit.emit_sample(out, Sample::new(ts, idx));
             } else {
-                classifier.classify_k_into(raw, self.k, &mut self.ranked);
+                classifier.classify_k_into(raw, k, &mut self.ranked);
                 let idxs: Vec<f64> = self.ranked.iter().map(|&i| i as f64).collect();
-                ctx.emit_sample(self.out.unwrap(), Sample::new(ts, Value::from(idxs)));
+                emit.emit_sample(out, Sample::new(ts, Value::from(idxs)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Opt into columnar delivery: upstream row batches arrive as shared
+    /// [`asdf_core::module::RowBlock`]s instead of per-sample envelopes,
+    /// and `run_batch` feeds their rows straight into the kernel scan.
+    fn accepts_row_blocks(&self) -> bool {
+        true
+    }
+
+    fn run_batch(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        // Queued envelopes first, then row blocks: the engine's per-slot
+        // invariant is that backlog rows are always newer than anything in
+        // the queue, so this is exactly the per-sample arrival order.
+        let blocks = ctx.take_row_blocks();
+        let classifier = self.classifier.as_mut().expect("initialized");
+        let out = self.out.expect("initialized");
+        // Pack the whole pending tick-range into the columnar scratch,
+        // validating each sample exactly as the per-sample path does (the
+        // first offending envelope raises the same error).
+        self.batch_rows.clear();
+        self.batch_stamps.clear();
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (_, env) in drain {
+            let Some(raw) = env.sample.value.as_vector() else {
+                return Err(ModuleError::Other(format!(
+                    "knn expects vector samples, got {}",
+                    env.sample.value.type_name()
+                )));
+            };
+            if raw.len() != classifier.dim() {
+                return Err(ModuleError::Other(format!(
+                    "knn dimension mismatch: sample {} vs model {}",
+                    raw.len(),
+                    classifier.dim()
+                )));
+            }
+            self.batch_rows.push_row(raw);
+            self.batch_stamps.push(env.sample.timestamp);
+        }
+        for (_, block) in &blocks {
+            if block.dim != classifier.dim() {
+                return Err(ModuleError::Other(format!(
+                    "knn dimension mismatch: sample {} vs model {}",
+                    block.dim,
+                    classifier.dim()
+                )));
+            }
+            for (ts, row) in block.rows() {
+                self.batch_rows.push_row(row);
+                self.batch_stamps.push(ts);
+            }
+        }
+        if self.k == 1 {
+            // Full query rows through the fused kernel scan, back to back;
+            // per row this is the same scale + argmin as `classify`, so
+            // the emitted stream is bitwise identical to `run`'s.
+            classifier.classify_block_into(&self.batch_rows, &mut self.batch_states);
+            for (&ts, &idx) in self.batch_stamps.iter().zip(&self.batch_states) {
+                emit.emit_sample(out, Sample::new(ts, idx as i64));
+            }
+        } else {
+            for (r, &ts) in self.batch_stamps.iter().enumerate() {
+                classifier.classify_k_into(self.batch_rows.row(r), self.k, &mut self.ranked);
+                let idxs: Vec<f64> = self.ranked.iter().map(|&i| i as f64).collect();
+                emit.emit_sample(out, Sample::new(ts, Value::from(idxs)));
             }
         }
         Ok(())
@@ -100,9 +183,7 @@ mod tests {
     /// Model with centroids near log-scaled [1,2] and [8,16] streams.
     fn model_params() -> (String, String) {
         // Train on the exact stream the vecsource emits plus a far blob.
-        let mut samples: Vec<Vec<f64>> = (1..=20)
-            .map(|t| vec![t as f64, 2.0 * t as f64])
-            .collect();
+        let mut samples: Vec<Vec<f64>> = (1..=20).map(|t| vec![t as f64, 2.0 * t as f64]).collect();
         samples.extend((1..=20).map(|t| vec![5000.0 + t as f64, 9000.0]));
         let model = BlackBoxModel::fit(&samples, 2, 3);
         (model.centroids_param(), model.stddev_param())
@@ -135,6 +216,31 @@ mod tests {
         let v = out[0].sample.value.as_vector().unwrap();
         assert_eq!(v.len(), 2);
         assert_ne!(v[0], v[1]);
+    }
+
+    #[test]
+    fn row_block_batches_match_per_sample_outputs() {
+        use crate::testutil::{burst_source_registry, run_source_pipeline_batched};
+        let (cents, sd) = model_params();
+        // 9 rows per tick at batch 4: blocks of non-power-of-two lengths
+        // reach the classifier's columnar path.
+        let cfg = format!(
+            "[burstrows]\nid = src\nburst = 9\n\n\
+             [knn]\nid = nn\ncentroids = {cents}\nstddev = {sd}\ninput[input] = src.out\n"
+        );
+        let reg = burst_source_registry();
+        let reference: Vec<_> = run_source_pipeline_batched(&reg, &cfg, "nn", 5, 1)
+            .into_iter()
+            .map(|e| (e.sample.timestamp, e.sample.value))
+            .collect();
+        assert_eq!(reference.len(), 45);
+        for batch in [4, 64] {
+            let got: Vec<_> = run_source_pipeline_batched(&reg, &cfg, "nn", 5, batch)
+                .into_iter()
+                .map(|e| (e.sample.timestamp, e.sample.value))
+                .collect();
+            assert_eq!(got, reference, "batch {batch} diverged from per-sample");
+        }
     }
 
     #[test]

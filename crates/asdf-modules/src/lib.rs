@@ -123,7 +123,11 @@ pub fn register_all(registry: &mut ModuleRegistry, cluster: ClusterHandle) {
         Box::new(collectors::HadoopLog::new(h.clone()))
     });
     let h = cluster.clone();
-    registry.register("strace", move || Box::new(collectors::Strace::new(h.clone())));
+    registry.register("strace", move || {
+        Box::new(collectors::Strace::new(h.clone()))
+    });
     let h = cluster;
-    registry.register("mitigate", move || Box::new(mitigate::Mitigate::new(h.clone())));
+    registry.register("mitigate", move || {
+        Box::new(mitigate::Mitigate::new(h.clone()))
+    });
 }

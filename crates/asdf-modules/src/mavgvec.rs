@@ -17,8 +17,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use asdf_core::error::ModuleError;
-use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
-use asdf_core::value::{Sample, Value};
+use asdf_core::module::{Emitter, InitCtx, Module, PortId, RowBlock, RunCtx, RunReason};
+use asdf_core::value::Value;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Emit {
@@ -28,17 +28,44 @@ enum Emit {
     Both,
 }
 
+/// One buffered window sample: either a per-envelope vector sharing the
+/// engine's `Arc<[f64]>` allocation, or a zero-copy view into one row of a
+/// shared columnar [`RowBlock`] — both representations hold the producer's
+/// bytes without a per-sample copy, so the window statistics are bitwise
+/// identical either way.
+#[derive(Debug, Clone)]
+enum WindowRow {
+    Owned(Arc<[f64]>),
+    Block(Arc<RowBlock>, usize),
+}
+
+impl WindowRow {
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            WindowRow::Owned(v) => v,
+            WindowRow::Block(block, r) => block.row(*r),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
 /// Moving mean/variance over a sliding window of vector samples.
 ///
 /// Vector samples are buffered by sharing the engine's `Arc<[f64]>`
 /// allocation (no per-sample copy); the per-emission statistics are
-/// accumulated in reusable scratch buffers.
+/// accumulated in reusable scratch buffers. Under a batched engine the
+/// module consumes whole [`RowBlock`]s — the campaign's collector edges
+/// carry hundreds of rows per tick — buffering zero-copy row views instead
+/// of materialized envelopes.
 #[derive(Debug, Default)]
 pub struct MavgVec {
     window: usize,
     slide: usize,
     emit: Option<Emit>,
-    buf: VecDeque<(asdf_core::time::Timestamp, Arc<[f64]>)>,
+    buf: VecDeque<(asdf_core::time::Timestamp, WindowRow)>,
     since_emit: usize,
     /// Per-emission mean scratch.
     mean: Vec<f64>,
@@ -53,6 +80,102 @@ impl MavgVec {
     /// Creates an unconfigured instance (configured in `init`).
     pub fn new() -> Self {
         MavgVec::default()
+    }
+
+    /// Buffers one sample and emits window statistics when a window
+    /// completes — the single per-sample step both the envelope and the
+    /// row-block paths funnel through, so their outputs are bitwise
+    /// identical by construction.
+    fn ingest(
+        &mut self,
+        ts: asdf_core::time::Timestamp,
+        row: WindowRow,
+        emit: &mut Emitter<'_>,
+    ) -> Result<(), ModuleError> {
+        if let Some((_, first)) = self.buf.front() {
+            if first.len() != row.len() {
+                return Err(ModuleError::Other(format!(
+                    "inconsistent vector width: {} then {}",
+                    first.len(),
+                    row.len()
+                )));
+            }
+        }
+        self.buf.push_back((ts, row));
+        self.since_emit += 1;
+
+        if self.buf.len() >= self.window && self.since_emit >= self.slide {
+            self.since_emit = 0;
+            let dim = self.buf.back().expect("non-empty").1.len();
+            let n = self.window as f64;
+            self.mean.clear();
+            self.mean.resize(dim, 0.0);
+            for (_, v) in self.buf.iter().rev().take(self.window) {
+                for (m, x) in self.mean.iter_mut().zip(v.as_slice()) {
+                    *m += x;
+                }
+            }
+            for m in &mut self.mean {
+                *m /= n;
+            }
+            self.var.clear();
+            self.var.resize(dim, 0.0);
+            for (_, v) in self.buf.iter().rev().take(self.window) {
+                for ((s, m), x) in self.var.iter_mut().zip(&self.mean).zip(v.as_slice()) {
+                    let d = x - m;
+                    *s += d * d;
+                }
+            }
+            for s in &mut self.var {
+                *s /= n;
+            }
+            // Stamp outputs with the window-end sample's timestamp so
+            // cross-node alignment sees matching times. Emitting as
+            // columnar rows lets a batching engine pack a run's
+            // consecutive window outputs into one shared block for
+            // row-block consumers like `knn`.
+            let ts = self.buf.back().expect("non-empty").0;
+            match self.emit.expect("configured in init") {
+                Emit::Mean => {
+                    emit.emit_row_at(self.out_a.unwrap(), ts, &self.mean);
+                }
+                Emit::Var => {
+                    emit.emit_row_at(self.out_a.unwrap(), ts, &self.var);
+                }
+                Emit::StdDev => {
+                    for s in &mut self.var {
+                        *s = s.sqrt();
+                    }
+                    emit.emit_row_at(self.out_a.unwrap(), ts, &self.var);
+                }
+                Emit::Both => {
+                    emit.emit_row_at(self.out_a.unwrap(), ts, &self.mean);
+                    for s in &mut self.var {
+                        *s = s.sqrt();
+                    }
+                    emit.emit_row_at(self.out_b.unwrap(), ts, &self.var);
+                }
+            }
+            // Trim history we can never need again.
+            while self.buf.len() > self.window {
+                self.buf.pop_front();
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts one envelope's payload into a buffered window row,
+    /// validating the sample type exactly as before.
+    fn envelope_row(value: &Value) -> Result<WindowRow, ModuleError> {
+        match value {
+            Value::Vector(v) => Ok(WindowRow::Owned(Arc::clone(v))),
+            Value::Float(x) => Ok(WindowRow::Owned(Arc::from(vec![*x]))),
+            Value::Int(x) => Ok(WindowRow::Owned(Arc::from(vec![*x as f64]))),
+            other => Err(ModuleError::Other(format!(
+                "mavgvec expects numeric samples, got {}",
+                other.type_name()
+            ))),
+        }
     }
 }
 
@@ -96,86 +219,41 @@ impl Module for MavgVec {
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        for (_, env) in ctx.take_all() {
+        // Borrowing drain: a whole tick-range (one envelope per run at
+        // batch size 1, the full backlog under a batched engine) streams
+        // through without a per-run Vec allocation.
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (_, env) in drain {
             // Vector samples share the engine's allocation; only scalar
             // promotions copy (one element).
-            let vec: Arc<[f64]> = match &env.sample.value {
-                Value::Vector(v) => Arc::clone(v),
-                Value::Float(x) => Arc::from(vec![*x]),
-                Value::Int(x) => Arc::from(vec![*x as f64]),
-                other => {
-                    return Err(ModuleError::Other(format!(
-                        "mavgvec expects numeric samples, got {}",
-                        other.type_name()
-                    )))
-                }
-            };
-            if let Some((_, first)) = self.buf.front() {
-                if first.len() != vec.len() {
-                    return Err(ModuleError::Other(format!(
-                        "inconsistent vector width: {} then {}",
-                        first.len(),
-                        vec.len()
-                    )));
-                }
-            }
-            self.buf.push_back((env.sample.timestamp, vec));
-            self.since_emit += 1;
+            let row = Self::envelope_row(&env.sample.value)?;
+            self.ingest(env.sample.timestamp, row, &mut emit)?;
+        }
+        Ok(())
+    }
 
-            if self.buf.len() >= self.window && self.since_emit >= self.slide {
-                self.since_emit = 0;
-                let dim = self.buf.back().expect("non-empty").1.len();
-                let n = self.window as f64;
-                self.mean.clear();
-                self.mean.resize(dim, 0.0);
-                for (_, v) in self.buf.iter().rev().take(self.window) {
-                    for (m, x) in self.mean.iter_mut().zip(v.iter()) {
-                        *m += x;
-                    }
-                }
-                for m in &mut self.mean {
-                    *m /= n;
-                }
-                self.var.clear();
-                self.var.resize(dim, 0.0);
-                for (_, v) in self.buf.iter().rev().take(self.window) {
-                    for ((s, m), x) in self.var.iter_mut().zip(&self.mean).zip(v.iter()) {
-                        let d = x - m;
-                        *s += d * d;
-                    }
-                }
-                for s in &mut self.var {
-                    *s /= n;
-                }
-                // Stamp outputs with the window-end sample's timestamp so
-                // cross-node alignment sees matching times.
-                let ts = self.buf.back().expect("non-empty").0;
-                let emit = self.emit.expect("configured in init");
-                match emit {
-                    Emit::Mean => {
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.mean[..]));
-                    }
-                    Emit::Var => {
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.var[..]));
-                    }
-                    Emit::StdDev => {
-                        for s in &mut self.var {
-                            *s = s.sqrt();
-                        }
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.var[..]));
-                    }
-                    Emit::Both => {
-                        ctx.emit_sample(self.out_a.unwrap(), Sample::new(ts, &self.mean[..]));
-                        for s in &mut self.var {
-                            *s = s.sqrt();
-                        }
-                        ctx.emit_sample(self.out_b.unwrap(), Sample::new(ts, &self.var[..]));
-                    }
-                }
-                // Trim history we can never need again.
-                while self.buf.len() > self.window {
-                    self.buf.pop_front();
-                }
+    /// Opt into columnar delivery: collector bursts arrive as shared
+    /// [`RowBlock`]s and are buffered as zero-copy row views, skipping the
+    /// per-sample envelope materialization on the campaign's highest-volume
+    /// edges.
+    fn accepts_row_blocks(&self) -> bool {
+        true
+    }
+
+    fn run_batch(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        // Queued envelopes first, then row blocks: the engine's per-slot
+        // invariant is that backlog rows are always newer than anything in
+        // the queue, so this is exactly the per-sample arrival order.
+        let blocks = ctx.take_row_blocks();
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (_, env) in drain {
+            let row = Self::envelope_row(&env.sample.value)?;
+            self.ingest(env.sample.timestamp, row, &mut emit)?;
+        }
+        for (_, block) in blocks {
+            for r in 0..block.len() {
+                let ts = block.stamps[r];
+                self.ingest(ts, WindowRow::Block(Arc::clone(&block), r), &mut emit)?;
             }
         }
         Ok(())
@@ -297,6 +375,38 @@ input[input] = src.out
                 Dag::build(&vector_source_registry(), &parsed).is_err(),
                 "should reject: {cfg}"
             );
+        }
+    }
+
+    #[test]
+    fn row_block_batches_match_per_sample_outputs() {
+        use crate::testutil::{burst_source_registry, run_source_pipeline_batched};
+        // Bursts of 7 rows per tick with window 5 / slide 3: windows cross
+        // block boundaries, several windows complete inside one block, and
+        // the trailing rows of a block carry over to the next tick.
+        let cfg = "\
+[burstrows]
+id = src
+burst = 7
+
+[mavgvec]
+id = avg
+window = 5
+slide = 3
+input[input] = src.out
+";
+        let reg = burst_source_registry();
+        let reference: Vec<_> = run_source_pipeline_batched(&reg, cfg, "avg", 6, 1)
+            .into_iter()
+            .map(|e| (e.sample.timestamp, e.sample.value, e.source.name.clone()))
+            .collect();
+        assert!(!reference.is_empty());
+        for batch in [2, 64] {
+            let got: Vec<_> = run_source_pipeline_batched(&reg, cfg, "avg", 6, batch)
+                .into_iter()
+                .map(|e| (e.sample.timestamp, e.sample.value, e.source.name.clone()))
+                .collect();
+            assert_eq!(got, reference, "batch {batch} diverged from per-sample");
         }
     }
 

@@ -69,7 +69,8 @@ impl Module for Mitigate {
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
         let port = self.out.expect("initialized");
-        for (_, env) in ctx.take_all() {
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (_, env) in drain {
             if env.sample.value.as_bool() != Some(true) {
                 continue;
             }
@@ -94,7 +95,7 @@ impl Module for Mitigate {
             self.cluster.with(|c| c.decommission(node));
             self.acted_on.insert(node);
             self.last_action_at = Some(env.sample.timestamp);
-            ctx.emit(
+            emit.emit(
                 port,
                 format!(
                     "[{}] decommissioned {origin} (alarm from {})",

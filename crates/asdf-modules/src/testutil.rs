@@ -48,6 +48,32 @@ impl Module for ScalarSource {
     }
 }
 
+/// A periodic source emitting `burst` two-component rows per second
+/// through `emit_row` — the columnar entry point — so batched engines
+/// deliver multi-row [`asdf_core::module::RowBlock`]s downstream.
+pub struct BurstRowSource {
+    port: Option<PortId>,
+    burst: usize,
+    n: i64,
+}
+
+impl Module for BurstRowSource {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.port = Some(ctx.declare_output_with_origin("out", "test-node"));
+        self.burst = ctx.parse_param_or("burst", 4)?;
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        for _ in 0..self.burst {
+            self.n += 1;
+            let x = self.n as f64;
+            ctx.emit_row(self.port.unwrap(), &[x, 2.0 * x]);
+        }
+        Ok(())
+    }
+}
+
 /// Registry with every standard module plus `vecsource`.
 pub fn vector_source_registry() -> ModuleRegistry {
     let mut reg = base_registry();
@@ -55,10 +81,25 @@ pub fn vector_source_registry() -> ModuleRegistry {
     reg
 }
 
+/// Registry with every standard module plus `burstrows`.
+pub fn burst_source_registry() -> ModuleRegistry {
+    let mut reg = base_registry();
+    reg.register("burstrows", || {
+        Box::new(BurstRowSource {
+            port: None,
+            burst: 4,
+            n: 0,
+        })
+    });
+    reg
+}
+
 /// Registry with every standard module plus `scalarsource`.
 pub fn scalar_source_registry() -> ModuleRegistry {
     let mut reg = base_registry();
-    reg.register("scalarsource", || Box::new(ScalarSource { port: None, n: 0 }));
+    reg.register("scalarsource", || {
+        Box::new(ScalarSource { port: None, n: 0 })
+    });
     reg
 }
 
@@ -76,9 +117,23 @@ pub fn run_source_pipeline(
     tap_id: &str,
     ticks: u64,
 ) -> Vec<Envelope> {
+    run_source_pipeline_batched(registry, cfg, tap_id, ticks, 1)
+}
+
+/// [`run_source_pipeline`] with an explicit engine batch size, for
+/// comparing a module's batched (row-block) path against the per-sample
+/// reference.
+pub fn run_source_pipeline_batched(
+    registry: &ModuleRegistry,
+    cfg: &str,
+    tap_id: &str,
+    ticks: u64,
+    batch: usize,
+) -> Vec<Envelope> {
     let parsed: Config = cfg.parse().expect("test config parses");
     let dag = Dag::build(registry, &parsed).expect("test config builds");
     let mut engine = TickEngine::new(dag);
+    engine.set_batch_size(batch);
     let tap = engine.tap(tap_id).expect("tap target exists");
     engine
         .run_for(TickDuration::from_secs(ticks))

@@ -32,11 +32,7 @@ impl Module for Replay {
     }
 }
 
-fn expected_windows(
-    data: &[Vec<f64>],
-    window: usize,
-    slide: usize,
-) -> Vec<(Vec<f64>, Vec<f64>)> {
+fn expected_windows(data: &[Vec<f64>], window: usize, slide: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
     let mut out = Vec::new();
     let mut since = 0;
     for end in 0..data.len() {

@@ -100,10 +100,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         std::collections::BTreeMap::new();
     let mut names = std::collections::BTreeSet::new();
     for (i, ev) in events.iter().enumerate() {
-        let field = |k: &str| {
-            ev.get(k)
-                .ok_or_else(|| format!("event {i}: missing `{k}`"))
-        };
+        let field = |k: &str| ev.get(k).ok_or_else(|| format!("event {i}: missing `{k}`"));
         let num = |k: &str| {
             field(k)?
                 .as_f64()

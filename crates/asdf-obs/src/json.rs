@@ -278,10 +278,16 @@ mod tests {
 
     #[test]
     fn parses_scalars_and_structure() {
-        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x\ny"}"#)
-            .unwrap();
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x\ny"}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
         assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
         assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Bool(true)));
         assert_eq!(v.get("e").unwrap().as_str(), Some("x\ny"));

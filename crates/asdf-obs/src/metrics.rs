@@ -224,7 +224,11 @@ impl HistogramSnapshot {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if i == 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         u64::MAX
@@ -234,7 +238,11 @@ impl HistogramSnapshot {
     pub fn max_bound(&self) -> u64 {
         for i in (0..N_BUCKETS).rev() {
             if self.buckets[i] > 0 {
-                return if i == 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         0

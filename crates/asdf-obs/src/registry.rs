@@ -149,10 +149,7 @@ mod tests {
         reg.gauge("g").set(7);
         reg.histogram("h").record(100);
         let s = reg.snapshot();
-        assert_eq!(
-            s.counters,
-            vec![("a".to_owned(), 1), ("b".to_owned(), 2)]
-        );
+        assert_eq!(s.counters, vec![("a".to_owned(), 1), ("b".to_owned(), 2)]);
         assert_eq!(s.gauges[0].1, (7, 7));
         assert_eq!(s.histograms[0].1.count, 1);
         assert!(!s.is_empty());

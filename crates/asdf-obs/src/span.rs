@@ -226,9 +226,7 @@ impl SpanHandle {
     /// and one plain store (see the module docs).
     #[inline]
     pub fn enter(&self) -> SpanGuard<'_> {
-        let start = if crate::enabled()
-            && (crate::tracing_on() || tick_site(&self.ticker))
-        {
+        let start = if crate::enabled() && (crate::tracing_on() || tick_site(&self.ticker)) {
             Some(now_ticks())
         } else {
             None

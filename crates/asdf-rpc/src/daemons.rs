@@ -351,12 +351,7 @@ impl HadoopLogRpcd {
         });
         self.parser.feed_lines(lines.iter().map(String::as_str));
         let v = self.parser.sample(t);
-        let counts: Vec<f64> = self
-            .daemon
-            .states()
-            .iter()
-            .map(|s| v[*s])
-            .collect();
+        let counts: Vec<f64> = self.daemon.states().iter().map(|s| v[*s]).collect();
 
         let mut req = MessageBuilder::new();
         req.put_u8(0x02); // opcode: poll states
@@ -517,7 +512,11 @@ mod tests {
         assert_eq!(bw.iterations, 30);
         // Paper: ~1.98 kB static, ~1.22 kB/s per iteration. Ours must be
         // the same order of magnitude.
-        assert!(bw.static_kb() > 0.5 && bw.static_kb() < 8.0, "static {}", bw.static_kb());
+        assert!(
+            bw.static_kb() > 0.5 && bw.static_kb() < 8.0,
+            "static {}",
+            bw.static_kb()
+        );
         assert!(
             bw.per_iteration_kb() > 0.5 && bw.per_iteration_kb() < 4.0,
             "per-iter {}",
@@ -597,12 +596,13 @@ mod tests {
         assert!(d.poll().unwrap().is_none(), "no trace before first tick");
         h.with(|c| c.advance(90));
         let snap = d.poll().unwrap().unwrap();
-        assert_eq!(
-            snap.counts.len(),
-            procsim::syscalls::SYSCALL_CATEGORY_COUNT
-        );
+        assert_eq!(snap.counts.len(), procsim::syscalls::SYSCALL_CATEGORY_COUNT);
         // The tasktracker event loop polls even when idle.
-        assert!(snap.counts[3] > 0.0, "epoll_wait baseline: {:?}", snap.counts);
+        assert!(
+            snap.counts[3] > 0.0,
+            "epoll_wait baseline: {:?}",
+            snap.counts
+        );
         assert!(d.bandwidth().per_iteration_kb() > 0.0);
     }
 }

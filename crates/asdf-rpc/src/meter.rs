@@ -148,7 +148,10 @@ mod tests {
             assert!(rss > 0.0 && rss < 100_000.0);
             let peak = process_peak_rss_mb().expect("status readable");
             // Peak can only trail current RSS by page-accounting noise.
-            assert!(peak >= rss * 0.5 && peak < 100_000.0, "peak {peak} rss {rss}");
+            assert!(
+                peak >= rss * 0.5 && peak < 100_000.0,
+                "peak {peak} rss {rss}"
+            );
         }
     }
 

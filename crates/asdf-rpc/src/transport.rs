@@ -155,8 +155,7 @@ impl Connection {
     /// Panics if the connection is closed.
     pub fn exchange(&mut self, request: &Bytes, response: &Bytes) {
         assert!(self.open, "exchange on closed connection");
-        let wire =
-            request.len() as u64 + response.len() as u64 + 2 * self.per_message_overhead;
+        let wire = request.len() as u64 + response.len() as u64 + 2 * self.per_message_overhead;
         self.stats.call_bytes += wire;
         self.stats.iterations += 1;
         self.pending_msgs += 2;
@@ -237,8 +236,7 @@ mod tests {
         }
         let s = c.stats();
         assert_eq!(s.iterations, 10);
-        let expected_per_iter =
-            (req.len() + resp.len()) as u64 + 2 * DEFAULT_PER_MESSAGE_OVERHEAD;
+        let expected_per_iter = (req.len() + resp.len()) as u64 + 2 * DEFAULT_PER_MESSAGE_OVERHEAD;
         assert_eq!(s.call_bytes, 10 * expected_per_iter);
         let kb = s.per_iteration_kb();
         assert!((kb - expected_per_iter as f64 / 1024.0).abs() < 1e-9);

@@ -30,7 +30,10 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::UnexpectedEof => f.write_str("unexpected end of message"),
             WireError::InvalidUtf8 => f.write_str("invalid UTF-8 in string field"),
-            WireError::BadLength { expected, available } => write!(
+            WireError::BadLength {
+                expected,
+                available,
+            } => write!(
                 f,
                 "message length prefix promised {expected} bytes but {available} are available"
             ),
@@ -234,7 +237,13 @@ mod tests {
         assert!(MessageReader::new(framed).is_ok());
 
         let err = MessageReader::new(Bytes::from_static(&[5, 0, 0, 0, 1])).unwrap_err();
-        assert!(matches!(err, WireError::BadLength { expected: 5, available: 1 }));
+        assert!(matches!(
+            err,
+            WireError::BadLength {
+                expected: 5,
+                available: 1
+            }
+        ));
 
         let err = MessageReader::new(Bytes::from_static(&[1, 0])).unwrap_err();
         assert_eq!(err, WireError::UnexpectedEof);

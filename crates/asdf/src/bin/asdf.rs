@@ -18,10 +18,12 @@
 //!   ends with the instrumentation summary table on stderr.
 //!
 //! Campaign flags: `--slaves N --secs S --seed X --runs R --window W
-//! --threshold T --k K --threads N --engine-threads N --trace-out PATH`.
-//! `--threads` fans independent runs across campaign workers;
-//! `--engine-threads` shards each tick *within* a run across engine
-//! workers (results are identical at any setting of either).
+//! --threshold T --k K --threads N --engine-threads N --batch-size B
+//! --trace-out PATH`. `--threads` fans independent runs across campaign
+//! workers; `--engine-threads` shards each tick *within* a run across
+//! engine workers; `--batch-size` sets how many envelopes accumulate per
+//! edge before a lane hand-off (results are identical at any setting of
+//! any of the three).
 //!
 //! Fault names: CPUHog, DiskHog, HADOOP-1036, HADOOP-1152, HADOOP-2080,
 //! PacketLoss.
@@ -46,7 +48,7 @@ fn usage() -> ! {
          asdf run-config FILE [--slaves N] [--secs S] [--fault NAME] [--seed X]\n\
          asdf fig7|fig6|ablate [--slaves N] [--secs S] [--seed X] [--runs R]\n\
          \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
-         \x20                     [--engine-threads N] [--trace-out PATH]\n\
+         \x20                     [--engine-threads N] [--batch-size B] [--trace-out PATH]\n\
          \n\
          campaign subcommands default to smoke scale; --trace-out writes a\n\
          Chrome trace_event JSON (chrome://tracing / Perfetto)\n\
@@ -78,6 +80,7 @@ struct Opts {
     k: Option<f64>,
     threads: usize,
     engine_threads: usize,
+    batch_size: Option<usize>,
     trace_out: Option<String>,
 }
 
@@ -94,6 +97,7 @@ fn parse_opts(args: &[String]) -> Opts {
         k: None,
         threads: 0,
         engine_threads: 1,
+        batch_size: None,
         trace_out: None,
     };
     let mut it = args.iter();
@@ -119,6 +123,9 @@ fn parse_opts(args: &[String]) -> Opts {
             "--engine-threads" => {
                 o.engine_threads = val("--engine-threads").parse().unwrap_or_else(|_| usage());
             }
+            "--batch-size" => {
+                o.batch_size = Some(val("--batch-size").parse().unwrap_or_else(|_| usage()));
+            }
             "--trace-out" => o.trace_out = Some(val("--trace-out").clone()),
             other if !other.starts_with("--") && o.file.is_none() => {
                 o.file = Some(other.to_owned());
@@ -138,6 +145,9 @@ impl Opts {
         cfg.base_seed = self.seed;
         cfg.threads = self.threads;
         cfg.engine_threads = self.engine_threads;
+        if let Some(b) = self.batch_size {
+            cfg.batch_size = b;
+        }
         if let Some(n) = self.slaves {
             cfg.slaves = n;
         }
@@ -187,7 +197,10 @@ fn cmd_demo(o: Opts) {
         consecutive: 2,
         ..CampaignConfig::smoke()
     };
-    println!("training workload model ({} nodes, {} s fault-free)...", cfg.slaves, cfg.training_secs);
+    println!(
+        "training workload model ({} nodes, {} s fault-free)...",
+        cfg.slaves, cfg.training_secs
+    );
     let model = experiments::train_model(&cfg);
     println!(
         "injecting {fault} on node {} at t={} s; monitoring {} s...\n",
@@ -195,14 +208,21 @@ fn cmd_demo(o: Opts) {
     );
     let tr = experiments::run_once(&cfg, &model, Some(fault), cfg.base_seed + 42);
 
-    println!("black-box L1 distance per node (one column per {}-s window):", cfg.window);
+    println!(
+        "black-box L1 distance per node (one column per {}-s window):",
+        cfg.window
+    );
     for node in 0..cfg.slaves {
         let series: Vec<f64> = tr.bb.scores.iter().map(|row| row[node]).collect();
         let alarms = tr.bb.alarms.iter().filter(|row| row[node]).count();
         println!(
             "  node {node:>2} {} {}{}",
             sparkline(&series),
-            if node == cfg.fault_node { "<- culprit" } else { "" },
+            if node == cfg.fault_node {
+                "<- culprit"
+            } else {
+                ""
+            },
             if alarms > 0 {
                 format!(" [{alarms} alarm windows]")
             } else {
@@ -216,13 +236,23 @@ fn cmd_demo(o: Opts) {
             .wb
             .scores
             .iter()
-            .map(|row| if row[node].is_finite() { row[node] } else { 20.0 })
+            .map(|row| {
+                if row[node].is_finite() {
+                    row[node]
+                } else {
+                    20.0
+                }
+            })
             .collect();
         let alarms = tr.wb.alarms.iter().filter(|row| row[node]).count();
         println!(
             "  node {node:>2} {} {}{}",
             sparkline(&series),
-            if node == cfg.fault_node { "<- culprit" } else { "" },
+            if node == cfg.fault_node {
+                "<- culprit"
+            } else {
+                ""
+            },
             if alarms > 0 {
                 format!(" [{alarms} alarm windows]")
             } else {
@@ -410,7 +440,10 @@ fn with_exporters(trace_out: Option<&str>, body: impl FnOnce()) {
             }
         }
     }
-    eprint!("{}", asdf_obs::export::render_summary(&asdf_obs::registry().snapshot()));
+    eprint!(
+        "{}",
+        asdf_obs::export::render_summary(&asdf_obs::registry().snapshot())
+    );
 }
 
 fn main() {

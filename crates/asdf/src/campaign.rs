@@ -109,17 +109,15 @@ where
             let next = &next;
             let busy_ns = &busy_ns;
             let timed_job = &timed_job;
-            scope.spawn(move || {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        break;
-                    }
-                    let (value, ns) = timed_job(i);
-                    busy_ns.fetch_add(ns, Ordering::Relaxed);
-                    if tx.send((i, value)).is_err() {
-                        break;
-                    }
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let (value, ns) = timed_job(i);
+                busy_ns.fetch_add(ns, Ordering::Relaxed);
+                if tx.send((i, value)).is_err() {
+                    break;
                 }
             });
         }

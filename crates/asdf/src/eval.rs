@@ -64,8 +64,12 @@ impl AnalysisTrace {
                 continue;
             }
             trace.window_times.push(t);
-            trace.scores.push(scores.into_iter().map(Option::unwrap).collect());
-            trace.alarms.push(alarms.into_iter().map(Option::unwrap).collect());
+            trace
+                .scores
+                .push(scores.into_iter().map(Option::unwrap).collect());
+            trace
+                .alarms
+                .push(alarms.into_iter().map(Option::unwrap).collect());
         }
         trace
     }
@@ -80,7 +84,8 @@ impl AnalysisTrace {
         let n = self.n_windows().min(other.n_windows());
         let mut out = AnalysisTrace::default();
         for w in 0..n {
-            out.window_times.push(self.window_times[w].max(other.window_times[w]));
+            out.window_times
+                .push(self.window_times[w].max(other.window_times[w]));
             out.scores.push(
                 self.scores[w]
                     .iter()
@@ -105,11 +110,7 @@ impl AnalysisTrace {
     ///
     /// A node-window is anomalous when `is_anomalous(score)`; the alarm
     /// fires after `consecutive` anomalous windows in a row.
-    pub fn reflag(
-        &self,
-        is_anomalous: impl Fn(f64) -> bool,
-        consecutive: usize,
-    ) -> Vec<Vec<bool>> {
+    pub fn reflag(&self, is_anomalous: impl Fn(f64) -> bool, consecutive: usize) -> Vec<Vec<bool>> {
         let n_nodes = self.scores.first().map_or(0, Vec::len);
         let mut streak = vec![0usize; n_nodes];
         let mut out = Vec::with_capacity(self.n_windows());

@@ -68,6 +68,10 @@ pub struct CampaignConfig {
     /// serial, `0` = all available parallelism). Also byte-identical at
     /// any setting.
     pub engine_threads: usize,
+    /// Envelopes accumulated per edge before a batched lane hand-off
+    /// within each run (`1` = per-sample). Also byte-identical at any
+    /// setting.
+    pub batch_size: usize,
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +92,7 @@ impl Default for CampaignConfig {
             base_seed: 1,
             threads: 0,
             engine_threads: 1,
+            batch_size: 64,
         }
     }
 }
@@ -111,6 +116,7 @@ impl CampaignConfig {
             base_seed: 11,
             threads: 0,
             engine_threads: 1,
+            batch_size: 64,
         }
     }
 
@@ -124,6 +130,7 @@ impl CampaignConfig {
             black_box: true,
             white_box: true,
             engine_threads: self.engine_threads,
+            batch_size: self.batch_size,
         }
     }
 }
@@ -233,7 +240,11 @@ pub fn run_once(
 /// fault-free runs.
 ///
 /// Returns `(threshold, FP rate percent)` pairs.
-pub fn fig6a(cfg: &CampaignConfig, model: &Arc<BlackBoxModel>, thresholds: &[f64]) -> Vec<(f64, f64)> {
+pub fn fig6a(
+    cfg: &CampaignConfig,
+    model: &Arc<BlackBoxModel>,
+    thresholds: &[f64],
+) -> Vec<(f64, f64)> {
     let traces = fault_free_traces(cfg, model);
     thresholds
         .iter()
@@ -309,17 +320,13 @@ pub fn fig7(cfg: &CampaignConfig, model: &Arc<BlackBoxModel>) -> Vec<FaultResult
     // results come back in job order, so the averaged rows are identical
     // to the serial nested loops.
     let per_fault = cfg.fault_runs.max(1);
-    let scored = crate::campaign::run_indexed(
-        FaultKind::ALL.len() * per_fault,
-        cfg.threads,
-        |j| {
-            let (i, r) = (j / per_fault, j % per_fault);
-            let fault = FaultKind::ALL[i];
-            let seed = cfg.base_seed + 2000 + i as u64 + 100 * r as u64;
-            let tr = run_once(cfg, model, Some(fault), seed);
-            score_run(&tr, fault)
-        },
-    );
+    let scored = crate::campaign::run_indexed(FaultKind::ALL.len() * per_fault, cfg.threads, |j| {
+        let (i, r) = (j / per_fault, j % per_fault);
+        let fault = FaultKind::ALL[i];
+        let seed = cfg.base_seed + 2000 + i as u64 + 100 * r as u64;
+        let tr = run_once(cfg, model, Some(fault), seed);
+        score_run(&tr, fault)
+    });
     FaultKind::ALL
         .iter()
         .enumerate()
@@ -503,10 +510,14 @@ pub fn table3(seconds: u64) -> Vec<OverheadRow> {
     let hl_cpu = {
         let handle = ClusterHandle::new(Cluster::new(ClusterConfig::new(slaves, 7), Vec::new()));
         let mut tts: Vec<HadoopLogRpcd> = (0..slaves)
-            .map(|n| HadoopLogRpcd::connect(handle.clone(), n, LogDaemon::TaskTracker).expect("connect"))
+            .map(|n| {
+                HadoopLogRpcd::connect(handle.clone(), n, LogDaemon::TaskTracker).expect("connect")
+            })
             .collect();
         let mut dns: Vec<HadoopLogRpcd> = (0..slaves)
-            .map(|n| HadoopLogRpcd::connect(handle.clone(), n, LogDaemon::DataNode).expect("connect"))
+            .map(|n| {
+                HadoopLogRpcd::connect(handle.clone(), n, LogDaemon::DataNode).expect("connect")
+            })
             .collect();
         let m = CpuMeter::start();
         for _ in 0..seconds {
@@ -694,7 +705,8 @@ pub struct BandwidthRow {
 pub fn table4(seconds: u64) -> Vec<BandwidthRow> {
     let handle = ClusterHandle::new(Cluster::new(ClusterConfig::new(3, 21), Vec::new()));
     let mut sadc = SadcRpcd::connect(handle.clone(), 0).expect("connect");
-    let mut hl_dn = HadoopLogRpcd::connect(handle.clone(), 0, LogDaemon::DataNode).expect("connect");
+    let mut hl_dn =
+        HadoopLogRpcd::connect(handle.clone(), 0, LogDaemon::DataNode).expect("connect");
     let mut hl_tt =
         HadoopLogRpcd::connect(handle.clone(), 0, LogDaemon::TaskTracker).expect("connect");
     for _ in 0..seconds {
@@ -754,7 +766,12 @@ mod tests {
         // campaign binaries.)
         let cfg = CampaignConfig::smoke();
         let model = train_model(&cfg);
-        let tr = run_once(&cfg, &model, Some(FaultKind::Hadoop1036), cfg.base_seed + 600);
+        let tr = run_once(
+            &cfg,
+            &model,
+            Some(FaultKind::Hadoop1036),
+            cfg.base_seed + 600,
+        );
         let r = score_run(&tr, FaultKind::Hadoop1036);
         assert!(
             r.ba_combined > 60.0,
@@ -773,7 +790,10 @@ mod tests {
         let sweep = fig6a(&cfg, &model, &[0.0, 20.0, 60.0]);
         assert_eq!(sweep.len(), 3);
         // FP rate is non-increasing in the threshold.
-        assert!(sweep[0].1 >= sweep[1].1 && sweep[1].1 >= sweep[2].1, "{sweep:?}");
+        assert!(
+            sweep[0].1 >= sweep[1].1 && sweep[1].1 >= sweep[2].1,
+            "{sweep:?}"
+        );
         // At threshold 0 everything beyond warmup is anomalous.
         assert!(sweep[0].1 > 50.0, "{sweep:?}");
 

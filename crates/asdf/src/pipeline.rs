@@ -49,6 +49,10 @@ pub struct AsdfOptions {
     /// Engine worker threads sharding each tick (`1` = serial, `0` = all
     /// available parallelism). Results are identical at any setting.
     pub engine_threads: usize,
+    /// Envelopes accumulated per edge before a batched lane hand-off
+    /// (`1` = per-sample delivery). Purely a transport knob: outputs are
+    /// bitwise identical at any setting.
+    pub batch_size: usize,
 }
 
 impl Default for AsdfOptions {
@@ -62,6 +66,7 @@ impl Default for AsdfOptions {
             black_box: true,
             white_box: true,
             engine_threads: 1,
+            batch_size: 64,
         }
     }
 }
@@ -204,6 +209,7 @@ impl AsdfBuilder {
         let config = self.config(n_nodes);
         let dag = Dag::build(&registry, &config)?;
         let mut engine = TickEngine::with_threads(dag, self.options.engine_threads);
+        engine.set_batch_size(self.options.batch_size);
         let mut taps = HashMap::new();
         for id in ["bb", "wb_tt", "wb_dn"] {
             if let Some(tap) = engine.tap(id) {
@@ -352,6 +358,32 @@ mod tests {
         let serial = run(1);
         assert!(serial.iter().all(|s| !s.is_empty()));
         assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn batched_deployment_matches_per_sample() {
+        let run = |batch_size: usize, threads: usize| {
+            let cluster = Cluster::new(ClusterConfig::new(4, 5), Vec::new());
+            let mut dep = AsdfBuilder::new(AsdfOptions {
+                window: 10,
+                slide: 10,
+                engine_threads: threads,
+                batch_size,
+                ..AsdfOptions::default()
+            })
+            .with_model(tiny_model())
+            .deploy(cluster)
+            .expect("deploys");
+            dep.run_for(40);
+            ["bb", "wb_tt", "wb_dn"].map(|id| dep.tap(id).unwrap().drain())
+        };
+        let per_sample = run(1, 1);
+        assert!(per_sample.iter().all(|s| !s.is_empty()));
+        for batch_size in [7, 64] {
+            for threads in [1, 4] {
+                assert_eq!(per_sample, run(batch_size, threads));
+            }
+        }
     }
 
     #[test]

@@ -50,9 +50,8 @@ pub fn render_fig7(rows: &[FaultResult]) -> String {
             fmt_lat(r.lat_combined),
         );
     }
-    let mean = |f: fn(&FaultResult) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
-    };
+    let mean =
+        |f: fn(&FaultResult) -> f64| rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64;
     let _ = writeln!(out, "{}", "-".repeat(72));
     let _ = writeln!(
         out,
@@ -69,7 +68,11 @@ pub fn render_fig7(rows: &[FaultResult]) -> String {
 pub fn render_table3(rows: &[OverheadRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<32} | {:>8} | {:>12}", "Process", "% CPU", "Memory (MB)");
+    let _ = writeln!(
+        out,
+        "{:<32} | {:>8} | {:>12}",
+        "Process", "% CPU", "Memory (MB)"
+    );
     let _ = writeln!(out, "{}", "-".repeat(58));
     for r in rows {
         let _ = writeln!(

@@ -52,7 +52,8 @@ fn registry() -> ModuleRegistry {
 fn fan_config(width: usize) -> Config {
     let mut cfg = Config::new();
     for i in 0..width {
-        cfg.push(InstanceConfig::new("src", format!("s{i}"))).unwrap();
+        cfg.push(InstanceConfig::new("src", format!("s{i}")))
+            .unwrap();
     }
     let mut sink = InstanceConfig::new("sum", "sink");
     for i in 0..width {
@@ -94,5 +95,10 @@ fn bench_config_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dag_build, bench_engine_ticks, bench_config_parse);
+criterion_group!(
+    benches,
+    bench_dag_build,
+    bench_engine_ticks,
+    bench_config_parse
+);
 criterion_main!(benches);

@@ -50,7 +50,12 @@ fn main() {
     );
 
     println!("=== window size (paper: 60) ===");
-    let rows = experiments::ablate(&cfg, AblationKnob::Window, &[15.0, 30.0, 60.0, 120.0], fault);
+    let rows = experiments::ablate(
+        &cfg,
+        AblationKnob::Window,
+        &[15.0, 30.0, 60.0, 120.0],
+        fault,
+    );
     println!("{}", render(&rows));
     println!(
         "expected trade-off: small windows detect faster but with noisier histograms\n\

@@ -40,10 +40,8 @@ fn main() {
         "  combining helps or ties:        {}",
         if all + 1.0 >= bb.max(wb) { "yes" } else { "NO" }
     );
-    let hangs: Vec<&asdf::experiments::FaultResult> = rows
-        .iter()
-        .filter(|r| r.fault.is_dormant())
-        .collect();
+    let hangs: Vec<&asdf::experiments::FaultResult> =
+        rows.iter().filter(|r| r.fault.is_dormant()).collect();
     let wb_beats_bb_on_hangs = hangs.iter().all(|r| r.ba_white_box > r.ba_black_box);
     println!(
         "  wb beats bb on reduce hangs (HADOOP-1152/2080): {}",

@@ -29,7 +29,11 @@ fn main() {
             "  {:<32} {:.4}% CPU -> {}",
             r.process,
             r.cpu_percent,
-            if r.cpu_percent < 1.0 { "negligible" } else { "HIGH" }
+            if r.cpu_percent < 1.0 {
+                "negligible"
+            } else {
+                "HIGH"
+            }
         );
     }
     let total: f64 = rows.iter().map(|r| r.cpu_percent).sum();
@@ -54,6 +58,10 @@ fn main() {
         ovh.overhead_pct(),
         ovh.on_secs,
         ovh.off_secs,
-        if ovh.overhead_pct() < 1.0 { "within gate" } else { "OVER GATE" }
+        if ovh.overhead_pct() < 1.0 {
+            "within gate"
+        } else {
+            "OVER GATE"
+        }
     );
 }

@@ -32,10 +32,7 @@ pub fn campaign_from_args(tool: &str) -> CampaignConfig {
 /// # Panics
 ///
 /// Panics with a usage message on malformed flags.
-pub fn campaign_from_iter(
-    tool: &str,
-    args: impl IntoIterator<Item = String>,
-) -> CampaignConfig {
+pub fn campaign_from_iter(tool: &str, args: impl IntoIterator<Item = String>) -> CampaignConfig {
     let mut cfg = CampaignConfig::default();
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
@@ -129,7 +126,9 @@ mod tests {
         let (secs, threads) = secs_and_threads_from_iter(
             "test",
             600,
-            ["--secs", "30", "--threads", "2"].iter().map(|s| s.to_string()),
+            ["--secs", "30", "--threads", "2"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert_eq!((secs, threads), (30, 2));
         let (secs, threads) = secs_and_threads_from_iter("test", 600, std::iter::empty());

@@ -232,31 +232,46 @@ mod tests {
             "INFO org.apache.hadoop.mapred.TaskTracker: LaunchTaskAction: task_0001_r_000003_0",
         ))
         .unwrap();
-        assert_eq!((launch.state, launch.edge), (HadoopState::ReduceTask, Edge::Start));
+        assert_eq!(
+            (launch.state, launch.edge),
+            (HadoopState::ReduceTask, Edge::Start)
+        );
 
         let copy = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Copying map outputs",
         ))
         .unwrap();
-        assert_eq!((copy.state, copy.edge), (HadoopState::ReduceCopy, Edge::Start));
+        assert_eq!(
+            (copy.state, copy.edge),
+            (HadoopState::ReduceCopy, Edge::Start)
+        );
 
         let copy_done = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Copying of all map outputs complete",
         ))
         .unwrap();
-        assert_eq!((copy_done.state, copy_done.edge), (HadoopState::ReduceCopy, Edge::End));
+        assert_eq!(
+            (copy_done.state, copy_done.edge),
+            (HadoopState::ReduceCopy, Edge::End)
+        );
 
         let sort = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Merging map outputs",
         ))
         .unwrap();
-        assert_eq!((sort.state, sort.edge), (HadoopState::ReduceSort, Edge::Start));
+        assert_eq!(
+            (sort.state, sort.edge),
+            (HadoopState::ReduceSort, Edge::Start)
+        );
 
         let sort_done = parse_line(line(
             "INFO org.apache.hadoop.mapred.ReduceTask: task_0001_r_000003_0 Merge complete, reducing",
         ))
         .unwrap();
-        assert_eq!((sort_done.state, sort_done.edge), (HadoopState::ReduceSort, Edge::End));
+        assert_eq!(
+            (sort_done.state, sort_done.edge),
+            (HadoopState::ReduceSort, Edge::End)
+        );
     }
 
     #[test]

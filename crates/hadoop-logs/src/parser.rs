@@ -105,7 +105,8 @@ impl LogParser {
     fn apply(&mut self, event: LogLineEvent<'_>) {
         match event.edge {
             Edge::Instant => {
-                self.instant_events.push_back((self.sample_idx, event.state));
+                self.instant_events
+                    .push_back((self.sample_idx, event.state));
             }
             Edge::Start => {
                 // The event borrows its key from the line; only the first
@@ -161,10 +162,7 @@ impl LogParser {
                     // A task-done line for the overall state also closes
                     // any sub-phases still open (defensive: a reducer ends
                     // while in ReduceReducer).
-                    if matches!(
-                        event.state,
-                        HadoopState::MapTask | HadoopState::ReduceTask
-                    ) {
+                    if matches!(event.state, HadoopState::MapTask | HadoopState::ReduceTask) {
                         for s in held.drain(..) {
                             self.active[s] -= 1.0;
                         }
@@ -231,11 +229,20 @@ mod tests {
     #[test]
     fn map_lifecycle_counts_rise_and_fall() {
         let mut p = LogParser::new();
-        p.feed_line(&tt(T0 + 1, "TaskTracker: LaunchTaskAction: task_0001_m_000000_0"));
-        p.feed_line(&tt(T0 + 2, "TaskTracker: LaunchTaskAction: task_0001_m_000001_0"));
+        p.feed_line(&tt(
+            T0 + 1,
+            "TaskTracker: LaunchTaskAction: task_0001_m_000000_0",
+        ));
+        p.feed_line(&tt(
+            T0 + 2,
+            "TaskTracker: LaunchTaskAction: task_0001_m_000001_0",
+        ));
         let v = p.sample(T0 + 2);
         assert_eq!(v[HadoopState::MapTask], 2.0);
-        p.feed_line(&tt(T0 + 9, "TaskTracker: Task task_0001_m_000000_0 is done."));
+        p.feed_line(&tt(
+            T0 + 9,
+            "TaskTracker: Task task_0001_m_000000_0 is done.",
+        ));
         let v = p.sample(T0 + 9);
         assert_eq!(v[HadoopState::MapTask], 1.0);
         assert_eq!(p.live_instances(), 1);
@@ -252,13 +259,22 @@ mod tests {
         assert_eq!(v[HadoopState::ReduceCopy], 1.0);
         assert_eq!(v[HadoopState::ReduceSort], 0.0);
 
-        p.feed_line(&tt(T0 + 30, &format!("ReduceTask: {a} Copying of all map outputs complete")));
-        p.feed_line(&tt(T0 + 30, &format!("ReduceTask: {a} Merging map outputs")));
+        p.feed_line(&tt(
+            T0 + 30,
+            &format!("ReduceTask: {a} Copying of all map outputs complete"),
+        ));
+        p.feed_line(&tt(
+            T0 + 30,
+            &format!("ReduceTask: {a} Merging map outputs"),
+        ));
         let v = p.sample(T0 + 30);
         assert_eq!(v[HadoopState::ReduceCopy], 0.0);
         assert_eq!(v[HadoopState::ReduceSort], 1.0);
 
-        p.feed_line(&tt(T0 + 40, &format!("ReduceTask: {a} Merge complete, reducing")));
+        p.feed_line(&tt(
+            T0 + 40,
+            &format!("ReduceTask: {a} Merge complete, reducing"),
+        ));
         let v = p.sample(T0 + 40);
         assert_eq!(v[HadoopState::ReduceSort], 0.0);
         assert_eq!(v[HadoopState::ReduceReducer], 1.0);
@@ -281,7 +297,11 @@ mod tests {
             "2008-04-15 14:01:00,000 WARN org.apache.hadoop.mapred.TaskRunner: {a} copy failure"
         ));
         let v = p.sample(T0 + 60);
-        assert_eq!(v[HadoopState::TaskFailed], 1.0, "failure counted as instant");
+        assert_eq!(
+            v[HadoopState::TaskFailed],
+            1.0,
+            "failure counted as instant"
+        );
         assert_eq!(v.total(), 1.0);
         assert_eq!(p.live_instances(), 0);
         // The failure stays visible across the rolling horizon, then ages
@@ -369,8 +389,10 @@ mod tests {
     #[test]
     fn feed_lines_batches() {
         let mut p = LogParser::new();
-        let lines = [tt(T0, "TaskTracker: LaunchTaskAction: task_0001_m_000000_0"),
-            "noise".to_owned()];
+        let lines = [
+            tt(T0, "TaskTracker: LaunchTaskAction: task_0001_m_000000_0"),
+            "noise".to_owned(),
+        ];
         p.feed_lines(lines.iter().map(String::as_str));
         assert_eq!(p.line_stats(), (2, 1));
         assert_eq!(p.sample(T0)[HadoopState::MapTask], 1.0);

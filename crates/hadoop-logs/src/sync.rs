@@ -97,8 +97,7 @@ impl<T: Clone> Aligner<T> {
                 // The node's next timestamp after the failed candidate.
                 match buf.range(candidate..).next() {
                     Some((&t, _)) => {
-                        next_candidate =
-                            Some(next_candidate.map_or(t, |c: u64| c.max(t)));
+                        next_candidate = Some(next_candidate.map_or(t, |c: u64| c.max(t)));
                     }
                     None => return None, // node has no data ≥ candidate yet
                 }

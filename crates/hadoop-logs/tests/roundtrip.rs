@@ -25,7 +25,10 @@ fn simulator_logs_parse_into_nonzero_state_vectors() {
             }
             let v = parsers[node].sample(t);
             // Counts must never go negative.
-            assert!(v.as_slice().iter().all(|&x| x >= 0.0), "negative count: {v}");
+            assert!(
+                v.as_slice().iter().all(|&x| x >= 0.0),
+                "negative count: {v}"
+            );
             saw_map |= v[HadoopState::MapTask] > 0.0;
             saw_reduce_phase |= v[HadoopState::ReduceCopy] > 0.0
                 || v[HadoopState::ReduceSort] > 0.0

@@ -211,7 +211,10 @@ impl Cluster {
         assert!(cfg.slaves > 0, "cluster needs at least one slave");
         let mut slaves: Vec<Slave> = (0..cfg.slaves)
             .map(|i| Slave {
-                sim: NodeSim::new(NodeSpec::ec2_large(format!("slave{i:02}")), cfg.seed ^ i as u64),
+                sim: NodeSim::new(
+                    NodeSpec::ec2_large(format!("slave{i:02}")),
+                    cfg.seed ^ i as u64,
+                ),
                 running: Vec::new(),
                 fault: None,
                 logs: NodeLogs::new(),
@@ -513,8 +516,7 @@ impl Cluster {
                 .iter()
                 .copied()
                 .find(|&n| usable(n, self) && self.hdfs.replicas(block).contains(&n));
-            let chosen =
-                local.or_else(|| order.iter().copied().find(|&n| usable(n, self)));
+            let chosen = local.or_else(|| order.iter().copied().find(|&n| usable(n, self)));
             let Some(node) = chosen else { return };
             grants[node] = true;
             self.launch_map(job_idx, map_idx, node, block);
@@ -589,15 +591,11 @@ impl Cluster {
             if self.jobs[job_idx].reduce_status[red_idx] != TaskStatus::Pending {
                 continue;
             }
-            let Some(node) = self
-                .scan_order(TaskKind::Reduce)
-                .into_iter()
-                .find(|&n| {
-                    !self.jobs[job_idx].banned_sources[n]
-                        && !grants[n]
-                        && self.free_slots(n, TaskKind::Reduce) > 0
-                })
-            else {
+            let Some(node) = self.scan_order(TaskKind::Reduce).into_iter().find(|&n| {
+                !self.jobs[job_idx].banned_sources[n]
+                    && !grants[n]
+                    && self.free_slots(n, TaskKind::Reduce) > 0
+            }) else {
                 return;
             };
             grants[node] = true;
@@ -667,12 +665,15 @@ impl Cluster {
         const BACKGROUND: usize = usize::MAX;
         let mut cpu_dem: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         let mut disk_dem: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n]; // (who, kb, is_write)
-        // Flows: (consumer node, task index, kind tag, Flow)
+                                                                              // Flows: (consumer node, task index, kind tag, Flow)
         #[derive(Clone, Copy, PartialEq)]
         enum FlowKind {
             MapRemoteRead,
             ShufflePull,
-            PipelineHop { writer_node: usize, writer_task: usize },
+            PipelineHop {
+                writer_node: usize,
+                writer_task: usize,
+            },
         }
         let mut flows: Vec<(usize, usize, FlowKind, Flow)> = Vec::new();
         // Shuffle demand/grant accounting per (job index, source node), for
@@ -723,12 +724,13 @@ impl Cluster {
             for t_idx in 0..self.slaves[node].running.len() {
                 let ext = &self.slaves[node].running[t_idx];
                 match ext.task.phase {
-                    TaskPhase::MapRead { remaining_kb, source } => match source {
-                        None => disk_dem[node].push((
-                            t_idx,
-                            remaining_kb.min(TASK_DISK_KBPS),
-                            false,
-                        )),
+                    TaskPhase::MapRead {
+                        remaining_kb,
+                        source,
+                    } => match source {
+                        None => {
+                            disk_dem[node].push((t_idx, remaining_kb.min(TASK_DISK_KBPS), false))
+                        }
                         Some(src) => flows.push((
                             node,
                             t_idx,
@@ -759,8 +761,7 @@ impl Cluster {
                             .expect("running task's job exists");
                         let pulled = ext.shuffle_total_kb - remaining_kb;
                         let reduces = self.jobs[job_idx].reduce_status.len().max(1) as f64;
-                        let available =
-                            (emitted_per_job[job_idx] / reduces - pulled).max(0.0);
+                        let available = (emitted_per_job[job_idx] / reduces - pulled).max(0.0);
                         let want = remaining_kb.min(available).min(TASK_NET_KBPS);
                         if want <= 0.0 {
                             continue;
@@ -802,14 +803,28 @@ impl Cluster {
                             flows.push((
                                 node,
                                 t_idx,
-                                FlowKind::PipelineHop { writer_node: node, writer_task: t_idx },
-                                Flow { src: node, dst: r1, wanted_kb: want },
+                                FlowKind::PipelineHop {
+                                    writer_node: node,
+                                    writer_task: t_idx,
+                                },
+                                Flow {
+                                    src: node,
+                                    dst: r1,
+                                    wanted_kb: want,
+                                },
                             ));
                             flows.push((
                                 node,
                                 t_idx,
-                                FlowKind::PipelineHop { writer_node: node, writer_task: t_idx },
-                                Flow { src: r1, dst: r2, wanted_kb: want },
+                                FlowKind::PipelineHop {
+                                    writer_node: node,
+                                    writer_task: t_idx,
+                                },
+                                Flow {
+                                    src: r1,
+                                    dst: r2,
+                                    wanted_kb: want,
+                                },
                             ));
                         }
                     }
@@ -875,8 +890,7 @@ impl Cluster {
                     acts[node].cpu_user += grant;
                 }
             }
-            for (&(who, _demand, is_write), &grant) in
-                disk_dem[node].iter().zip(&disk_grants[node])
+            for (&(who, _demand, is_write), &grant) in disk_dem[node].iter().zip(&disk_grants[node])
             {
                 if who < task_io[node].len() {
                     task_io[node][who] += grant;
@@ -913,7 +927,11 @@ impl Cluster {
                     tt_proc[flow.src].read_kb += rate * 0.5;
                     let job_idx = self
                         .job_index(
-                            self.slaves[consumer_node].running[t_idx].task.attempt.task.job,
+                            self.slaves[consumer_node].running[t_idx]
+                                .task
+                                .attempt
+                                .task
+                                .job,
                         )
                         .expect("running task's job exists");
                     *shuffle_granted.entry((job_idx, flow.src)).or_insert(0.0) += rate;
@@ -922,8 +940,8 @@ impl Cluster {
                         .or_insert((0.0, 0.0))
                         .1 += rate;
                     // Global source-health evidence, per (src, dst) pair.
-                    let starved =
-                        flow.wanted_kb > 64.0 && rate < (0.02 * flow.wanted_kb).max(256.0).min(flow.wanted_kb);
+                    let starved = flow.wanted_kb > 64.0
+                        && rate < (0.02 * flow.wanted_kb).max(256.0).min(flow.wanted_kb);
                     let key = (flow.src, consumer_node);
                     if starved {
                         *self.pair_starve.entry(key).or_insert(0) += 1;
@@ -931,7 +949,10 @@ impl Cluster {
                         self.pair_starve.remove(&key);
                     }
                 }
-                FlowKind::PipelineHop { writer_node, writer_task } => {
+                FlowKind::PipelineHop {
+                    writer_node,
+                    writer_task,
+                } => {
                     let e = pipeline_min
                         .entry((writer_node, writer_task))
                         .or_insert(f64::INFINITY);
@@ -965,15 +986,16 @@ impl Cluster {
             std::collections::HashMap::new();
         for (&(job_idx, src), &wanted) in &shuffle_wanted {
             let granted = shuffle_granted.get(&(job_idx, src)).copied().unwrap_or(0.0);
-            per_job.entry(job_idx).or_default().push((src, wanted, granted));
+            per_job
+                .entry(job_idx)
+                .or_default()
+                .push((src, wanted, granted));
         }
         for (job_idx, sources) in per_job {
             let stalled = |wanted: f64, granted: f64| {
                 wanted > 64.0 && granted < (0.02 * wanted).max(STALL_FLOOR_KBPS).min(wanted)
             };
-            let any_delivering = sources
-                .iter()
-                .any(|&(_, w, g)| w > 64.0 && !stalled(w, g));
+            let any_delivering = sources.iter().any(|&(_, w, g)| w > 64.0 && !stalled(w, g));
             let job = &mut self.jobs[job_idx];
             for (src, wanted, granted) in sources {
                 if stalled(wanted, granted) {
@@ -1205,9 +1227,7 @@ impl Cluster {
             tt.threads = 34.0 + 6.0 * slave.running.len() as f64;
             tt.fds = 90.0 + 10.0 * slave.running.len() as f64;
 
-            let frame = slave
-                .sim
-                .tick(&a, &[("datanode", dn), ("tasktracker", tt)]);
+            let frame = slave.sim.tick(&a, &[("datanode", dn), ("tasktracker", tt)]);
             slave.last_frame = Some(frame);
             slave.last_tt_syscalls = Some(slave.sim.syscall_rates(&tt));
         }
@@ -1290,8 +1310,7 @@ impl Cluster {
             let mut done = false;
             let mut failed: Option<&'static str> = None;
             let mut blame: Vec<usize> = vec![node];
-            if let Some((reason, blamed)) =
-                self.slaves[node].running[t_idx].pending_failure.take()
+            if let Some((reason, blamed)) = self.slaves[node].running[t_idx].pending_failure.take()
             {
                 failed = Some(reason);
                 blame = blamed; // may be empty: a no-fault kill-and-retry
@@ -1302,8 +1321,9 @@ impl Cluster {
                     *remaining_kb -= io;
                     if *remaining_kb <= 1e-6 {
                         // Input read complete: the serving datanode logs it.
-                        let (block, source) =
-                            self.slaves[node].running[t_idx].input_block.expect("map has block");
+                        let (block, source) = self.slaves[node].running[t_idx]
+                            .input_block
+                            .expect("map has block");
                         self.slaves[source]
                             .logs
                             .record(now, &LogEvent::ServeBlockEnd { block });
@@ -1442,17 +1462,19 @@ impl Cluster {
 
             {
                 let ext = &mut self.slaves[node].running[t_idx];
-                let phase_changed = std::mem::discriminant(&ext.task.phase)
-                    != std::mem::discriminant(&phase);
+                let phase_changed =
+                    std::mem::discriminant(&ext.task.phase) != std::mem::discriminant(&phase);
                 ext.task.phase = phase;
-                ext.task.phase_age = if phase_changed { 0 } else { ext.task.phase_age + 1 };
+                ext.task.phase_age = if phase_changed {
+                    0
+                } else {
+                    ext.task.phase_age + 1
+                };
                 ext.task.age += 1;
                 // The task timeout kills any attempt that has lived too
                 // long without finishing (hung tasks, starved transfers).
                 if !done && failed.is_none() && ext.task.age >= self.cfg.task_timeout_secs {
-                    failed = Some(
-                        "Task attempt failed to report status; killing. (task timeout)",
-                    );
+                    failed = Some("Task attempt failed to report status; killing. (task timeout)");
                 }
             }
 
@@ -1469,8 +1491,7 @@ impl Cluster {
                 // sources, serving) this job's work.
                 for &b in &blame {
                     self.jobs[job_idx].failures_by_node[b] += 1;
-                    if self.jobs[job_idx].failures_by_node[b]
-                        >= self.cfg.tracker_failures_to_ban
+                    if self.jobs[job_idx].failures_by_node[b] >= self.cfg.tracker_failures_to_ban
                         && !self.jobs[job_idx].banned_sources[b]
                     {
                         self.jobs[job_idx].banned_sources[b] = true;
@@ -1529,8 +1550,7 @@ impl Cluster {
                     TaskKind::Map => {
                         self.jobs[job_idx].map_status[attempt.task.index as usize] =
                             TaskStatus::Done;
-                        self.jobs[job_idx].map_ran_on[attempt.task.index as usize] =
-                            Some(node);
+                        self.jobs[job_idx].map_ran_on[attempt.task.index as usize] = Some(node);
                         let out = self.jobs[job_idx].spec.map_profile.output_kb;
                         self.jobs[job_idx].map_output_kb_by_node[node] += out;
                         let d = &mut self.jobs[job_idx].map_durations;
@@ -1796,6 +1816,4 @@ mod tests {
             }],
         );
     }
-
-
 }

@@ -285,8 +285,7 @@ impl JobState {
 
     /// Whether every task has completed.
     pub fn is_complete(&self) -> bool {
-        self.maps_done() == self.map_status.len()
-            && self.reduces_done() == self.reduce_status.len()
+        self.maps_done() == self.map_status.len() && self.reduces_done() == self.reduce_status.len()
     }
 
     /// Mean duration of completed tasks of `kind`, if at least `min`
@@ -386,16 +385,21 @@ mod tests {
                 remaining_kb: 1.0,
                 source: None,
             },
-            TaskPhase::MapCompute { remaining_secs: 1.0 },
+            TaskPhase::MapCompute {
+                remaining_secs: 1.0,
+            },
             TaskPhase::MapSpill { remaining_kb: 1.0 },
             TaskPhase::ReduceCopy { remaining_kb: 1.0 },
-            TaskPhase::ReduceSort { remaining_secs: 1.0 },
-            TaskPhase::ReduceCompute { remaining_secs: 1.0 },
+            TaskPhase::ReduceSort {
+                remaining_secs: 1.0,
+            },
+            TaskPhase::ReduceCompute {
+                remaining_secs: 1.0,
+            },
             TaskPhase::ReduceWrite { remaining_kb: 1.0 },
             TaskPhase::Hung { cpu: 1.0 },
         ];
-        let labels: std::collections::HashSet<&str> =
-            phases.iter().map(TaskPhase::label).collect();
+        let labels: std::collections::HashSet<&str> = phases.iter().map(TaskPhase::label).collect();
         assert_eq!(labels.len(), phases.len());
     }
 

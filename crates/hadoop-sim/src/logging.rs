@@ -85,12 +85,19 @@ impl LogEvent {
     pub fn source(&self) -> LogSource {
         use LogEvent::*;
         match self {
-            LaunchTask(_) | TaskDone(_) | ReduceCopyStart(_) | ReduceCopyEnd(_)
-            | ReduceSortStart(_) | ReduceSortEnd(_) | TaskFailed { .. } | TaskKilled(_) => {
-                LogSource::TaskTracker
-            }
-            ServeBlockStart { .. } | ServeBlockEnd { .. } | ReceiveBlockStart { .. }
-            | ReceiveBlockEnd { .. } | DeleteBlock { .. } => LogSource::DataNode,
+            LaunchTask(_)
+            | TaskDone(_)
+            | ReduceCopyStart(_)
+            | ReduceCopyEnd(_)
+            | ReduceSortStart(_)
+            | ReduceSortEnd(_)
+            | TaskFailed { .. }
+            | TaskKilled(_) => LogSource::TaskTracker,
+            ServeBlockStart { .. }
+            | ServeBlockEnd { .. }
+            | ReceiveBlockStart { .. }
+            | ReceiveBlockEnd { .. }
+            | DeleteBlock { .. } => LogSource::DataNode,
         }
     }
 
@@ -228,7 +235,10 @@ mod tests {
 
     #[test]
     fn events_route_to_the_right_log() {
-        assert_eq!(LogEvent::LaunchTask(attempt()).source(), LogSource::TaskTracker);
+        assert_eq!(
+            LogEvent::LaunchTask(attempt()).source(),
+            LogSource::TaskTracker
+        );
         assert_eq!(
             LogEvent::DeleteBlock { block: BlockId(1) }.source(),
             LogSource::DataNode
@@ -302,7 +312,10 @@ mod tests {
                 line.contains(" INFO ") || line.contains(" WARN "),
                 "line lacks severity: {line}"
             );
-            assert!(line.contains("org.apache.hadoop."), "line lacks class: {line}");
+            assert!(
+                line.contains("org.apache.hadoop."),
+                "line lacks class: {line}"
+            );
         }
     }
 }

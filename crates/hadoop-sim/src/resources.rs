@@ -151,16 +151,32 @@ mod tests {
     fn flows_respect_both_endpoint_capacities() {
         // Two flows out of node 0 (cap 10), into nodes 1 and 2 (cap 100).
         let flows = [
-            Flow { src: 0, dst: 1, wanted_kb: 20.0 },
-            Flow { src: 0, dst: 2, wanted_kb: 20.0 },
+            Flow {
+                src: 0,
+                dst: 1,
+                wanted_kb: 20.0,
+            },
+            Flow {
+                src: 0,
+                dst: 2,
+                wanted_kb: 20.0,
+            },
         ];
         let rates = allocate_flows(&flows, &[10.0, 100.0, 100.0], &[100.0; 3]);
         assert!((rates[0] + rates[1] - 10.0).abs() < 1e-9);
 
         // Receiver-bound: both flows into node 2 (rx cap 8).
         let flows = [
-            Flow { src: 0, dst: 2, wanted_kb: 20.0 },
-            Flow { src: 1, dst: 2, wanted_kb: 20.0 },
+            Flow {
+                src: 0,
+                dst: 2,
+                wanted_kb: 20.0,
+            },
+            Flow {
+                src: 1,
+                dst: 2,
+                wanted_kb: 20.0,
+            },
         ];
         let rates = allocate_flows(&flows, &[100.0; 3], &[100.0, 100.0, 8.0]);
         assert!((rates[0] + rates[1] - 8.0).abs() < 1e-9);
@@ -168,7 +184,11 @@ mod tests {
 
     #[test]
     fn unconstrained_flows_get_their_demand() {
-        let flows = [Flow { src: 0, dst: 1, wanted_kb: 5.0 }];
+        let flows = [Flow {
+            src: 0,
+            dst: 1,
+            wanted_kb: 5.0,
+        }];
         let rates = allocate_flows(&flows, &[100.0, 100.0], &[100.0, 100.0]);
         assert_eq!(rates, vec![5.0]);
     }

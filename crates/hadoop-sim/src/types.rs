@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn block_ids_render_like_hadoop() {
-        assert_eq!(BlockId(-3544583377289625568).to_string(), "blk_-3544583377289625568");
+        assert_eq!(
+            BlockId(-3544583377289625568).to_string(),
+            "blk_-3544583377289625568"
+        );
         assert_eq!(BlockId(42).to_string(), "blk_42");
     }
 }

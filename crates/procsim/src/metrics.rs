@@ -89,24 +89,9 @@ pub const NODE_METRICS: [&str; 64] = [
 
 /// Names of the 18 per-network-interface metrics, in vector order.
 pub const IFACE_METRICS: [&str; 18] = [
-    "rxpck/s",
-    "txpck/s",
-    "rxkB/s",
-    "txkB/s",
-    "rxcmp/s",
-    "txcmp/s",
-    "rxmcst/s",
-    "%ifutil",
-    "rxerr/s",
-    "txerr/s",
-    "coll/s",
-    "rxdrop/s",
-    "txdrop/s",
-    "txcarr/s",
-    "rxfram/s",
-    "rxfifo/s",
-    "txfifo/s",
-    "ifup",
+    "rxpck/s", "txpck/s", "rxkB/s", "txkB/s", "rxcmp/s", "txcmp/s", "rxmcst/s", "%ifutil",
+    "rxerr/s", "txerr/s", "coll/s", "rxdrop/s", "txdrop/s", "txcarr/s", "rxfram/s", "rxfifo/s",
+    "txfifo/s", "ifup",
 ];
 
 /// Names of the 19 per-process metrics, in vector order.

@@ -12,8 +12,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::activity::{Activity, ProcessActivity};
-use crate::metrics::{IFACE_METRIC_COUNT, NODE_METRIC_COUNT, PROCESS_METRIC_COUNT};
 use crate::metrics::{iface_idx, node_idx, process_idx};
+use crate::metrics::{IFACE_METRIC_COUNT, NODE_METRIC_COUNT, PROCESS_METRIC_COUNT};
 
 /// Static description of a simulated node's hardware.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,8 +38,8 @@ impl NodeSpec {
             name: name.into(),
             cores: 4,
             mem_mb: 7_680,
-            disk_kbps: 80_000.0,  // ~80 MB/s sequential
-            net_kbps: 125_000.0,  // ~1 Gbit/s
+            disk_kbps: 80_000.0, // ~80 MB/s sequential
+            net_kbps: 125_000.0, // ~1 Gbit/s
         }
     }
 }
@@ -283,8 +283,16 @@ impl NodeSim {
         m[26] = swp_used / swap_total_kb * 100.0; // %swpused
         m[27] = swp_used * 0.1; // kbswpcad
         m[28] = if swp_used > 0.0 { 10.0 } else { 0.0 }; // %swpcad
-        m[38] = if overshoot_kb > 0.0 { self.noisy(overshoot_kb / 4.0) } else { 0.0 }; // pswpin/s
-        m[39] = if overshoot_kb > 0.0 { self.noisy(overshoot_kb / 4.0) } else { 0.0 }; // pswpout/s
+        m[38] = if overshoot_kb > 0.0 {
+            self.noisy(overshoot_kb / 4.0)
+        } else {
+            0.0
+        }; // pswpin/s
+        m[39] = if overshoot_kb > 0.0 {
+            self.noisy(overshoot_kb / 4.0)
+        } else {
+            0.0
+        }; // pswpout/s
 
         // --- Paging ---
         m[node_idx::PGPGIN] = self.noisy(a.disk_read_kb);
@@ -295,7 +303,11 @@ impl NodeSim {
         m[34] = self.hum(1.0); // pgscank/s
         m[35] = self.hum(1.0); // pgscand/s
         m[36] = self.hum(0.5); // pgsteal/s
-        m[37] = if m[34] + m[35] > 0.0 { 90.0 + self.hum(10.0) } else { 0.0 }; // %vmeff
+        m[37] = if m[34] + m[35] > 0.0 {
+            90.0 + self.hum(10.0)
+        } else {
+            0.0
+        }; // %vmeff
 
         // --- Block I/O ---
         // Average request ~128 KB sequential, ~16 KB random; blend.
@@ -394,14 +406,15 @@ impl NodeSim {
         m[process_idx::KB_RD] = self.noisy(p.read_kb);
         m[process_idx::KB_WR] = self.noisy(p.write_kb);
         m[10] = self.noisy(p.write_kb * 0.02); // kB_ccwr/s (cancelled writes)
-        m[process_idx::IODELAY] = self.noisy((p.read_kb + p.write_kb) / self.spec.disk_kbps * 100.0);
+        m[process_idx::IODELAY] =
+            self.noisy((p.read_kb + p.write_kb) / self.spec.disk_kbps * 100.0);
         m[12] = self.noisy(40.0 + 400.0 * (p.cpu_user + p.cpu_system)); // cswch/s
         m[13] = self.noisy(5.0 + 60.0 * (p.cpu_user + p.cpu_system)); // nvcswch/s
         m[process_idx::THREADS] = p.threads.max(1.0);
         m[15] = p.fds.max(8.0); // fds
-        // Reported as a per-interval rate (CPU seconds consumed this
-        // second), like sadc's per-interval deltas — a cumulative counter
-        // would make samples time-dependent and unusable for clustering.
+                                // Reported as a per-interval rate (CPU seconds consumed this
+                                // second), like sadc's per-interval deltas — a cumulative counter
+                                // would make samples time-dependent and unusable for clustering.
         let _ = name;
         m[process_idx::CPU_SECS] = p.cpu_user + p.cpu_system;
         m[17] = self.noisy(p.read_kb / 48.0); // rd_ops/s

@@ -19,7 +19,15 @@ use crate::activity::ProcessActivity;
 
 /// System-call categories traced per process, in vector order.
 pub const SYSCALL_CATEGORIES: [&str; 10] = [
-    "read", "write", "futex", "epoll_wait", "clone", "mmap", "recvfrom", "sendto", "fsync",
+    "read",
+    "write",
+    "futex",
+    "epoll_wait",
+    "clone",
+    "mmap",
+    "recvfrom",
+    "sendto",
+    "fsync",
     "stat",
 ];
 
@@ -43,13 +51,16 @@ pub fn syscall_rates(p: &ProcessActivity, rng: &mut SmallRng) -> Vec<f64> {
     // I/O is issued in ~64 KB chunks.
     v[0] = jitter(rng, 4.0 + p.read_kb / 64.0); // read
     v[1] = jitter(rng, 2.0 + p.write_kb / 64.0); // write
-    // Thread synchronization scales with threads and CPU activity.
-    v[2] = jitter(rng, 6.0 * p.threads.max(1.0) + 40.0 * (p.cpu_user + p.cpu_system)); // futex
-    // Event loops poll steadily even when idle.
+                                                 // Thread synchronization scales with threads and CPU activity.
+    v[2] = jitter(
+        rng,
+        6.0 * p.threads.max(1.0) + 40.0 * (p.cpu_user + p.cpu_system),
+    ); // futex
+       // Event loops poll steadily even when idle.
     v[3] = jitter(rng, 12.0 + 2.0 * p.threads.max(1.0)); // epoll_wait
     v[4] = jitter(rng, 0.02 * p.threads.max(1.0)); // clone
     v[5] = jitter(rng, 0.5 + (p.read_kb + p.write_kb) / 4096.0); // mmap
-    // Network I/O in ~8 KB segments (the JVM's socket buffer drain size).
+                                                                 // Network I/O in ~8 KB segments (the JVM's socket buffer drain size).
     v[6] = jitter(rng, 1.0 + p.read_kb / 8.0 * 0.2); // recvfrom
     v[7] = jitter(rng, 1.0 + p.write_kb / 8.0 * 0.2); // sendto
     v[8] = jitter(rng, p.write_kb / 1024.0); // fsync
@@ -87,8 +98,14 @@ mod tests {
         };
         let b = syscall_rates(&busy, &mut rng());
         let i = syscall_rates(&idle, &mut rng());
-        assert!(b[0] > 50.0 * i[0].max(1.0), "read calls scale with read volume");
-        assert!(b[1] > 20.0 * i[1].max(1.0), "write calls scale with write volume");
+        assert!(
+            b[0] > 50.0 * i[0].max(1.0),
+            "read calls scale with read volume"
+        );
+        assert!(
+            b[1] > 20.0 * i[1].max(1.0),
+            "write calls scale with write volume"
+        );
         assert!(b[8] > i[8], "fsync follows writes");
     }
 

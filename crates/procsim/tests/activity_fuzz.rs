@@ -7,15 +7,15 @@ use proptest::prelude::*;
 
 fn arb_activity() -> impl Strategy<Value = Activity> {
     (
-        0.0f64..64.0,    // cpu_user (can exceed capacity; must clamp)
-        0.0f64..16.0,    // cpu_system
-        0.0f64..10.0,    // io_wait_tasks
-        0.0f64..1e6,     // disk_read_kb
-        0.0f64..1e6,     // disk_write_kb
-        0.0f64..1e6,     // net_rx_kb
-        0.0f64..1e6,     // net_tx_kb
+        0.0f64..64.0,     // cpu_user (can exceed capacity; must clamp)
+        0.0f64..16.0,     // cpu_system
+        0.0f64..10.0,     // io_wait_tasks
+        0.0f64..1e6,      // disk_read_kb
+        0.0f64..1e6,      // disk_write_kb
+        0.0f64..1e6,      // net_rx_kb
+        0.0f64..1e6,      // net_tx_kb
         0.0f64..20_000.0, // mem_used_mb (can exceed RAM; swap path)
-        0.0f64..1.0,     // packet_loss
+        0.0f64..1.0,      // packet_loss
     )
         .prop_map(
             |(cpu_user, cpu_system, io_wait, dr, dw, rx, tx, mem, loss)| {

@@ -59,7 +59,9 @@ impl Module for EwmaSpike {
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
         for (_, env) in ctx.take_all() {
-            let Some(v) = env.sample.value.as_vector() else { continue };
+            let Some(v) = env.sample.value.as_vector() else {
+                continue;
+            };
             let x = *v.get(self.metric).ok_or_else(|| {
                 ModuleError::Other(format!("metric index {} out of range", self.metric))
             })?;

@@ -51,6 +51,7 @@ fn main() {
         black_box: true,
         white_box: true,
         engine_threads: 1,
+        batch_size: cfg.batch_size,
     })
     .with_model(model);
     let config = builder.config(cfg.slaves);
@@ -63,6 +64,7 @@ fn main() {
     );
     let engine = OnlineEngine::builder(dag)
         .wall_per_tick(Duration::from_millis(25))
+        .batch_size(cfg.batch_size)
         .tap("bb")
         .tap("wb_tt")
         .tap("wb_dn")
@@ -79,18 +81,17 @@ fn main() {
     while engine.now().as_secs() < cfg.run_secs {
         std::thread::sleep(Duration::from_millis(100));
         for tap_id in ["bb", "wb_tt", "wb_dn"] {
-            let Some(tap) = engine.tap_handle(tap_id) else { continue };
+            let Some(tap) = engine.tap_handle(tap_id) else {
+                continue;
+            };
             for env in tap.drain() {
-                if env.source.name.starts_with("alarm")
-                    && env.sample.value.as_bool() == Some(true)
+                if env.source.name.starts_with("alarm") && env.sample.value.as_bool() == Some(true)
                 {
                     let key = format!("{tap_id}:{}", env.source.origin);
                     if alarmed.insert(key) {
                         println!(
                             "  [{}] {} fingerpoints {}",
-                            env.sample.timestamp,
-                            tap_id,
-                            env.source.origin
+                            env.sample.timestamp, tap_id, env.source.origin
                         );
                     }
                 }

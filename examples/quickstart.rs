@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run -p asdf-examples --bin quickstart --release`
 
-use asdf::experiments::{self, CampaignConfig};
 use asdf::eval::{fingerpointing_latency, Confusion};
+use asdf::experiments::{self, CampaignConfig};
 use hadoop_sim::faults::FaultKind;
 
 fn main() {

@@ -6,8 +6,9 @@
 verify:
     ./scripts/verify.sh
 
-# Tier-1 only: build, tests, lint.
+# Tier-1 only: format check, build, tests, lint.
 tier1:
+    cargo fmt --all -- --check
     cargo build --release
     cargo test -q
     cargo clippy --workspace --all-targets -- -D warnings

@@ -12,6 +12,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "[verify] tier-1: rustfmt check" >&2
+cargo fmt --all -- --check
+
 echo "[verify] tier-1: build" >&2
 cargo build --release
 

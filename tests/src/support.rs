@@ -103,7 +103,12 @@ pub fn synthetic_registry() -> ModuleRegistry {
             burst: 1,
         })
     });
-    reg.register("mix", || Box::new(Mix { port: None, state: 0 }));
+    reg.register("mix", || {
+        Box::new(Mix {
+            port: None,
+            state: 0,
+        })
+    });
     reg
 }
 
@@ -191,9 +196,21 @@ pub fn instance_ids(config_text: &str) -> Vec<String> {
 /// workers, with every instance tapped; returns the per-instance envelope
 /// streams in declaration order.
 pub fn run_synthetic(config_text: &str, ticks: u64, threads: usize) -> Vec<Vec<Envelope>> {
+    run_synthetic_batched(config_text, ticks, threads, 1)
+}
+
+/// [`run_synthetic`] with an explicit envelope batch size, for sweeping
+/// the batched lane hand-off against the per-sample reference.
+pub fn run_synthetic_batched(
+    config_text: &str,
+    ticks: u64,
+    threads: usize,
+    batch_size: usize,
+) -> Vec<Vec<Envelope>> {
     let cfg: Config = config_text.parse().expect("harness config parses");
     let dag = Dag::build(&synthetic_registry(), &cfg).expect("harness DAG builds");
     let mut engine = TickEngine::with_threads(dag, threads);
+    engine.set_batch_size(batch_size);
     let taps: Vec<TapHandle> = instance_ids(config_text)
         .iter()
         .map(|id| engine.tap(id).expect("every declared instance exists"))
@@ -254,6 +271,7 @@ pub fn pipeline_streams(
         wb_k: cfg.wb_k,
         consecutive: cfg.consecutive,
         engine_threads: cfg.engine_threads,
+        batch_size: cfg.batch_size,
         ..AsdfOptions::default()
     })
     .with_model(Arc::clone(model))

@@ -63,9 +63,11 @@ fn exported_trace_round_trips_and_spans_nest() {
 
     // Per-module spans are present under their instance names, and the
     // per-tick parent span exists for them to nest under.
-    let names: std::collections::BTreeSet<&str> =
-        events.iter().map(|e| e.name.as_ref()).collect();
-    assert!(names.contains("tick"), "engine tick span missing: {names:?}");
+    let names: std::collections::BTreeSet<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+    assert!(
+        names.contains("tick"),
+        "engine tick span missing: {names:?}"
+    );
     assert!(
         names.iter().any(|n| n.starts_with("avg_tt_")),
         "per-module spans missing: {names:?}"
@@ -77,16 +79,19 @@ fn exported_trace_round_trips_and_spans_nest() {
 
     // Every module-run span lies inside some tick span on its thread —
     // the containment chrome://tracing renders as a stack.
-    let ticks: Vec<&asdf_obs::TraceEvent> =
-        events.iter().filter(|e| e.name.as_ref() == "tick").collect();
+    let ticks: Vec<&asdf_obs::TraceEvent> = events
+        .iter()
+        .filter(|e| e.name.as_ref() == "tick")
+        .collect();
     let contained = |e: &asdf_obs::TraceEvent| {
         ticks.iter().any(|t| {
-            t.tid == e.tid
-                && t.ts_ns <= e.ts_ns
-                && e.ts_ns + e.dur_ns <= t.ts_ns + t.dur_ns
+            t.tid == e.tid && t.ts_ns <= e.ts_ns && e.ts_ns + e.dur_ns <= t.ts_ns + t.dur_ns
         })
     };
-    for ev in events.iter().filter(|e| e.cat == "engine" && e.name.as_ref() != "tick") {
+    for ev in events
+        .iter()
+        .filter(|e| e.cat == "engine" && e.name.as_ref() != "tick")
+    {
         assert!(
             contained(ev),
             "engine span `{}` at {}ns is not nested in any tick",
@@ -119,6 +124,9 @@ fn summary_table_covers_the_deployment_metrics() {
 
     let summary = export::render_summary(&asdf_obs::registry().snapshot());
     for needle in ["rpc.messages_total", "rpc.bytes_total", "engine.tick_ns"] {
-        assert!(summary.contains(needle), "summary missing {needle}:\n{summary}");
+        assert!(
+            summary.contains(needle),
+            "summary missing {needle}:\n{summary}"
+        );
     }
 }

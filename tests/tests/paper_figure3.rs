@@ -59,7 +59,10 @@ input[a] = @buf0
     );
     let config: Config = text.parse().expect("paper-dialect config parses");
     let dag = Dag::build(&registry, &config).expect("builds");
-    assert_eq!(dag.topo_ids(), ["drv", "sadc0", "onenn0", "buf0", "BlackBoxAlarm"]);
+    assert_eq!(
+        dag.topo_ids(),
+        ["drv", "sadc0", "onenn0", "buf0", "BlackBoxAlarm"]
+    );
 
     let mut engine = TickEngine::new(dag);
     let buf_tap = engine.tap("buf0").unwrap();

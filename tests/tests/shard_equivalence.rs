@@ -14,6 +14,10 @@ use proptest::prelude::*;
 /// Thread counts the ISSUE pins the suite to (1 is the serial reference).
 const THREADS: [usize; 3] = [2, 4, 8];
 
+/// Batch sizes the batched-lane sweep is pinned to: per-sample, a
+/// non-power-of-two watermark, and the default columnar batch.
+const BATCHES: [usize; 3] = [1, 7, 64];
+
 #[test]
 fn pipeline_envelope_streams_identical_across_threads_and_seeds() {
     let cfg = support::small_campaign(1);
@@ -53,8 +57,14 @@ fn alarm_sequences_and_scores_identical() {
         let cfg = support::small_campaign(threads);
         let model = support::small_model(&cfg);
         let got = experiments::run_once(&cfg, &model, Some(FaultKind::CpuHog), cfg.base_seed + 7);
-        assert_eq!(reference.bb, got.bb, "bb trace diverged at {threads} threads");
-        assert_eq!(reference.wb, got.wb, "wb trace diverged at {threads} threads");
+        assert_eq!(
+            reference.bb, got.bb,
+            "bb trace diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference.wb, got.wb,
+            "wb trace diverged at {threads} threads"
+        );
         assert_eq!(
             reference.combined_alarms(),
             got.combined_alarms(),
@@ -93,6 +103,117 @@ fn figure_outputs_identical_under_sharding() {
 }
 
 #[test]
+fn batched_envelope_streams_match_per_sample_serial() {
+    // The batched hand-off must be invisible too: a per-sample serial run
+    // (batch 1, 1 thread) is the reference, and every (batch, threads)
+    // combination — including the non-power-of-two watermark — must
+    // reproduce its raw analysis envelope streams bitwise.
+    let per_sample = CampaignConfig {
+        batch_size: 1,
+        ..support::small_campaign(1)
+    };
+    let model = support::small_model(&per_sample);
+    for fault in [None, Some(FaultKind::Hadoop1036)] {
+        let reference = support::pipeline_streams(&per_sample, &model, fault, 11);
+        assert!(
+            reference.iter().all(|s| !s.is_empty()),
+            "per-sample reference must produce analysis output"
+        );
+        for batch_size in BATCHES {
+            for threads in [1, 2, 4, 8] {
+                let cfg = CampaignConfig {
+                    batch_size,
+                    ..support::small_campaign(threads)
+                };
+                let got = support::pipeline_streams(&cfg, &model, fault, 11);
+                assert_eq!(
+                    reference, got,
+                    "batched stream diverged: fault {fault:?}, batch {batch_size}, \
+                     threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_alarms_and_figures_match_per_sample() {
+    // Alarm traces via the whole campaign path, then whole-figure
+    // equality, batched-and-sharded vs per-sample serial.
+    let per_sample = CampaignConfig {
+        batch_size: 1,
+        ..support::small_campaign(1)
+    };
+    let model = support::small_model(&per_sample);
+    let reference = experiments::run_once(&per_sample, &model, Some(FaultKind::CpuHog), 18);
+    assert!(reference.bb.n_windows() > 0);
+    for batch_size in BATCHES {
+        for threads in [1, 4] {
+            let cfg = CampaignConfig {
+                batch_size,
+                ..support::small_campaign(threads)
+            };
+            let got = experiments::run_once(&cfg, &model, Some(FaultKind::CpuHog), 18);
+            assert_eq!(
+                (&reference.bb, &reference.wb, reference.combined_alarms()),
+                (&got.bb, &got.wb, got.combined_alarms()),
+                "alarm trace diverged: batch {batch_size}, threads {threads}"
+            );
+        }
+    }
+
+    let batched = CampaignConfig {
+        batch_size: 64,
+        ..support::small_campaign(8)
+    };
+    assert_eq!(
+        experiments::fig7(&per_sample, &model),
+        experiments::fig7(&batched, &model),
+        "fig7 rows diverged under batching"
+    );
+    assert_eq!(
+        experiments::fig6a(&per_sample, &model, &[0.0, 25.0, 50.0]),
+        experiments::fig6a(&batched, &model, &[0.0, 25.0, 50.0]),
+        "fig6a sweep diverged under batching"
+    );
+    assert_eq!(
+        experiments::fig6b(&per_sample, &model, &[0.0, 2.0, 4.0]),
+        experiments::fig6b(&batched, &model, &[0.0, 2.0, 4.0]),
+        "fig6b sweep diverged under batching"
+    );
+}
+
+#[test]
+fn batched_synthetic_dags_match_per_sample() {
+    // Order-sensitive synthetic shapes under the batch sweep: the `mix`
+    // fold turns any reordering, loss, or duplication introduced by batch
+    // accumulation into a different value everywhere downstream.
+    let shapes: [(&str, String); 3] = [
+        ("random", support::random_dag_config(424_242)),
+        ("broadcast", support::broadcast_config(16, 7)),
+        (
+            "bursty",
+            "[pulse]\nid = p\nperiod = 1\nburst = 40\n\n\
+                    [mix]\nid = m\ntrigger = 40\ninput[i] = p.out\n\n"
+                .to_owned(),
+        ),
+    ];
+    for (name, config) in &shapes {
+        let reference = support::run_synthetic(config, 15, 1);
+        assert!(reference.iter().any(|s| !s.is_empty()), "{name}");
+        for batch_size in BATCHES {
+            for threads in [1, 2, 8] {
+                let got = support::run_synthetic_batched(config, 15, threads, batch_size);
+                assert_eq!(
+                    &reference, &got,
+                    "{name} diverged: batch {batch_size}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn engine_threads_compose_with_campaign_threads() {
     // Both parallelism layers at once (pool workers × engine workers)
     // must still be invisible in the results.
@@ -122,7 +243,10 @@ fn degenerate_and_stress_shapes_are_schedule_invariant() {
     // the clamp plus idle-worker parking). 16 includes "more threads than
     // any of these DAGs has nodes".
     let shapes: [(&str, String); 3] = [
-        ("single-node", "[pulse]\nid = solo\nperiod = 1\nburst = 2\n\n".to_owned()),
+        (
+            "single-node",
+            "[pulse]\nid = solo\nperiod = 1\nburst = 2\n\n".to_owned(),
+        ),
         (
             "zero-edge",
             "[pulse]\nid = a\nperiod = 1\nburst = 1\n\n\

@@ -17,7 +17,8 @@ use hadoop_sim::faults::{FaultKind, FaultSpec};
 /// uses, now running on syscall vectors.
 fn strace_pipeline(n_nodes: usize) -> Config {
     let mut cfg = Config::new();
-    cfg.push(InstanceConfig::new("cluster_driver", "drv")).unwrap();
+    cfg.push(InstanceConfig::new("cluster_driver", "drv"))
+        .unwrap();
     let mut wb = InstanceConfig::new("analysis_wb", "wb_strace")
         .with_param("k", 3)
         .with_param("consecutive", 2);

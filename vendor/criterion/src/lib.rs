@@ -315,7 +315,11 @@ mod tests {
             ran += 1;
         });
         group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
-            b.iter_batched(|| vec![n; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
         });
         group.finish();
         assert_eq!(ran, 2, "calibration + measurement passes");

@@ -27,8 +27,8 @@ mod regex;
 /// Common imports for property tests.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, ProptestConfig,
+        Strategy,
     };
 }
 

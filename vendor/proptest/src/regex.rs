@@ -101,8 +101,9 @@ mod tests {
         for _ in 0..200 {
             let s = sample_pattern("[a-zA-Z0-9_.:/ -]{0,16}", &mut rng);
             assert!(s.len() <= 16);
-            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
-                || "_.:/ -".contains(c)));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.:/ -".contains(c)));
         }
         let s = sample_pattern("ab[0-3]{2}", &mut rng);
         assert_eq!(s.len(), 4);

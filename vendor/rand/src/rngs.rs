@@ -66,9 +66,7 @@ mod tests {
     fn xoshiro256pp_reference_vector() {
         // Reference: xoshiro256++ with state [1, 2, 3, 4] produces
         // 41943041 first (from the public reference implementation).
-        let mut rng = SmallRng {
-            s: [1, 2, 3, 4],
-        };
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
         assert_eq!(rng.next_u64(), 41943041);
         assert_eq!(rng.next_u64(), 58720359);
     }
