@@ -470,6 +470,19 @@ fn avx2_available() -> bool {
     std::arch::is_x86_feature_detected!("avx2")
 }
 
+/// The distance-kernel variant runtime dispatch selects on this host:
+/// `"avx2"` when the AVX2 clones are taken, `"scalar"` otherwise.
+///
+/// Part of the host fingerprint perf-history records carry — two hosts
+/// with different dispatch are different populations for trend analysis.
+pub fn simd_dispatch() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        return "avx2";
+    }
+    "scalar"
+}
+
 /// [`dist2_x4`] compiled with AVX2 enabled: same lane-ordered arithmetic,
 /// bitwise identical results (rustc performs no FP contraction), but the
 /// four lanes occupy one 256-bit register.

@@ -158,8 +158,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     })
 }
 
-/// Renders a histogram line for the summary table.
+/// Renders a histogram line for the summary table. A registered-but-empty
+/// histogram is rendered explicitly (`(empty)` in place of statistics)
+/// rather than as a misleading row of zeros — every registered name
+/// appears in the summary, recorded or not.
 fn histogram_line(name: &str, h: &HistogramSnapshot) -> String {
+    if h.count == 0 {
+        return format!(
+            "  {name:<44} {:>10}  {:>12}  {:>12}  {:>12}\n",
+            0, "(empty)", "-", "-"
+        );
+    }
     format!(
         "  {name:<44} {:>10}  {:>12.0}  {:>12}  {:>12}\n",
         h.count,
@@ -169,12 +178,19 @@ fn histogram_line(name: &str, h: &HistogramSnapshot) -> String {
     )
 }
 
-/// Renders the end-of-run text summary of a registry snapshot: counters,
-/// gauges (value + high-water), and histograms (count / mean / p50 / p99,
-/// nanoseconds for span timers).
+/// Renders the end-of-run text summary of a registry snapshot: the
+/// snapshot digest (the same fingerprint perf-history records cite, see
+/// [`crate::snapshot::snapshot_digest`]), counters, gauges (value +
+/// high-water), and histograms (count / mean / p50 / p99, nanoseconds for
+/// span timers).
 pub fn render_summary(snap: &RegistrySnapshot) -> String {
     let mut out = String::new();
     out.push_str("== instrumentation summary ==\n");
+    let _ = writeln!(
+        out,
+        "snapshot digest: {}",
+        crate::snapshot::snapshot_digest(snap)
+    );
     if snap.is_empty() {
         out.push_str("  (no metrics registered)\n");
         return out;
@@ -264,5 +280,46 @@ mod tests {
         assert!(text.contains("p99"));
         let empty = render_summary(&crate::Registry::default().snapshot());
         assert!(empty.contains("no metrics registered"));
+    }
+
+    #[test]
+    fn summary_cites_the_snapshot_digest() {
+        let _guard = crate::tests::flag_lock();
+        let reg = crate::Registry::default();
+        reg.counter("c.total").inc();
+        let snap = reg.snapshot();
+        let text = render_summary(&snap);
+        let digest = crate::snapshot::snapshot_digest(&snap);
+        assert!(
+            text.contains(&format!("snapshot digest: {digest}")),
+            "summary must cite the digest of the snapshot it renders:\n{text}"
+        );
+        // Even an empty registry gets a digest line (of the empty state).
+        let empty_snap = crate::Registry::default().snapshot();
+        assert!(render_summary(&empty_snap).contains("snapshot digest: "));
+    }
+
+    #[test]
+    fn empty_histograms_render_explicitly_not_silently() {
+        let _guard = crate::tests::flag_lock();
+        let reg = crate::Registry::default();
+        // Registered but never recorded: a span site that never fired.
+        reg.histogram("engine.idle_ns.never");
+        reg.histogram("engine.run_ns.live").record(512);
+        let text = render_summary(&reg.snapshot());
+        let empty_line = text
+            .lines()
+            .find(|l| l.contains("engine.idle_ns.never"))
+            .expect("registered-but-empty histogram must still be listed");
+        assert!(
+            empty_line.contains("(empty)"),
+            "empty histogram must be marked, not rendered as zeros: {empty_line}"
+        );
+        // The live one keeps its normal statistics row.
+        let live_line = text
+            .lines()
+            .find(|l| l.contains("engine.run_ns.live"))
+            .expect("live histogram listed");
+        assert!(!live_line.contains("(empty)"), "{live_line}");
     }
 }

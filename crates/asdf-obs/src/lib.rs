@@ -16,7 +16,10 @@
 //! * **Exporters** — [`export::write_chrome_trace`] renders captured
 //!   spans as Chrome `trace_event` JSON (loads in `chrome://tracing` /
 //!   Perfetto), [`export::render_summary`] renders an end-of-run text
-//!   table.
+//!   table, and [`snapshot::render_snapshot`] serializes the full metric
+//!   state to a stable, schema-versioned JSON record with a
+//!   [`snapshot::snapshot_digest`] fingerprint (round-tripped losslessly
+//!   by [`snapshot::parse_snapshot`]).
 //!
 //! # Cost model
 //!
@@ -54,12 +57,14 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod snapshot;
 pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Registry, RegistrySnapshot};
+pub use snapshot::{parse_snapshot, render_snapshot, snapshot_digest};
 pub use span::{current_tid, Sampler, SpanGuard, SpanHandle, TraceEvent, DEFAULT_TRACE_CAPACITY};
 
 static ENABLED: AtomicBool = AtomicBool::new(true);

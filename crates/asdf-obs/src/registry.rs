@@ -100,7 +100,7 @@ impl Histogram {
 }
 
 /// Ordered point-in-time copy of the registry, ready for rendering.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegistrySnapshot {
     /// `(name, value)`, name-ordered.
     pub counters: Vec<(String, u64)>,

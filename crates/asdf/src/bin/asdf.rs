@@ -16,6 +16,14 @@
 //!   is captured as a span and written as Chrome `trace_event` JSON —
 //!   loadable in `chrome://tracing` or Perfetto. Each campaign subcommand
 //!   ends with the instrumentation summary table on stderr.
+//! * `perfwatch [--history PATH] [--report PATH] [--json PATH]
+//!   [--permutations N] [--pvalue P] [--min-segment N] [--no-dogfood]` —
+//!   the dogfooded perf-regression watchdog: loads the BENCH history
+//!   (default `BENCH_history.jsonl`), runs E-Divisive change-point
+//!   detection per metric, cross-checks with the peer-comparison DAG
+//!   replay, and prints a markdown report (optionally written to
+//!   `--report` and, as JSON, to `--json`). Advisory: always exits 0
+//!   unless the history itself is unreadable.
 //!
 //! Campaign flags: `--slaves N --secs S --seed X --runs R --window W
 //! --threshold T --k K --threads N --engine-threads N --batch-size B
@@ -49,9 +57,13 @@ fn usage() -> ! {
          asdf fig7|fig6|ablate [--slaves N] [--secs S] [--seed X] [--runs R]\n\
          \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
          \x20                     [--engine-threads N] [--batch-size B] [--trace-out PATH]\n\
+         asdf perfwatch   [--history PATH] [--report PATH] [--json PATH]\n\
+         \x20                [--permutations N] [--pvalue P] [--min-segment N]\n\
+         \x20                [--seed X] [--no-dogfood]\n\
          \n\
          campaign subcommands default to smoke scale; --trace-out writes a\n\
-         Chrome trace_event JSON (chrome://tracing / Perfetto)\n\
+         Chrome trace_event JSON (chrome://tracing / Perfetto); perfwatch\n\
+         analyzes BENCH_history.jsonl for perf regressions (advisory)\n\
          \n\
          faults: CPUHog DiskHog HADOOP-1036 HADOOP-1152 HADOOP-2080 PacketLoss"
     );
@@ -82,6 +94,13 @@ struct Opts {
     engine_threads: usize,
     batch_size: Option<usize>,
     trace_out: Option<String>,
+    history: Option<String>,
+    report_out: Option<String>,
+    json_out: Option<String>,
+    permutations: Option<usize>,
+    pvalue: Option<f64>,
+    min_segment: Option<usize>,
+    no_dogfood: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -99,6 +118,13 @@ fn parse_opts(args: &[String]) -> Opts {
         engine_threads: 1,
         batch_size: None,
         trace_out: None,
+        history: None,
+        report_out: None,
+        json_out: None,
+        permutations: None,
+        pvalue: None,
+        min_segment: None,
+        no_dogfood: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -127,6 +153,17 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.batch_size = Some(val("--batch-size").parse().unwrap_or_else(|_| usage()));
             }
             "--trace-out" => o.trace_out = Some(val("--trace-out").clone()),
+            "--history" => o.history = Some(val("--history").clone()),
+            "--report" => o.report_out = Some(val("--report").clone()),
+            "--json" => o.json_out = Some(val("--json").clone()),
+            "--permutations" => {
+                o.permutations = Some(val("--permutations").parse().unwrap_or_else(|_| usage()));
+            }
+            "--pvalue" => o.pvalue = Some(val("--pvalue").parse().unwrap_or_else(|_| usage())),
+            "--min-segment" => {
+                o.min_segment = Some(val("--min-segment").parse().unwrap_or_else(|_| usage()));
+            }
+            "--no-dogfood" => o.no_dogfood = true,
             other if !other.starts_with("--") && o.file.is_none() => {
                 o.file = Some(other.to_owned());
             }
@@ -407,6 +444,53 @@ fn cmd_ablate(cfg: &CampaignConfig) {
     }
 }
 
+fn cmd_perfwatch(o: Opts) {
+    use asdf::perfwatch::{self, AnalyzeOptions};
+    let path = o.history.as_deref().unwrap_or("BENCH_history.jsonl");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut opts = AnalyzeOptions::default();
+    if let Some(p) = o.permutations {
+        opts.detector.permutations = p;
+    }
+    if let Some(p) = o.pvalue {
+        opts.detector.p_threshold = p;
+    }
+    if let Some(m) = o.min_segment {
+        opts.detector.min_segment = m;
+    }
+    opts.detector.seed = o.seed;
+    if o.no_dogfood {
+        opts.dogfood = None;
+    }
+    let report = perfwatch::analyze(&text, &opts).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let markdown = perfwatch::report::render_markdown(&report);
+    match o.report_out.as_deref() {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &markdown) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("report -> {out}");
+        }
+        None => print!("{markdown}"),
+    }
+    if let Some(out) = o.json_out.as_deref() {
+        if let Err(e) = std::fs::write(out, perfwatch::report::render_json(&report)) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("json -> {out}");
+    }
+    // Advisory by design: findings are evidence for humans, not a gate,
+    // so a clean run exits 0 whatever the detectors concluded.
+}
+
 /// Runs a campaign subcommand under the observability exporters: optional
 /// Chrome-trace capture around `body`, then the instrumentation summary
 /// table on stderr.
@@ -454,6 +538,7 @@ fn main() {
         "demo" => cmd_demo(opts),
         "dump-config" => cmd_dump_config(opts),
         "run-config" => cmd_run_config(opts),
+        "perfwatch" => cmd_perfwatch(opts),
         "fig7" | "fig6" | "ablate" => {
             let cfg = opts.campaign();
             let trace_out = opts.trace_out.clone();

@@ -23,7 +23,13 @@
 //! * [`campaign`] — the bounded worker pool that fans independent runs
 //!   out across threads with deterministic, order-preserving collection;
 //! * [`report`] — plain-text rendering in the shape of the paper's
-//!   tables.
+//!   tables;
+//! * [`perfwatch`] — the dogfooded perf-regression watchdog: it loads
+//!   the repo's own `BENCH_history.jsonl` benchmark series, runs
+//!   E-Divisive-mean change-point detection per metric, and cross-checks
+//!   the findings by replaying the history through a real
+//!   `mavgvec → knn → analysis_bb` peer-comparison DAG (ASDF diagnosing
+//!   ASDF).
 //!
 //! # Quick start
 //!
@@ -45,6 +51,7 @@
 pub mod campaign;
 pub mod eval;
 pub mod experiments;
+pub mod perfwatch;
 pub mod pipeline;
 pub mod report;
 

@@ -1,0 +1,428 @@
+//! The dogfood path: ASDF diagnosing ASDF.
+//!
+//! The BENCH time series is re-cast as the kind of input the paper's
+//! framework was built for — each benchmark metric plays the role of one
+//! *node* in a peer group, and a performance regression in one metric is
+//! a fault localized by peer comparison, exactly like a culprit node in a
+//! Hadoop cluster:
+//!
+//! ```text
+//! perfseries(metric 0) ─ mavgvec ─ knn ─┐
+//! perfseries(metric 1) ─ mavgvec ─ knn ─┤─ analysis_bb ─ alarms
+//! perfseries(metric 2) ─ mavgvec ─ knn ─┘
+//! ```
+//!
+//! Each metric's history is robustly normalized (median/MAD over a
+//! leading baseline window, so all metrics share a scale regardless of
+//! unit), shifted positive for `knn`'s `log(1+x)/σ` transform, and
+//! replayed one sample per tick through the real module DAG built from
+//! real config text. A 1-d k-means model fit on the pooled smoothed
+//! values supplies the `knn` centroids, and `analysis_bb` flags any
+//! metric whose workload-state histogram diverges from the metric
+//! population's median. The engine runs with a multi-sample batch size,
+//! so the replay exercises the columnar `RowBlock` transport path
+//! end-to-end.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use asdf_core::config::Config;
+use asdf_core::dag::Dag;
+use asdf_core::engine::TickEngine;
+use asdf_core::error::ModuleError;
+use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::TickDuration;
+use asdf_modules::training::BlackBoxModel;
+
+/// Tuning for [`run_dogfood`]. The defaults are sized for BENCH-history
+/// scales (tens of records), not the paper's 60-sample node windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DogfoodConfig {
+    /// `mavgvec` smoothing window (slide 1).
+    pub mavg_window: usize,
+    /// `analysis_bb` state-histogram window.
+    pub bb_window: usize,
+    /// `analysis_bb` evaluation slide.
+    pub bb_slide: usize,
+    /// `analysis_bb` L1 alarm threshold (the histogram L1 ranges up to
+    /// `2·bb_window`).
+    pub threshold: f64,
+    /// Anomalous windows required before an alarm.
+    pub consecutive: usize,
+    /// Workload states for the 1-d k-means / `knn` classifier.
+    pub n_states: usize,
+    /// Engine batch size — kept above 1 so the replay drives the
+    /// columnar row-block path.
+    pub batch_size: usize,
+    /// k-means seed (the whole replay is deterministic).
+    pub seed: u64,
+}
+
+impl Default for DogfoodConfig {
+    fn default() -> Self {
+        // mavg_window 1 keeps window samples independent: smoothing with
+        // slide 1 autocorrelates consecutive samples, which multiplies
+        // the variance of the state histograms and makes healthy peers
+        // diverge. Few, coarse states plus a wide histogram window keep
+        // the healthy population's L1 spread well under half the range
+        // (threshold = bb_window = half of the 2·bb_window maximum),
+        // while a regressed metric parks in its own state and saturates.
+        DogfoodConfig {
+            mavg_window: 1,
+            bb_window: 16,
+            bb_slide: 1,
+            threshold: 16.0,
+            consecutive: 2,
+            n_states: 3,
+            batch_size: 64,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl DogfoodConfig {
+    /// Minimum series length that yields at least one `analysis_bb`
+    /// evaluation window.
+    pub fn min_points(&self) -> usize {
+        self.mavg_window + self.bb_window
+    }
+}
+
+/// What the dogfood DAG concluded about one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DogfoodVerdict {
+    /// The metric (the "node" in the peer comparison).
+    pub metric: String,
+    /// Evaluation windows `analysis_bb` scored.
+    pub evaluations: usize,
+    /// Windows on which the alarm output was raised.
+    pub alarm_windows: usize,
+    /// Tick-second of the first raised alarm (≈ index into the history
+    /// series, offset by the window warm-up), if any.
+    pub first_alarm_secs: Option<u64>,
+    /// Largest L1 distance from the population median histogram.
+    pub max_dist: f64,
+    /// The threshold those distances were compared against.
+    pub threshold: f64,
+}
+
+impl DogfoodVerdict {
+    /// Whether the DAG fingerpointed this metric.
+    pub fn flagged(&self) -> bool {
+        self.alarm_windows > 0
+    }
+}
+
+/// A structural failure building or running the dogfood DAG (too few
+/// metrics, ragged series, replay shorter than the warm-up, or an engine
+/// error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DogfoodError(pub String);
+
+impl fmt::Display for DogfoodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dogfood: {}", self.0)
+    }
+}
+
+impl std::error::Error for DogfoodError {}
+
+/// A periodic source replaying one pre-normalized metric series, one
+/// 1-component row per tick through `emit_row` (the columnar entry
+/// point), with the metric name as the envelope origin.
+#[derive(Default)]
+struct PerfSeries {
+    port: Option<PortId>,
+    values: Vec<f64>,
+    next: usize,
+}
+
+impl Module for PerfSeries {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        let origin = ctx.require_param("origin")?.to_owned();
+        self.values = ctx
+            .require_param("series")?
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<f64>()
+                    .map_err(|e| ModuleError::invalid_parameter("series", e.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        self.port = Some(ctx.declare_output_with_origin("out", origin));
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+        if let Some(&x) = self.values.get(self.next) {
+            self.next += 1;
+            ctx.emit_row(self.port.unwrap(), &[x]);
+        }
+        Ok(())
+    }
+}
+
+/// Robustly normalizes a series onto the shared dogfood scale: z-scores
+/// against the median/MAD of a *leading* baseline window (first third,
+/// at least 5 points — a regression near the end must not contaminate
+/// its own baseline), clamped to ±6, shifted by +8 so every value is
+/// positive for `knn`'s `log(1+x)` transform.
+fn normalize(xs: &[f64]) -> Vec<f64> {
+    let base_len = (xs.len() / 3).max(5).min(xs.len());
+    let mut base: Vec<f64> = xs[..base_len].to_vec();
+    base.sort_by(|a, b| a.partial_cmp(b).expect("finite metric values"));
+    let median = base[base.len() / 2];
+    let mut dev: Vec<f64> = base.iter().map(|x| (x - median).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mad = dev[dev.len() / 2];
+    // 1.4826·MAD ≈ σ for normal noise; floor the scale so a perfectly
+    // flat baseline still yields large-but-finite z for real shifts.
+    let scale = (1.4826 * mad).max(0.01 * median.abs()).max(1e-9);
+    xs.iter()
+        .map(|x| ((x - median) / scale).clamp(-6.0, 6.0) + 8.0)
+        .collect()
+}
+
+/// Trailing moving averages with window `w`, slide 1 — the same sequence
+/// `mavgvec` emits, so the k-means model is fit on exactly the values
+/// `knn` will classify.
+fn smoothed(xs: &[f64], w: usize) -> Vec<f64> {
+    if xs.len() < w {
+        return Vec::new();
+    }
+    (w..=xs.len())
+        .map(|end| xs[end - w..end].iter().sum::<f64>() / w as f64)
+        .collect()
+}
+
+/// Replays the metric series through the real ASDF DAG and returns one
+/// verdict per metric, in input order.
+///
+/// # Errors
+///
+/// [`DogfoodError`] when the input is structurally unusable (fewer than
+/// 3 metrics for peer comparison, unequal series lengths, series shorter
+/// than [`DogfoodConfig::min_points`]) or the engine fails.
+pub fn run_dogfood(
+    series: &BTreeMap<String, Vec<f64>>,
+    cfg: &DogfoodConfig,
+) -> Result<Vec<DogfoodVerdict>, DogfoodError> {
+    if series.len() < 3 {
+        return Err(DogfoodError(format!(
+            "peer comparison needs >= 3 metrics, got {}",
+            series.len()
+        )));
+    }
+    let n = series.values().next().expect("non-empty").len();
+    if series.values().any(|v| v.len() != n) {
+        return Err(DogfoodError("metric series have unequal lengths".into()));
+    }
+    if n < cfg.min_points() {
+        return Err(DogfoodError(format!(
+            "need >= {} aligned records for one evaluation window, got {n}",
+            cfg.min_points()
+        )));
+    }
+    if series.values().any(|v| v.iter().any(|x| !x.is_finite())) {
+        return Err(DogfoodError("non-finite metric value".into()));
+    }
+
+    // Normalize per metric, then fit the 1-d workload-state model on the
+    // pooled *smoothed* values — the exact population knn will see.
+    let normalized: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(name, xs)| (name.as_str(), normalize(xs)))
+        .collect();
+    let pooled: Vec<Vec<f64>> = normalized
+        .iter()
+        .flat_map(|(_, v)| smoothed(v, cfg.mavg_window))
+        .map(|x| vec![x])
+        .collect();
+    let model = BlackBoxModel::fit(&pooled, cfg.n_states, cfg.seed);
+    let (centroids, stddev) = (model.centroids_param(), model.stddev_param());
+
+    // Render the DAG in the paper's config dialect: one
+    // perfseries → mavgvec → knn chain per metric, fanned into one
+    // analysis_bb peer comparison.
+    let mut config_text = String::new();
+    let mut bb_inputs = String::new();
+    for (i, (name, values)) in normalized.iter().enumerate() {
+        let rendered: Vec<String> = values.iter().map(|x| format!("{x:.6}")).collect();
+        config_text.push_str(&format!(
+            "[perfseries]\nid = src{i}\norigin = {name}\nseries = {}\n\n\
+             [mavgvec]\nid = avg{i}\nwindow = {}\nslide = 1\nemit = mean\n\
+             input[input] = src{i}.out\n\n\
+             [knn]\nid = nn{i}\ncentroids = {centroids}\nstddev = {stddev}\n\
+             input[input] = avg{i}.mean\n\n",
+            rendered.join(","),
+            cfg.mavg_window,
+        ));
+        bb_inputs.push_str(&format!("input[l{i}] = nn{i}.output0\n"));
+    }
+    config_text.push_str(&format!(
+        "[analysis_bb]\nid = bb\nn_states = {}\nwindow = {}\nslide = {}\n\
+         threshold = {}\nconsecutive = {}\n{bb_inputs}",
+        cfg.n_states, cfg.bb_window, cfg.bb_slide, cfg.threshold, cfg.consecutive,
+    ));
+
+    let mut registry = ModuleRegistry::new();
+    asdf_modules::register_analysis_modules(&mut registry);
+    registry.register("perfseries", || Box::new(PerfSeries::default()));
+
+    let parsed: Config = config_text
+        .parse()
+        .map_err(|e| DogfoodError(format!("config: {e}")))?;
+    let dag = Dag::build(&registry, &parsed).map_err(|e| DogfoodError(format!("dag: {e}")))?;
+    let mut engine = TickEngine::new(dag);
+    engine.set_batch_size(cfg.batch_size.max(1));
+    let tap = engine
+        .tap("bb")
+        .ok_or_else(|| DogfoodError("analysis_bb tap missing".into()))?;
+    engine
+        .run_for(TickDuration::from_secs(n as u64))
+        .map_err(|e| DogfoodError(format!("engine: {e}")))?;
+
+    // Fold the alarm/dist envelopes back into per-metric verdicts; the
+    // envelope origin is the metric name by construction.
+    let mut verdicts: Vec<DogfoodVerdict> = normalized
+        .iter()
+        .map(|(name, _)| DogfoodVerdict {
+            metric: (*name).to_owned(),
+            evaluations: 0,
+            alarm_windows: 0,
+            first_alarm_secs: None,
+            max_dist: 0.0,
+            threshold: cfg.threshold,
+        })
+        .collect();
+    let index: BTreeMap<&str, usize> = normalized
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (*name, i))
+        .collect();
+    for env in tap.drain() {
+        let Some(&i) = index.get(env.source.origin.as_str()) else {
+            continue;
+        };
+        let v = &mut verdicts[i];
+        if env.source.name.starts_with("alarm") {
+            v.evaluations += 1;
+            if env.sample.value.as_bool() == Some(true) {
+                v.alarm_windows += 1;
+                let secs = env.sample.timestamp.as_secs();
+                v.first_alarm_secs = Some(v.first_alarm_secs.map_or(secs, |f| f.min(secs)));
+            }
+        } else if env.source.name.starts_with("dist") {
+            if let Some(d) = env.sample.value.as_float() {
+                v.max_dist = v.max_dist.max(d);
+            }
+        }
+    }
+    if verdicts.iter().all(|v| v.evaluations == 0) {
+        return Err(DogfoodError(
+            "no evaluation windows completed (replay shorter than warm-up?)".into(),
+        ));
+    }
+    Ok(verdicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(base: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| base * (1.0 + 0.01 * rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn healthy_trio(n: usize) -> BTreeMap<String, Vec<f64>> {
+        [
+            ("campaign_serial_secs", noisy(0.52, n, 11)),
+            ("parser_lines_per_sec", noisy(4.2e6, n, 12)),
+            ("scan_speedup", noisy(1.98, n, 13)),
+            ("envelopes_per_sec_b64", noisy(5.2e6, n, 14)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect()
+    }
+
+    #[test]
+    fn flags_the_regressed_metric_and_only_it() {
+        let mut series = healthy_trio(60);
+        // 20% regression in one metric from index 30 on.
+        let victim = series.get_mut("campaign_serial_secs").unwrap();
+        for x in victim.iter_mut().skip(30) {
+            *x *= 1.2;
+        }
+        let verdicts = run_dogfood(&series, &DogfoodConfig::default()).expect("dag runs");
+        let flagged: Vec<&str> = verdicts
+            .iter()
+            .filter(|v| v.flagged())
+            .map(|v| v.metric.as_str())
+            .collect();
+        assert_eq!(flagged, ["campaign_serial_secs"], "{verdicts:?}");
+        let v = verdicts
+            .iter()
+            .find(|v| v.metric == "campaign_serial_secs")
+            .unwrap();
+        // The first alarm lands after the change enters the window stack:
+        // change at tick 31, plus the histogram filling past the
+        // threshold plus the consecutive-window gate.
+        let first = v.first_alarm_secs.expect("alarmed");
+        assert!(
+            (31..=31 + (1 + 16 + 2) as u64).contains(&first),
+            "first alarm at {first}"
+        );
+        assert!(v.max_dist > v.threshold);
+    }
+
+    #[test]
+    fn healthy_history_raises_no_alarms() {
+        let verdicts = run_dogfood(&healthy_trio(60), &DogfoodConfig::default()).expect("runs");
+        assert!(verdicts.iter().all(|v| !v.flagged()), "{verdicts:?}");
+        assert!(verdicts.iter().all(|v| v.evaluations > 0));
+    }
+
+    #[test]
+    fn structural_misuse_is_rejected() {
+        let cfg = DogfoodConfig::default();
+        let mut two = healthy_trio(60);
+        two.remove("scan_speedup");
+        two.remove("envelopes_per_sec_b64");
+        assert!(run_dogfood(&two, &cfg).is_err());
+        let short = healthy_trio(cfg.min_points() - 1);
+        assert!(run_dogfood(&short, &cfg).is_err());
+        let mut ragged = healthy_trio(60);
+        ragged.get_mut("scan_speedup").unwrap().pop();
+        assert!(run_dogfood(&ragged, &cfg).is_err());
+    }
+
+    #[test]
+    fn batched_and_serial_replays_agree() {
+        let mut series = healthy_trio(40);
+        let victim = series.get_mut("scan_speedup").unwrap();
+        for x in victim.iter_mut().skip(20) {
+            *x *= 0.8;
+        }
+        let batched = run_dogfood(&series, &DogfoodConfig::default()).unwrap();
+        let serial = run_dogfood(
+            &series,
+            &DogfoodConfig {
+                batch_size: 1,
+                ..DogfoodConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(batched, serial);
+        assert!(batched
+            .iter()
+            .any(|v| v.flagged() && v.metric == "scan_speedup"));
+    }
+}

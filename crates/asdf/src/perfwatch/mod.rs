@@ -1,0 +1,251 @@
+//! `perfwatch` — the dogfooded perf-regression watchdog.
+//!
+//! The reproduction's benchmark suite appends one schema-versioned record
+//! per run to `BENCH_history.jsonl` ([`history`]). This module watches
+//! that series with two *independent* detectors and cross-checks them:
+//!
+//! 1. [`edivisive`] — E-Divisive-mean change-point detection per metric,
+//!    the technique MongoDB's performance CI uses: nonparametric, needs
+//!    no baseline labels, localizes *when* a metric's distribution
+//!    shifted and by how much.
+//! 2. [`dogfood`] — the paper's own peer-comparison pipeline turned on
+//!    itself: each metric becomes a "node", its normalized history is
+//!    replayed through a real `perfseries → mavgvec → knn → analysis_bb`
+//!    DAG (batched, so the columnar row-block transport is exercised),
+//!    and `analysis_bb` fingerpoints the metric whose workload-state
+//!    histogram diverges from the metric population.
+//!
+//! [`analyze`] runs both and assembles a [`report::PerfwatchReport`];
+//! the `asdf perfwatch` subcommand renders it as markdown or JSON. The
+//! watchdog is **advisory**: it ranks evidence and always exits cleanly,
+//! leaving gating decisions to humans (see DESIGN.md §Perfwatch).
+
+pub mod dogfood;
+pub mod edivisive;
+pub mod history;
+pub mod report;
+
+use std::collections::BTreeMap;
+
+pub use dogfood::{run_dogfood, DogfoodConfig, DogfoodVerdict};
+pub use edivisive::{detect, ChangePoint, DetectorConfig};
+pub use history::{parse_history, render_record, utc_from_epoch, HistoryError, HistoryRecord};
+pub use report::{Agreement, MetricFinding, PerfwatchReport};
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzeOptions {
+    /// E-Divisive tuning.
+    pub detector: DetectorConfig,
+    /// Dogfood tuning; `None` disables the DAG replay.
+    pub dogfood: Option<DogfoodConfig>,
+    /// Minimum points a metric series needs before change-point
+    /// detection considers it.
+    pub min_points: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            detector: DetectorConfig::default(),
+            dogfood: Some(DogfoodConfig::default()),
+            min_points: 8,
+        }
+    }
+}
+
+/// Runs the full watchdog over a `BENCH_history.jsonl` document: parses
+/// the records (legacy schema-0 lines included), runs E-Divisive per
+/// metric, replays the aligned metric matrix through the dogfood DAG,
+/// and cross-checks the two detectors.
+///
+/// # Errors
+///
+/// [`HistoryError`] when the history itself is unreadable. A history too
+/// short to analyze is *not* an error — the report simply carries no
+/// findings (the watchdog is advisory and must be safe to run from the
+/// very first record).
+pub fn analyze(history_text: &str, opts: &AnalyzeOptions) -> Result<PerfwatchReport, HistoryError> {
+    let records = parse_history(history_text)?;
+    let n_records = records.len();
+    let n_schema0 = records.iter().filter(|r| r.schema == 0).count();
+    let span_utc = match (records.first(), records.last()) {
+        (Some(a), Some(b)) => (a.utc.clone(), b.utc.clone()),
+        _ => ("-".to_owned(), "-".to_owned()),
+    };
+
+    // Per-metric series over the records that carry the metric (schemas
+    // may add metrics over time; E-Divisive runs per metric on whatever
+    // subsequence exists).
+    let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in &records {
+        for (name, v) in &r.metrics {
+            series.entry(name.clone()).or_default().push(*v);
+        }
+    }
+
+    let mut findings: Vec<MetricFinding> = series
+        .iter()
+        .map(|(metric, xs)| MetricFinding {
+            metric: metric.clone(),
+            n_points: xs.len(),
+            change_points: if xs.len() >= opts.min_points {
+                detect(xs, &opts.detector)
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    // Loudest metrics first; quiet ones keep alphabetical order.
+    findings.sort_by(|a, b| {
+        b.max_abs_shift_pct()
+            .partial_cmp(&a.max_abs_shift_pct())
+            .expect("finite shifts")
+            .then_with(|| a.metric.cmp(&b.metric))
+    });
+
+    // Dogfood needs a rectangular matrix: metrics present in *every*
+    // record, in record order.
+    let (dogfood_verdicts, dogfood_skipped) = match &opts.dogfood {
+        None => (Vec::new(), Some("disabled".to_owned())),
+        Some(cfg) => {
+            let aligned: BTreeMap<String, Vec<f64>> = series
+                .iter()
+                .filter(|(_, xs)| xs.len() == n_records)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            if aligned.len() < 3 || n_records < cfg.min_points() {
+                (
+                    Vec::new(),
+                    Some(format!(
+                        "needs >= 3 aligned metrics over >= {} records, have {} over {}",
+                        cfg.min_points(),
+                        aligned.len(),
+                        n_records
+                    )),
+                )
+            } else {
+                match run_dogfood(&aligned, cfg) {
+                    Ok(v) => (v, None),
+                    Err(e) => (Vec::new(), Some(e.to_string())),
+                }
+            }
+        }
+    };
+
+    let mut rep = PerfwatchReport {
+        n_records,
+        n_schema0,
+        span_utc,
+        findings,
+        dogfood_verdicts,
+        dogfood_skipped,
+        agreement: Agreement::BothQuiet,
+    };
+    rep.agreement = if rep.dogfood_skipped.is_some() {
+        Agreement::DogfoodSkipped
+    } else {
+        let shifted = rep.shifted_metrics();
+        let flagged = rep.dogfood_flagged();
+        let mut a = shifted.clone();
+        a.sort();
+        let mut b = flagged.clone();
+        b.sort();
+        if a.is_empty() && b.is_empty() {
+            Agreement::BothQuiet
+        } else if a == b {
+            Agreement::Agree(a)
+        } else {
+            Agreement::Disagree {
+                edivisive: a,
+                dogfood: b,
+            }
+        }
+    };
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_history(n: usize, step_at: usize) -> String {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut noise = |base: f64| base * (1.0 + 0.01 * rng.gen_range(-1.0..1.0));
+        (0..n)
+            .map(|i| {
+                let mut r = HistoryRecord {
+                    schema: history::HISTORY_SCHEMA,
+                    ts_epoch_secs: 1_786_000_000 + i as u64 * 3600,
+                    utc: utc_from_epoch(1_786_000_000 + i as u64 * 3600),
+                    commit: format!("commit{i}"),
+                    cores: 4,
+                    simd: "avx2".into(),
+                    workers: 1,
+                    metrics: BTreeMap::new(),
+                    obs_digest: None,
+                };
+                let slow = if i >= step_at { 1.2 } else { 1.0 };
+                r.metrics
+                    .insert("campaign_serial_secs".into(), noise(0.52) * slow);
+                r.metrics.insert("scan_speedup".into(), noise(1.98));
+                r.metrics
+                    .insert("parser_lines_per_sec".into(), noise(4.2e6));
+                r.metrics
+                    .insert("envelopes_per_sec_b64".into(), noise(5.2e6));
+                render_record(&r)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn both_detectors_agree_on_an_injected_step() {
+        let text = synthetic_history(60, 30);
+        let rep = analyze(&text, &AnalyzeOptions::default()).expect("analyzes");
+        assert_eq!(rep.n_records, 60);
+        // E-Divisive names the right metric at the right index...
+        assert_eq!(rep.shifted_metrics(), ["campaign_serial_secs"]);
+        let cp = &rep.findings[0].change_points[0];
+        assert!((28..=32).contains(&cp.index), "index {}", cp.index);
+        // ...the dogfood DAG fingerpoints the same metric...
+        assert_eq!(rep.dogfood_skipped, None);
+        assert_eq!(rep.dogfood_flagged(), ["campaign_serial_secs"]);
+        // ...and the report records the agreement.
+        assert_eq!(
+            rep.agreement,
+            Agreement::Agree(vec!["campaign_serial_secs".to_owned()])
+        );
+        // The loudest metric sorts first.
+        assert_eq!(rep.findings[0].metric, "campaign_serial_secs");
+    }
+
+    #[test]
+    fn tiny_history_reports_quietly_instead_of_failing() {
+        let text = synthetic_history(2, 99);
+        let rep = analyze(&text, &AnalyzeOptions::default()).expect("analyzes");
+        assert_eq!(rep.n_records, 2);
+        assert!(rep.shifted_metrics().is_empty());
+        assert!(rep.dogfood_skipped.is_some());
+        assert_eq!(rep.agreement, Agreement::DogfoodSkipped);
+        // Empty history is fine too.
+        let empty = analyze("", &AnalyzeOptions::default()).unwrap();
+        assert_eq!(empty.n_records, 0);
+    }
+
+    #[test]
+    fn seed_plus_synthetic_schema1_lines_mix() {
+        let seed = r#"{"schema":0,"ts_epoch_secs":1786223772,"suite":"perfsuite","workers":1,"campaign_serial_secs":0.519,"scan_speedup":1.985}"#;
+        let text = format!("{seed}\n{}", synthetic_history(10, 999));
+        let rep = analyze(&text, &AnalyzeOptions::default()).expect("mixed history analyzes");
+        assert_eq!(rep.n_records, 11);
+        assert_eq!(rep.n_schema0, 1);
+        // The seed-born metrics span all 11 records; the schema-1-only
+        // metric spans 10.
+        let by_name = |n: &str| rep.findings.iter().find(|f| f.metric == n).unwrap();
+        assert_eq!(by_name("campaign_serial_secs").n_points, 11);
+        assert_eq!(by_name("parser_lines_per_sec").n_points, 10);
+    }
+}

@@ -14,6 +14,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use asdf::experiments::{self, CampaignConfig};
+use asdf::perfwatch::history;
 use asdf_core::config::Config;
 use asdf_core::dag::Dag;
 use asdf_core::engine::TickEngine;
@@ -224,10 +225,22 @@ fn main() {
         }
     }
     let overhead_pct = ovh.overhead_pct();
-    let within_gate = overhead_pct < 1.0;
+    // Two gates, reported separately so the JSON never conflates them: the
+    // <1% soft gate is the paper-style recorded target, the <5% hard gate
+    // is what this suite actually enforces (see the assert below).
+    let within_soft_gate = overhead_pct < 1.0;
+    let within_hard_gate = overhead_pct < 5.0;
     eprintln!(
-        "[perfsuite] obs on {:.4}s / off {:.4}s -> {overhead_pct:.3}% overhead",
-        ovh.on_secs, ovh.off_secs
+        "[perfsuite] obs on {:.4}s / off {:.4}s -> {overhead_pct:.3}% overhead \
+         (soft <1% target: {}; hard <5% gate: {})",
+        ovh.on_secs,
+        ovh.off_secs,
+        if within_soft_gate { "met" } else { "missed" },
+        if within_hard_gate {
+            "pass"
+        } else {
+            "FAIL (enforced)"
+        }
     );
     // <1% is the recorded target; the hard assert sits at 5% because the
     // estimator carries a launch-to-launch systematic bias of up to ~3% on
@@ -236,11 +249,10 @@ fn main() {
     // — the same binary measures anywhere from 0% to ~3% across runs).
     // A real instrumentation regression lands well past 5%.
     assert!(
-        overhead_pct < 5.0,
+        within_hard_gate,
         "instrumentation self-overhead {overhead_pct:.3}% breaches the 5% hard gate \
          (on {:.4}s vs off {:.4}s; recorded target <1%)",
-        ovh.on_secs,
-        ovh.off_secs
+        ovh.on_secs, ovh.off_secs
     );
 
     // --- Sharded tick engine: thread sweep --------------------------------
@@ -538,7 +550,8 @@ fn main() {
     writeln!(json, "    \"obs_on_secs\": {:.4},", ovh.on_secs).unwrap();
     writeln!(json, "    \"obs_off_secs\": {:.4},", ovh.off_secs).unwrap();
     writeln!(json, "    \"overhead_pct\": {overhead_pct:.3},").unwrap();
-    writeln!(json, "    \"within_gate\": {within_gate}").unwrap();
+    writeln!(json, "    \"within_soft_gate_1pct\": {within_soft_gate},").unwrap();
+    writeln!(json, "    \"within_hard_gate_5pct\": {within_hard_gate}").unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"engine\": {{").unwrap();
     writeln!(json, "    \"cores\": {cores},").unwrap();
@@ -599,27 +612,93 @@ fn main() {
     println!("{json}");
     eprintln!("[perfsuite] wrote {out}");
 
-    // Append a one-line record to the run history so throughput trends are
-    // diffable across commits without digging through git history of the
-    // full artifact (the artifact itself is overwritten every run).
+    // Append one schema-versioned record to the BENCH time series: the
+    // input `asdf perfwatch` watches for regressions. Every run carries
+    // its commit, UTC timestamp, host fingerprint, and the digest of the
+    // full observability snapshot alongside every section metric, so the
+    // series stays attributable across commits and hosts (the campaign
+    // artifact above is overwritten every run; the history only grows).
     let ts_epoch = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let record = format!(
-        "{{\"ts_epoch_secs\":{ts_epoch},\"suite\":\"perfsuite\",\"workers\":{workers},\
-         \"campaign_serial_secs\":{serial_secs:.3},\"campaign_pool_secs\":{pool_secs:.3},\
-         \"obs_overhead_pct\":{overhead_pct:.3},\"engine_speedup_t4\":{engine_speedup:.3},\
-         \"batch_speedup_b64\":{batch_speedup:.3},\
-         \"envelopes_per_sec_b64\":{:.0},\"scan_speedup\":{scan_speedup:.3},\
-         \"parser_lines_per_sec\":{lines_per_sec:.0}}}",
-        batch_rates[2]
-    );
-    let hist = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    let metrics: std::collections::BTreeMap<String, f64> = [
+        ("campaign_serial_secs", round3(serial_secs)),
+        ("campaign_pool_secs", round3(pool_secs)),
+        (
+            "campaign_speedup",
+            round3(serial_secs / pool_secs.max(1e-9)),
+        ),
+        ("obs_overhead_pct", round3(overhead_pct)),
+        ("engine_serial_secs", round3(engine_secs[0])),
+        ("engine_sharded_secs_t2", round3(engine_secs[1])),
+        ("engine_sharded_secs_t4", round3(engine_secs[2])),
+        ("engine_speedup_t4", round3(engine_speedup)),
+        ("engine_overhead_1core", round3(engine_overhead)),
+        ("envelopes_per_sec_b1", batch_rates[0].round()),
+        ("envelopes_per_sec_b16", batch_rates[1].round()),
+        ("envelopes_per_sec_b64", batch_rates[2].round()),
+        ("envelopes_per_sec_b256", batch_rates[3].round()),
+        ("batch_speedup_b64", round3(batch_speedup)),
+        ("scan_scalar_ns", round3(scan_scalar_ns)),
+        ("scan_simd_ns", round3(scan_simd_ns)),
+        ("scan_speedup", round3(scan_speedup)),
+        ("classify_1nn_naive_ns", round3(naive_ns)),
+        ("classify_1nn_model_ns", round3(model_ns)),
+        ("classify_1nn_context_ns", round3(ctx_ns)),
+        ("classify_k3_context_ns", round3(ctx_k3_ns)),
+        ("parser_lines_per_sec", lines_per_sec.round()),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_owned(), v))
+    .collect();
+    let record = history::HistoryRecord {
+        schema: history::HISTORY_SCHEMA,
+        ts_epoch_secs: ts_epoch,
+        utc: history::utc_from_epoch(ts_epoch),
+        commit: current_commit(),
+        cores,
+        simd: kernel::simd_dispatch().to_owned(),
+        workers,
+        metrics,
+        obs_digest: Some(asdf_obs::snapshot_digest(&asdf_obs::registry().snapshot())),
+    };
+    // BENCH_HISTORY overrides the destination (CI appends to a cached
+    // artifact rather than the working tree).
+    let default_hist = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    let hist = std::env::var("BENCH_HISTORY").unwrap_or_else(|_| default_hist.to_owned());
     let mut file = std::fs::OpenOptions::new()
         .append(true)
         .create(true)
-        .open(hist)
+        .open(&hist)
         .expect("open BENCH_history.jsonl");
-    writeln!(file, "{record}").expect("append BENCH_history.jsonl");
+    writeln!(file, "{}", history::render_record(&record)).expect("append BENCH_history.jsonl");
     eprintln!("[perfsuite] appended {hist}");
+}
+
+/// Three-decimal rounding for history metrics, mirroring the `{:.3}`
+/// precision the campaign artifact records.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// The commit hash to stamp into the history record: `BENCH_COMMIT`
+/// (explicit override) or `GITHUB_SHA` (CI) if set, else `git rev-parse`,
+/// else `unknown` — never a failure, benches must run from tarballs too.
+fn current_commit() -> String {
+    for var in ["BENCH_COMMIT", "GITHUB_SHA"] {
+        if let Ok(v) = std::env::var(var) {
+            if !v.trim().is_empty() {
+                return v.trim().to_owned();
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }

@@ -44,3 +44,14 @@ update-fixtures:
 # Refresh BENCH_campaign.json (campaign, self-overhead, engine speedup).
 bench:
     cargo run -p bench --bin perfsuite --release
+
+# Run the perfsuite, append a schema-versioned record to the BENCH history,
+# then run the watchdog over the series (advisory: always exits 0 unless
+# the history itself is unreadable).
+perfwatch:
+    ./scripts/bench_record.sh
+    cargo run --release -p asdf --bin asdf -- perfwatch
+
+# The watchdog alone, over the already-recorded history.
+perfwatch-report:
+    cargo run --release -p asdf --bin asdf -- perfwatch

@@ -30,6 +30,9 @@ cargo test -p integration-tests --test shard_equivalence --test golden_figures
 echo "[verify] kernel property suites (bitwise SIMD/scalar pinning)" >&2
 cargo test -q -p asdf-modules --test kernel_prop --test dist2_prop --test classify_proptest
 
+echo "[verify] perfwatch suites (snapshot round-trip, E-Divisive, dogfood DAG)" >&2
+cargo test -q -p integration-tests --test obs_snapshot --test perfwatch_dogfood
+
 echo "[verify] loom models (SPSC lane + readiness wavefront)" >&2
 # Separate target dir: --cfg loom would otherwise invalidate the main
 # build cache on every alternation between verify steps.

@@ -1,0 +1,152 @@
+//! Integration tests for the observability snapshot export: the
+//! `Registry::snapshot() → render → parse` round trip must be lossless
+//! and deterministic even while metrics are being hammered concurrently,
+//! and the Chrome trace file the CLI writes with `--trace-out` must be
+//! valid JSON that parses back to the same event population.
+//!
+//! Tests that toggle process-global obs state serialize on [`obs_lock`].
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use asdf_obs::{export, json, parse_snapshot, render_snapshot, snapshot_digest, Registry};
+use proptest::prelude::*;
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any registry state round-trips bit-exactly through the snapshot
+    /// text form, and equal states always digest equally.
+    #[test]
+    fn snapshot_round_trip_is_lossless(
+        counters in proptest::collection::vec((0usize..6, 0u64..u64::MAX), 0..12),
+        gauges in proptest::collection::vec((0usize..4, -1_000_000i64..1_000_000), 0..12),
+        values in proptest::collection::vec((0usize..3, 0u64..u64::MAX), 0..64),
+    ) {
+        let _guard = obs_lock();
+        let reg = Registry::default();
+        for (slot, v) in &counters {
+            reg.counter(&format!("c.{slot}")).add(*v >> 8);
+        }
+        for (slot, v) in &gauges {
+            reg.gauge(&format!("g.{slot}")).set(*v);
+        }
+        for (slot, v) in &values {
+            reg.histogram(&format!("h.{slot}")).record(*v);
+        }
+        let snap = reg.snapshot();
+        let text = render_snapshot(&snap);
+        let back = parse_snapshot(&text).expect("rendered snapshot parses");
+        prop_assert_eq!(&back, &snap);
+        // Deterministic: render and digest are pure functions of state.
+        prop_assert_eq!(render_snapshot(&back), text.clone());
+        prop_assert_eq!(snapshot_digest(&snap), snapshot_digest(&back));
+        // And the text form is plain JSON for any other consumer.
+        json::parse(&text).expect("snapshot is valid JSON");
+    }
+}
+
+/// The snapshot taken *while* writers are updating metrics concurrently
+/// still renders, parses losslessly, and reflects the final totals after
+/// the writers join — no torn names, no dropped series.
+#[test]
+fn snapshot_under_concurrent_updates_is_lossless() {
+    let _guard = obs_lock();
+    let reg = Arc::new(Registry::default());
+    // Register up front so writers race on values, not map insertion.
+    let counter = reg.counter("race.counter_total");
+    let gauge = reg.gauge("race.gauge_depth");
+    let hist = reg.histogram("race.latency_ns");
+
+    const WRITERS: usize = 4;
+    const OPS: u64 = 5_000;
+    let barrier = Arc::new(std::sync::Barrier::new(WRITERS + 1));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let (c, g, h, b) = (
+                Arc::clone(&counter),
+                Arc::clone(&gauge),
+                Arc::clone(&hist),
+                Arc::clone(&barrier),
+            );
+            std::thread::spawn(move || {
+                b.wait();
+                for i in 0..OPS {
+                    c.inc();
+                    g.set((w as i64 + 1) * 100);
+                    h.record(i * 3 + w as u64);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    // Mid-race snapshots: every one of them must round-trip exactly,
+    // whatever inconsistent-but-valid state it observed.
+    for _ in 0..50 {
+        let snap = reg.snapshot();
+        let text = render_snapshot(&snap);
+        let back = parse_snapshot(&text).expect("mid-race snapshot parses");
+        assert_eq!(back, snap);
+    }
+    for h in handles {
+        h.join().expect("writer");
+    }
+    let final_snap = reg.snapshot();
+    let back = parse_snapshot(&render_snapshot(&final_snap)).expect("final snapshot parses");
+    assert_eq!(back, final_snap);
+    assert_eq!(
+        back.counters,
+        vec![("race.counter_total".to_owned(), WRITERS as u64 * OPS)]
+    );
+    let (_, h) = &back.histograms[0];
+    assert_eq!(h.count, WRITERS as u64 * OPS);
+    // Digest is stable across repeated snapshots of a quiescent registry.
+    assert_eq!(
+        snapshot_digest(&reg.snapshot()),
+        snapshot_digest(&reg.snapshot())
+    );
+}
+
+/// The exact file `--trace-out` writes is valid JSON and parses back to
+/// the same per-thread event population the recorder captured.
+#[test]
+fn trace_out_file_parses_back() {
+    let _guard = obs_lock();
+    let prev = asdf_obs::set_enabled(true);
+    let hist = Arc::new(asdf_obs::Histogram::new());
+    let span = asdf_obs::SpanHandle::new("test", "traced_work", Arc::clone(&hist));
+    asdf_obs::start_tracing(1024);
+    for _ in 0..25 {
+        drop(span.enter());
+    }
+    let (events, dropped) = asdf_obs::stop_tracing();
+    asdf_obs::set_enabled(prev);
+    assert_eq!(dropped, 0);
+    assert_eq!(events.len(), 25);
+
+    let path = std::env::temp_dir().join(format!("asdf_trace_{}.json", std::process::id()));
+    export::write_chrome_trace(&path, &events).expect("trace file writes");
+    let text = std::fs::read_to_string(&path).expect("trace file reads");
+    let _ = std::fs::remove_file(&path);
+
+    // Plain JSON first, then the structural validator the CLI uses.
+    let doc = json::parse(&text).expect("trace file is valid JSON");
+    let parsed_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(parsed_events.len(), events.len());
+    assert!(parsed_events
+        .iter()
+        .all(|e| e.get("name").and_then(|n| n.as_str()) == Some("traced_work")));
+    let check = export::validate_chrome_trace(&text).expect("trace validates");
+    assert_eq!(check.n_events, events.len());
+    assert_eq!(check.n_names, 1);
+}
