@@ -85,6 +85,7 @@ pub mod ibuffer;
 pub mod kernel;
 pub mod knn;
 pub mod mavgvec;
+pub mod metric_rank;
 pub mod mitigate;
 pub mod print;
 pub mod training;
@@ -96,13 +97,15 @@ use asdf_core::registry::ModuleRegistry;
 use asdf_rpc::daemons::ClusterHandle;
 
 /// Registers the cluster-agnostic analysis module types:
-/// `mavgvec`, `knn`, `ibuffer`, `analysis_bb`, `analysis_wb`, `print`.
+/// `mavgvec`, `knn`, `ibuffer`, `analysis_bb`, `analysis_wb`,
+/// `metric_rank`, `print`.
 pub fn register_analysis_modules(registry: &mut ModuleRegistry) {
     registry.register("mavgvec", || Box::new(mavgvec::MavgVec::new()));
     registry.register("knn", || Box::new(knn::Knn::new()));
     registry.register("ibuffer", || Box::new(ibuffer::IBuffer::new()));
     registry.register("analysis_bb", || Box::new(analysis_bb::AnalysisBb::new()));
     registry.register("analysis_wb", || Box::new(analysis_wb::AnalysisWb::new()));
+    registry.register("metric_rank", || Box::new(metric_rank::MetricRank::new()));
     registry.register("print", || Box::new(print::Print::new()));
 }
 

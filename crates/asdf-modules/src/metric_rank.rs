@@ -1,0 +1,489 @@
+//! The `metric_rank` Orion+-style metric ranker.
+//!
+//! Node fingerpointing (the `analysis_bb`/`analysis_wb` modules) answers
+//! *which node* misbehaves; the operator's next question is *which metric*
+//! on that node deviates. Following Orion's approach of ranking metrics by
+//! how far they depart from baseline, this module compares every node's
+//! windowed per-metric mean against the **peer baseline** — the
+//! component-wise median across nodes — and ranks metrics by a robust
+//! deviation score:
+//!
+//! ```text
+//! dev(node, metric) = |mean(node, metric) − median_over_nodes(metric)|
+//!                     ─────────────────────────────────────────────────
+//!                     MAD_over_nodes(metric) + 0.01·(1 + |median|)
+//! ```
+//!
+//! The median-absolute-deviation denominator normalizes metrics of wildly
+//! different scales (KB/s counters vs. percentages) without trusting any
+//! single node's variance. The floor added to the MAD is *relative to the
+//! baseline's own magnitude*: it keeps quiescent metrics (MAD ≈ 0) from
+//! amplifying rounding noise into top ranks, while still letting a metric
+//! whose peers sit near zero (drop counters, error rates) outrank a large
+//! KB/s counter whose absolute deviation is bigger but relatively mild —
+//! a genuinely deviant near-zero metric is exactly what a flaky NIC
+//! looks like.
+//!
+//! Configuration parameters:
+//!
+//! * `window` — samples per window (default 60);
+//! * `slide` — samples between evaluations (default = `window`);
+//! * `top` — how many metrics to report per node (default 5).
+//!
+//! Inputs: one slot per node (`m0`, `m1`, ...), each carrying per-second
+//! metric vectors (the same edges `knn` consumes). Output per node:
+//! `rank<i>`, a vector of `2·top` values `[idx0, score0, idx1, score1, …]`
+//! — metric indices into the collector's flattened frame, most deviant
+//! first, ties broken toward the lower index so results are deterministic.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use asdf_core::error::ModuleError;
+use asdf_core::module::{Emitter, InitCtx, Module, PortId, RowBlock, RunCtx, RunReason};
+use asdf_core::value::Value;
+use hadoop_logs::sync::Aligner;
+
+use crate::analysis_bb::median;
+use crate::kernel::CentroidBlock;
+
+/// Fraction of the baseline magnitude used as the deviation
+/// denominator's floor (see the module docs' `dev` formula).
+const MAD_FLOOR_FRACTION: f64 = 0.01;
+
+/// One buffered metric vector: an envelope's shared allocation or a
+/// zero-copy view into a columnar [`RowBlock`] (cf. `mavgvec`'s window
+/// rows — both paths are bitwise identical by construction).
+#[derive(Debug, Clone)]
+enum MetricRow {
+    Owned(Arc<[f64]>),
+    Block(Arc<RowBlock>, usize),
+}
+
+impl MetricRow {
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            MetricRow::Owned(v) => v,
+            MetricRow::Block(block, r) => block.row(*r),
+        }
+    }
+}
+
+/// Peer-baseline metric deviation ranker.
+#[derive(Debug)]
+pub struct MetricRank {
+    window: usize,
+    slide: usize,
+    top: usize,
+    aligner: Aligner<MetricRow>,
+    history: Vec<VecDeque<MetricRow>>,
+    rows_since_eval: usize,
+    /// Metric vector width, discovered from the first sample.
+    dim: usize,
+    /// Per-node windowed means, one contiguous row per node, zeroed and
+    /// reused every evaluation.
+    means: CentroidBlock,
+    /// Peer baseline (component-wise median across nodes).
+    baseline: Vec<f64>,
+    /// Per-metric MAD across nodes.
+    mad: Vec<f64>,
+    /// Per-node column scratch for the medians.
+    col: Vec<f64>,
+    /// Ranking scratch: (metric index, deviation score).
+    ranked: Vec<(usize, f64)>,
+    /// Emission scratch: `[idx, score, ...]` pairs.
+    out_row: Vec<f64>,
+    rank_ports: Vec<PortId>,
+}
+
+impl MetricRank {
+    /// Creates an unconfigured instance.
+    pub fn new() -> Self {
+        MetricRank {
+            window: 0,
+            slide: 0,
+            top: 0,
+            aligner: Aligner::new(1),
+            history: Vec::new(),
+            rows_since_eval: 0,
+            dim: 0,
+            means: CentroidBlock::default(),
+            baseline: Vec::new(),
+            mad: Vec::new(),
+            col: Vec::new(),
+            ranked: Vec::new(),
+            out_row: Vec::new(),
+            rank_ports: Vec::new(),
+        }
+    }
+
+    /// Funnels one envelope into the aligner — shared by the per-sample
+    /// and row-block paths.
+    fn push_envelope(
+        &mut self,
+        slot_idx: usize,
+        secs: u64,
+        value: &Value,
+    ) -> Result<(), ModuleError> {
+        let row = match value {
+            Value::Vector(v) => MetricRow::Owned(Arc::clone(v)),
+            other => {
+                return Err(ModuleError::Other(format!(
+                    "metric_rank expects vector samples, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        self.check_width(row.as_slice().len())?;
+        self.aligner.push(slot_idx, secs, row);
+        Ok(())
+    }
+
+    fn check_width(&mut self, width: usize) -> Result<(), ModuleError> {
+        if self.dim == 0 {
+            self.dim = width;
+            self.means = CentroidBlock::zeroed(width, self.history.len());
+            self.baseline = vec![0.0; width];
+            self.mad = vec![0.0; width];
+        } else if width != self.dim {
+            return Err(ModuleError::Other(format!(
+                "inconsistent metric vector width: {} then {width}",
+                self.dim
+            )));
+        }
+        Ok(())
+    }
+
+    /// Drains aligned rows, evaluating a window every `slide` rows.
+    fn process_aligned(&mut self, emit: &mut Emitter<'_>) {
+        let n_nodes = self.history.len();
+        while let Some((t, row)) = self.aligner.pop_aligned() {
+            for (node, v) in row.into_iter().enumerate() {
+                self.history[node].push_back(v);
+                if self.history[node].len() > self.window {
+                    self.history[node].pop_front();
+                }
+            }
+            self.rows_since_eval += 1;
+            let warm = self.history.iter().all(|h| h.len() >= self.window);
+            if !warm || self.rows_since_eval < self.slide {
+                continue;
+            }
+            self.rows_since_eval = 0;
+
+            // Windowed per-node means into the reused contiguous rows.
+            self.means.zero();
+            let inv_n = 1.0 / self.window as f64;
+            for node in 0..n_nodes {
+                let mean = self.means.row_mut(node);
+                for v in self.history[node].iter() {
+                    for (m, x) in mean.iter_mut().zip(v.as_slice()) {
+                        *m += x;
+                    }
+                }
+                for m in mean {
+                    *m *= inv_n;
+                }
+            }
+            // Peer baseline and spread, per metric.
+            for d in 0..self.dim {
+                self.col.clear();
+                self.col.extend(self.means.rows().map(|r| r[d]));
+                self.baseline[d] = median(&mut self.col);
+                let base = self.baseline[d];
+                self.col.clear();
+                self.col
+                    .extend(self.means.rows().map(|r| (r[d] - base).abs()));
+                self.mad[d] = median(&mut self.col);
+            }
+            // Rank and emit per node.
+            let ts = asdf_core::time::Timestamp::from_secs(t);
+            for node in 0..n_nodes {
+                self.ranked.clear();
+                let mean = self.means.row(node);
+                for (d, m) in mean.iter().enumerate() {
+                    let base = self.baseline[d];
+                    let floor = MAD_FLOOR_FRACTION * (1.0 + base.abs());
+                    let dev = (m - base).abs() / (self.mad[d] + floor);
+                    self.ranked.push((d, dev));
+                }
+                self.ranked
+                    .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                self.out_row.clear();
+                for &(d, dev) in self.ranked.iter().take(self.top) {
+                    self.out_row.push(d as f64);
+                    self.out_row.push(dev);
+                }
+                emit.emit_row_at(self.rank_ports[node], ts, &self.out_row);
+            }
+        }
+    }
+}
+
+impl Default for MetricRank {
+    fn default() -> Self {
+        MetricRank::new()
+    }
+}
+
+impl Module for MetricRank {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.window = ctx.parse_param_or("window", 60usize)?;
+        if self.window == 0 {
+            return Err(ModuleError::invalid_parameter("window", "must be positive"));
+        }
+        self.slide = ctx.parse_param_or("slide", self.window)?;
+        if self.slide == 0 {
+            return Err(ModuleError::invalid_parameter("slide", "must be positive"));
+        }
+        self.top = ctx.parse_param_or("top", 5usize)?;
+        if self.top == 0 {
+            return Err(ModuleError::invalid_parameter("top", "must be positive"));
+        }
+
+        let n_nodes = ctx.input_slots().len();
+        if n_nodes < 3 {
+            return Err(ModuleError::BadInputs(format!(
+                "peer baseline needs >= 3 nodes, got {n_nodes}"
+            )));
+        }
+        for i in 0..n_nodes {
+            let (slot, sources) = &ctx.input_slots()[i];
+            let origin = sources
+                .first()
+                .map(|m| m.origin.clone())
+                .unwrap_or_else(|| slot.clone());
+            self.rank_ports
+                .push(ctx.declare_output_with_origin(format!("rank{i}"), origin));
+        }
+        self.aligner = Aligner::new(n_nodes);
+        self.history = vec![VecDeque::new(); n_nodes];
+        self.col = Vec::with_capacity(n_nodes);
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (slot_idx, env) in drain {
+            self.push_envelope(slot_idx, env.sample.timestamp.as_secs(), &env.sample.value)?;
+        }
+        self.process_aligned(&mut emit);
+        Ok(())
+    }
+
+    /// Columnar delivery: the per-node collector edges are the campaign's
+    /// highest-volume edges, so batch runs hand whole [`RowBlock`]s over.
+    fn accepts_row_blocks(&self) -> bool {
+        true
+    }
+
+    fn run_batch(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        // Queued envelopes are always older than backlog rows (engine
+        // invariant), so draining them first preserves arrival order.
+        let blocks = ctx.take_row_blocks();
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (slot_idx, env) in drain {
+            self.push_envelope(slot_idx, env.sample.timestamp.as_secs(), &env.sample.value)?;
+        }
+        for (slot_idx, block) in blocks {
+            for r in 0..block.len() {
+                let secs = block.stamps[r].as_secs();
+                self.check_width(block.row(r).len())?;
+                self.aligner
+                    .push(slot_idx, secs, MetricRow::Block(Arc::clone(&block), r));
+            }
+        }
+        self.process_aligned(&mut emit);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_core::config::Config;
+    use asdf_core::dag::Dag;
+    use asdf_core::engine::TickEngine;
+    use asdf_core::registry::ModuleRegistry;
+    use asdf_core::time::TickDuration;
+
+    /// Per-node vector source: every node emits [1, 2, 3, 4]; the culprit
+    /// adds `bump` to metric 2 after `after` seconds.
+    struct VecNode {
+        port: Option<PortId>,
+        t: u64,
+    }
+    impl Module for VecNode {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            let origin: String = ctx.require_param("origin")?.to_owned();
+            self.port = Some(ctx.declare_output_with_origin("out", origin));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.t += 1;
+            ctx.emit(self.port.unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+            Ok(())
+        }
+    }
+
+    struct DeviantVecNode {
+        port: Option<PortId>,
+        t: u64,
+        after: u64,
+    }
+    impl Module for DeviantVecNode {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.after = ctx.parse_param("after")?;
+            self.port = Some(ctx.declare_output_with_origin("out", "culprit"));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            self.t += 1;
+            let mut v = vec![1.0, 2.0, 3.0, 4.0];
+            if self.t > self.after {
+                v[2] += 50.0;
+            }
+            ctx.emit(self.port.unwrap(), v);
+            Ok(())
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        crate::register_analysis_modules(&mut reg);
+        reg.register("vecnode", || Box::new(VecNode { port: None, t: 0 }));
+        reg.register("deviantvec", || {
+            Box::new(DeviantVecNode {
+                port: None,
+                t: 0,
+                after: 0,
+            })
+        });
+        reg
+    }
+
+    fn three_node_config(after: u64, top: usize) -> String {
+        format!(
+            "\
+[vecnode]
+id = n0
+origin = peer0
+
+[vecnode]
+id = n1
+origin = peer1
+
+[deviantvec]
+id = n2
+after = {after}
+
+[metric_rank]
+id = mr
+window = 10
+top = {top}
+input[m0] = n0.out
+input[m1] = n1.out
+input[m2] = n2.out
+"
+        )
+    }
+
+    fn run(cfg: &str, secs: u64) -> Vec<asdf_core::module::Envelope> {
+        let parsed: Config = cfg.parse().unwrap();
+        let dag = Dag::build(&registry(), &parsed).unwrap();
+        let mut eng = TickEngine::new(dag);
+        let tap = eng.tap("mr").unwrap();
+        eng.run_for(TickDuration::from_secs(secs)).unwrap();
+        tap.drain()
+    }
+
+    fn ranks_of(out: &[asdf_core::module::Envelope], port: &str) -> Vec<Vec<f64>> {
+        out.iter()
+            .filter(|e| e.source.name == port)
+            .map(|e| e.sample.value.as_vector().unwrap().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn deviant_metric_tops_the_culprit_ranking() {
+        let out = run(&three_node_config(5, 2), 40);
+        let culprit = ranks_of(&out, "rank2");
+        assert!(!culprit.is_empty());
+        let last = culprit.last().unwrap();
+        assert_eq!(last.len(), 4, "top=2 emits [idx, score] * 2: {last:?}");
+        assert_eq!(last[0], 2.0, "metric 2 must rank first: {last:?}");
+        assert!(last[1] > 10.0, "deviation score should be large: {last:?}");
+        // Healthy peers see near-zero deviations everywhere.
+        for port in ["rank0", "rank1"] {
+            let last = ranks_of(&out, port).last().unwrap().clone();
+            assert!(last[1] < 1.0, "{port} should be quiet: {last:?}");
+        }
+    }
+
+    #[test]
+    fn healthy_cluster_ranks_deterministically_by_index() {
+        // All nodes identical: every deviation is 0, so ties resolve to
+        // metric indices in ascending order.
+        let out = run(&three_node_config(100_000, 3), 20);
+        for port in ["rank0", "rank1", "rank2"] {
+            for row in ranks_of(&out, port) {
+                assert_eq!(row, vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0], "{port}");
+            }
+        }
+    }
+
+    #[test]
+    fn origin_follows_the_input_node() {
+        let out = run(&three_node_config(5, 1), 20);
+        let origins: std::collections::HashSet<&str> =
+            out.iter().map(|e| e.source.origin.as_str()).collect();
+        assert!(origins.contains("peer0"));
+        assert!(origins.contains("culprit"));
+    }
+
+    #[test]
+    fn config_validation() {
+        for cfg in [
+            // too few peers
+            "[vecnode]\nid = n0\norigin = a\n\n[vecnode]\nid = n1\norigin = b\n\n[metric_rank]\nid = mr\ninput[m0] = n0.out\ninput[m1] = n1.out\n".to_owned(),
+            // zero window / top
+            three_node_config(0, 1).replace("window = 10", "window = 0"),
+            three_node_config(0, 1).replace("top = 1", "top = 0"),
+        ] {
+            let parsed: Config = cfg.parse().unwrap();
+            assert!(Dag::build(&registry(), &parsed).is_err(), "should reject");
+        }
+    }
+
+    #[test]
+    fn scalar_inputs_are_rejected_at_runtime() {
+        let cfg = three_node_config(0, 1).replace(
+            "[vecnode]\nid = n0\norigin = peer0",
+            "[scalarnode]\nid = n0\norigin = peer0",
+        );
+        let mut reg = registry();
+        struct ScalarNode {
+            port: Option<PortId>,
+        }
+        impl Module for ScalarNode {
+            fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+                let origin: String = ctx.require_param("origin")?.to_owned();
+                self.port = Some(ctx.declare_output_with_origin("out", origin));
+                ctx.request_periodic(TickDuration::SECOND);
+                Ok(())
+            }
+            fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+                ctx.emit(self.port.unwrap(), 1.0);
+                Ok(())
+            }
+        }
+        reg.register("scalarnode", || Box::new(ScalarNode { port: None }));
+        let parsed: Config = cfg.parse().unwrap();
+        let dag = Dag::build(&reg, &parsed).unwrap();
+        let mut eng = TickEngine::new(dag);
+        let err = eng.run_for(TickDuration::from_secs(5)).unwrap_err();
+        assert_eq!(err.instance, "mr");
+    }
+}

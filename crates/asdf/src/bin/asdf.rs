@@ -27,14 +27,18 @@
 //!
 //! Campaign flags: `--slaves N --secs S --seed X --runs R --window W
 //! --threshold T --k K --threads N --engine-threads N --batch-size B
-//! --trace-out PATH`. `--threads` fans independent runs across campaign
-//! workers; `--engine-threads` shards each tick *within* a run across
-//! engine workers; `--batch-size` sets how many envelopes accumulate per
-//! edge before a lane hand-off (results are identical at any setting of
-//! any of the three).
+//! --workload gridmix|trace:PATH --metric-rank --trace-out PATH`.
+//! `--threads` fans independent runs across campaign workers;
+//! `--engine-threads` shards each tick *within* a run across engine
+//! workers; `--batch-size` sets how many envelopes accumulate per edge
+//! before a lane hand-off (results are identical at any setting of any of
+//! the three). `--workload trace:PATH` replays a cluster-trace CSV (see
+//! `hadoop_sim::trace` for the schema) instead of synthesizing GridMix;
+//! `--metric-rank` adds the Orion+-style per-metric deviation ranking
+//! stage.
 //!
 //! Fault names: CPUHog, DiskHog, HADOOP-1036, HADOOP-1152, HADOOP-2080,
-//! PacketLoss.
+//! PacketLoss, Straggler, MemLeak, FlakyLink, GrayFailure.
 
 use asdf::experiments::{self, CampaignConfig};
 use asdf::pipeline::{AsdfBuilder, AsdfOptions};
@@ -57,15 +61,18 @@ fn usage() -> ! {
          asdf fig7|fig6|ablate [--slaves N] [--secs S] [--seed X] [--runs R]\n\
          \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
          \x20                     [--engine-threads N] [--batch-size B] [--trace-out PATH]\n\
+         \x20                     [--workload gridmix|trace:PATH] [--metric-rank]\n\
          asdf perfwatch   [--history PATH] [--report PATH] [--json PATH]\n\
          \x20                [--permutations N] [--pvalue P] [--min-segment N]\n\
          \x20                [--seed X] [--no-dogfood]\n\
          \n\
          campaign subcommands default to smoke scale; --trace-out writes a\n\
          Chrome trace_event JSON (chrome://tracing / Perfetto); perfwatch\n\
-         analyzes BENCH_history.jsonl for perf regressions (advisory)\n\
+         analyzes BENCH_history.jsonl for perf regressions (advisory);\n\
+         --workload trace:PATH replays a cluster-trace CSV instead of GridMix\n\
          \n\
-         faults: CPUHog DiskHog HADOOP-1036 HADOOP-1152 HADOOP-2080 PacketLoss"
+         faults: CPUHog DiskHog HADOOP-1036 HADOOP-1152 HADOOP-2080 PacketLoss\n\
+         \x20       Straggler MemLeak FlakyLink GrayFailure"
     );
     std::process::exit(2);
 }
@@ -93,6 +100,8 @@ struct Opts {
     threads: usize,
     engine_threads: usize,
     batch_size: Option<usize>,
+    workload: Option<String>,
+    metric_rank: bool,
     trace_out: Option<String>,
     history: Option<String>,
     report_out: Option<String>,
@@ -117,6 +126,8 @@ fn parse_opts(args: &[String]) -> Opts {
         threads: 0,
         engine_threads: 1,
         batch_size: None,
+        workload: None,
+        metric_rank: false,
         trace_out: None,
         history: None,
         report_out: None,
@@ -152,6 +163,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--batch-size" => {
                 o.batch_size = Some(val("--batch-size").parse().unwrap_or_else(|_| usage()));
             }
+            "--workload" => o.workload = Some(val("--workload").clone()),
+            "--metric-rank" => o.metric_rank = true,
             "--trace-out" => o.trace_out = Some(val("--trace-out").clone()),
             "--history" => o.history = Some(val("--history").clone()),
             "--report" => o.report_out = Some(val("--report").clone()),
@@ -204,10 +217,33 @@ impl Opts {
         if let Some(k) = self.k {
             cfg.wb_k = k;
         }
+        cfg.workload = self.parse_workload();
+        cfg.metric_rank = self.metric_rank;
         // Keep the fault node and injection point inside the run.
         cfg.fault_node = cfg.fault_node.min(cfg.slaves.saturating_sub(1));
         cfg.injection_at = cfg.injection_at.min(cfg.run_secs / 3);
         cfg
+    }
+
+    /// Resolves `--workload` (`gridmix`, the default, or `trace:PATH`).
+    fn parse_workload(&self) -> experiments::Workload {
+        match self.workload.as_deref() {
+            None | Some("gridmix") => experiments::Workload::GridMix,
+            Some(spec) => match spec.strip_prefix("trace:") {
+                Some(path) => {
+                    let trace =
+                        hadoop_sim::Trace::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        });
+                    experiments::Workload::Trace(std::sync::Arc::new(trace))
+                }
+                None => {
+                    eprintln!("unknown workload `{spec}` (expected gridmix or trace:PATH)");
+                    usage()
+                }
+            },
+        }
     }
 }
 
@@ -381,9 +417,11 @@ fn cmd_run_config(o: Opts) {
 
 fn cmd_fig7(cfg: &CampaignConfig) {
     eprintln!(
-        "[fig7] training on {} nodes x {} s, then 6 faults x {} run(s) of {} s on {} worker(s) ...",
+        "[fig7] training on {} nodes x {} s ({} workload), then {} faults x {} run(s) of {} s on {} worker(s) ...",
         cfg.slaves,
         cfg.training_secs,
+        cfg.workload.name(),
+        FaultKind::ALL.len(),
         cfg.fault_runs,
         cfg.run_secs,
         asdf::campaign::resolve_threads(cfg.threads)

@@ -72,6 +72,33 @@ pub struct CampaignConfig {
     /// within each run (`1` = per-sample). Also byte-identical at any
     /// setting.
     pub batch_size: usize,
+    /// The workload driving every cluster in the campaign (training and
+    /// evaluation alike).
+    pub workload: Workload,
+    /// Also run the Orion+-style `metric_rank` stage, populating
+    /// [`RunTraces::metric_ranks`].
+    pub metric_rank: bool,
+}
+
+/// The workload a campaign drives its clusters with.
+#[derive(Debug, Clone, Default)]
+pub enum Workload {
+    /// GridMix synthesis seeded per run (the paper's setup).
+    #[default]
+    GridMix,
+    /// Deterministic replay of a parsed job trace
+    /// (see [`hadoop_sim::trace`]).
+    Trace(Arc<hadoop_sim::Trace>),
+}
+
+impl Workload {
+    /// A short label for reports and benchmark rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::GridMix => "gridmix",
+            Workload::Trace(_) => "trace",
+        }
+    }
 }
 
 impl Default for CampaignConfig {
@@ -93,6 +120,8 @@ impl Default for CampaignConfig {
             threads: 0,
             engine_threads: 1,
             batch_size: 64,
+            workload: Workload::GridMix,
+            metric_rank: false,
         }
     }
 }
@@ -117,6 +146,8 @@ impl CampaignConfig {
             threads: 0,
             engine_threads: 1,
             batch_size: 64,
+            workload: Workload::GridMix,
+            metric_rank: false,
         }
     }
 
@@ -129,9 +160,21 @@ impl CampaignConfig {
             consecutive: self.consecutive,
             black_box: true,
             white_box: true,
+            metric_rank: self.metric_rank,
+            rank_top: 5,
             engine_threads: self.engine_threads,
             batch_size: self.batch_size,
         }
+    }
+
+    /// The cluster configuration for one run: the campaign's workload over
+    /// `self.slaves` nodes, seeded by `seed`.
+    fn cluster_config(&self, seed: u64) -> ClusterConfig {
+        let mut cc = ClusterConfig::new(self.slaves, seed);
+        if let Workload::Trace(trace) = &self.workload {
+            cc.trace = Some(Arc::clone(trace));
+        }
+        cc
     }
 }
 
@@ -141,10 +184,7 @@ impl CampaignConfig {
 /// model is returned behind an [`Arc`] so campaign workers share one copy
 /// instead of cloning the centroid matrix per run.
 pub fn train_model(cfg: &CampaignConfig) -> Arc<BlackBoxModel> {
-    let mut cluster = Cluster::new(
-        ClusterConfig::new(cfg.slaves, cfg.base_seed ^ 0x7e57_7e57),
-        Vec::new(),
-    );
+    let mut cluster = Cluster::new(cfg.cluster_config(cfg.base_seed ^ 0x7e57_7e57), Vec::new());
     let mut samples: Vec<Vec<f64>> = Vec::new();
     for _ in 0..cfg.training_secs {
         cluster.tick();
@@ -167,6 +207,10 @@ pub struct RunTraces {
     pub wb: AnalysisTrace,
     /// What was injected.
     pub truth: GroundTruth,
+    /// Final per-node metric rankings `(metric index, deviation score)`,
+    /// most deviant first — populated when the campaign enables
+    /// [`CampaignConfig::metric_rank`].
+    pub metric_ranks: Option<Vec<Vec<(usize, f64)>>>,
 }
 
 impl RunTraces {
@@ -211,7 +255,7 @@ pub fn run_once(
         },
         None => GroundTruth::fault_free(),
     };
-    let cluster = Cluster::new(ClusterConfig::new(cfg.slaves, seed), faults);
+    let cluster = Cluster::new(cfg.cluster_config(seed), faults);
     let mut dep = AsdfBuilder::new(cfg.options())
         .with_model(Arc::clone(model))
         .deploy(cluster)
@@ -229,10 +273,29 @@ pub fn run_once(
     let bb = trace("bb", "dist");
     let wb_tt = trace("wb_tt", "kcrit");
     let wb_dn = trace("wb_dn", "kcrit");
+    let metric_ranks = dep.tap("mr").map(|tap| {
+        // Keep each node's *last* ranking: the window nearest the end of
+        // the run, where the fault has had the longest exposure.
+        let mut last: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cfg.slaves];
+        for env in tap.drain() {
+            let Some(node) = env
+                .source
+                .name
+                .strip_prefix("rank")
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let row = env.sample.value.as_vector().expect("rank rows are vectors");
+            last[node] = row.chunks_exact(2).map(|p| (p[0] as usize, p[1])).collect();
+        }
+        last
+    });
     RunTraces {
         bb,
         wb: wb_tt.merge_max(&wb_dn),
         truth,
+        metric_ranks,
     }
 }
 

@@ -46,6 +46,13 @@ pub struct AsdfOptions {
     pub black_box: bool,
     /// Build the white-box path.
     pub white_box: bool,
+    /// Add the Orion+-style `metric_rank` stage to the black-box path:
+    /// per node, ranks which collected metrics deviate most from the peer
+    /// baseline (tap `mr`). Off by default — node fingerpointing alone
+    /// reproduces the paper.
+    pub metric_rank: bool,
+    /// Metrics reported per node by `metric_rank`.
+    pub rank_top: usize,
     /// Engine worker threads sharding each tick (`1` = serial, `0` = all
     /// available parallelism). Results are identical at any setting.
     pub engine_threads: usize,
@@ -65,6 +72,8 @@ impl Default for AsdfOptions {
             consecutive: 3,
             black_box: true,
             white_box: true,
+            metric_rank: false,
+            rank_top: 5,
             engine_threads: 1,
             batch_size: 64,
         }
@@ -152,6 +161,18 @@ impl AsdfBuilder {
                 &mut cfg,
                 InstanceConfig::new("print", "BlackBoxAlarm").with_input_all("a", "bb"),
             );
+            if o.metric_rank {
+                // Rank metric deviations on the same collector edges the
+                // classifier consumes — no extra collection cost.
+                let mut mr = InstanceConfig::new("metric_rank", "mr")
+                    .with_param("window", o.window)
+                    .with_param("slide", o.slide)
+                    .with_param("top", o.rank_top);
+                for i in 0..n_nodes {
+                    mr = mr.with_input(format!("m{i}"), format!("sadc{i}"), "output0");
+                }
+                push(&mut cfg, mr);
+            }
         }
 
         if o.white_box {
@@ -211,7 +232,7 @@ impl AsdfBuilder {
         let mut engine = TickEngine::with_threads(dag, self.options.engine_threads);
         engine.set_batch_size(self.options.batch_size);
         let mut taps = HashMap::new();
-        for id in ["bb", "wb_tt", "wb_dn"] {
+        for id in ["bb", "wb_tt", "wb_dn", "mr"] {
             if let Some(tap) = engine.tap(id) {
                 taps.insert(id.to_owned(), tap);
             }
@@ -252,8 +273,8 @@ impl Deployment {
             .expect("generated pipeline runs cleanly");
     }
 
-    /// The tap on an analysis instance (`bb`, `wb_tt`, `wb_dn`), when that
-    /// path was built.
+    /// The tap on an analysis instance (`bb`, `wb_tt`, `wb_dn`, `mr`),
+    /// when that path was built.
     pub fn tap(&self, id: &str) -> Option<&TapHandle> {
         self.taps.get(id)
     }
@@ -383,6 +404,40 @@ mod tests {
             for threads in [1, 4] {
                 assert_eq!(per_sample, run(batch_size, threads));
             }
+        }
+    }
+
+    #[test]
+    fn metric_rank_stage_is_optional_and_emits_rankings() {
+        // Default: no mr instance, no tap.
+        let dep = AsdfBuilder::new(AsdfOptions {
+            window: 5,
+            slide: 5,
+            ..AsdfOptions::default()
+        })
+        .with_model(tiny_model())
+        .deploy(Cluster::new(ClusterConfig::new(3, 9), Vec::new()))
+        .unwrap();
+        assert!(dep.tap("mr").is_none());
+
+        let cluster = Cluster::new(ClusterConfig::new(4, 9), Vec::new());
+        let mut dep = AsdfBuilder::new(AsdfOptions {
+            window: 5,
+            slide: 5,
+            metric_rank: true,
+            rank_top: 3,
+            ..AsdfOptions::default()
+        })
+        .with_model(tiny_model())
+        .deploy(cluster)
+        .expect("deploys");
+        dep.run_for(20);
+        let out = dep.tap("mr").unwrap().drain();
+        assert!(!out.is_empty(), "metric_rank should emit rankings");
+        for e in &out {
+            assert!(e.source.name.starts_with("rank"));
+            let row = e.sample.value.as_vector().unwrap();
+            assert_eq!(row.len(), 6, "top=3 emits [idx, score] * 3");
         }
     }
 

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
-use asdf::experiments::{self, CampaignConfig};
+use asdf::experiments::{self, CampaignConfig, Workload};
 use asdf::perfwatch::history;
 use asdf_core::config::Config;
 use asdf_core::dag::Dag;
@@ -25,6 +25,7 @@ use asdf_core::time::TickDuration;
 use asdf_modules::kernel;
 use asdf_modules::training::BlackBoxModel;
 use hadoop_logs::LogParser;
+use hadoop_sim::faults::FaultKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -415,6 +416,44 @@ fn main() {
         batch_rates[0], batch_rates[2]
     );
 
+    // --- Widened fault matrix: per-scenario accuracy ----------------------
+    // One evaluation run per (new fault kind, workload) at the smoke
+    // campaign scale: balanced-accuracy and fingerpointing-latency rows
+    // covering the widened matrix on both the GridMix synthesis and the
+    // deterministic trace replay. Not gated — the rows are the artifact,
+    // and `asdf perfwatch` tracks their drift across commits.
+    eprintln!("[perfsuite] widened fault matrix scenarios ...");
+    let trace = std::sync::Arc::new(
+        hadoop_sim::Trace::parse_str(include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/fixtures/sample_trace.csv"
+        )))
+        .expect("sample trace parses"),
+    );
+    let scenario_workloads: [(&str, Workload); 2] = [
+        ("gridmix", Workload::GridMix),
+        ("trace", Workload::Trace(trace)),
+    ];
+    let mut scenario_rows: Vec<(&str, experiments::FaultResult)> = Vec::new();
+    for (wname, workload) in &scenario_workloads {
+        let cfg = CampaignConfig {
+            workload: workload.clone(),
+            ..serial_cfg.clone()
+        };
+        let scen_model = experiments::train_model(&cfg);
+        for fault in FaultKind::EXTENDED {
+            let tr = experiments::run_once(&cfg, &scen_model, Some(fault), cfg.base_seed + 3000);
+            let row = experiments::score_run(&tr, fault);
+            eprintln!(
+                "[perfsuite]   {} on {wname}: ba_all {:.1}%, latency {:?}",
+                fault.name(),
+                row.ba_combined,
+                row.lat_combined
+            );
+            scenario_rows.push((wname, row));
+        }
+    }
+
     // --- Analysis kernels -------------------------------------------------
     eprintln!("[perfsuite] analysis kernels ...");
     let data = training_set(4_000);
@@ -591,6 +630,26 @@ fn main() {
     writeln!(json, "    \"speedup_b64\": {batch_speedup:.3},").unwrap();
     writeln!(json, "    \"gate_2x\": {batch_gate}").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"scenarios\": [").unwrap();
+    for (i, (wname, r)) in scenario_rows.iter().enumerate() {
+        let lat = |l: Option<u64>| l.map_or("null".to_owned(), |v| v.to_string());
+        writeln!(
+            json,
+            "    {{\"fault\": \"{}\", \"workload\": \"{wname}\", \
+             \"ba_bb\": {:.3}, \"ba_wb\": {:.3}, \"ba_all\": {:.3}, \
+             \"lat_bb\": {}, \"lat_wb\": {}, \"lat_all\": {}}}{}",
+            r.fault.name(),
+            r.ba_black_box,
+            r.ba_white_box,
+            r.ba_combined,
+            lat(r.lat_black_box),
+            lat(r.lat_white_box),
+            lat(r.lat_combined),
+            if i + 1 < scenario_rows.len() { "," } else { "" },
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
     writeln!(json, "  \"kernels\": {{").unwrap();
     writeln!(json, "    \"dim\": {DIM},").unwrap();
     writeln!(json, "    \"n_states\": {N_STATES},").unwrap();
@@ -650,6 +709,15 @@ fn main() {
     ]
     .into_iter()
     .map(|(k, v)| (k.to_owned(), v))
+    .chain(scenario_rows.iter().map(|(wname, r)| {
+        (
+            format!(
+                "scenario_{}_{wname}_ba_all",
+                r.fault.name().to_lowercase().replace('-', "_")
+            ),
+            round3(r.ba_combined),
+        )
+    }))
     .collect();
     let record = history::HistoryRecord {
         schema: history::HISTORY_SCHEMA,

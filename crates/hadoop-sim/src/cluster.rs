@@ -79,6 +79,9 @@ pub struct ClusterConfig {
     pub speculative_min_age_secs: u64,
     /// Workload generator configuration.
     pub gridmix: GridMixConfig,
+    /// When set, jobs are replayed from this trace instead of being
+    /// synthesized by GridMix (see [`crate::trace`]).
+    pub trace: Option<std::sync::Arc<crate::trace::Trace>>,
 }
 
 impl ClusterConfig {
@@ -107,6 +110,24 @@ impl ClusterConfig {
                 mean_interarrival_secs: (400.0 / slaves as f64).clamp(8.0, 40.0),
                 ..GridMixConfig::default()
             },
+            trace: None,
+        }
+    }
+}
+
+/// The job source a cluster draws from: synthesized GridMix or a replayed
+/// trace. Both honor the same contract (strictly increasing submission
+/// times, sequential job ids).
+enum Workload {
+    GridMix(GridMix),
+    Trace(crate::trace::TraceReplay),
+}
+
+impl Workload {
+    fn next_job(&mut self) -> (u64, JobSpec) {
+        match self {
+            Workload::GridMix(g) => g.next_job(),
+            Workload::Trace(t) => t.next_job(),
         }
     }
 }
@@ -179,7 +200,7 @@ pub struct Cluster {
     slaves: Vec<Slave>,
     jobs: Vec<JobState>,
     queue: VecDeque<(u64, JobSpec)>,
-    gridmix: GridMix,
+    workload: Workload,
     next_submission: (u64, JobSpec),
     hdfs: Hdfs,
     /// Per-job input block lists, indexed by job position in `jobs`.
@@ -227,15 +248,18 @@ impl Cluster {
             assert!(f.node < cfg.slaves, "fault node {} out of range", f.node);
             slaves[f.node].fault = Some(ActiveFault::new(f));
         }
-        let mut gridmix = GridMix::new(cfg.gridmix.clone());
-        let next_submission = gridmix.next_job();
+        let mut workload = match &cfg.trace {
+            Some(trace) => Workload::Trace(crate::trace::TraceReplay::new(trace.clone())),
+            None => Workload::GridMix(GridMix::new(cfg.gridmix.clone())),
+        };
+        let next_submission = workload.next_job();
         let hdfs = Hdfs::new(cfg.slaves, cfg.replication, cfg.seed);
         Cluster {
             now: 0,
             slaves,
             jobs: Vec::new(),
             queue: VecDeque::new(),
-            gridmix,
+            workload,
             next_submission,
             hdfs,
             input_blocks: Vec::new(),
@@ -335,7 +359,7 @@ impl Cluster {
 
     fn submit_due_jobs(&mut self) {
         while self.next_submission.0 <= self.now {
-            let (_, spec) = std::mem::replace(&mut self.next_submission, self.gridmix.next_job());
+            let (_, spec) = std::mem::replace(&mut self.next_submission, self.workload.next_job());
             self.queue.push_back((self.now, spec));
         }
         while let Some((at, spec)) = self.queue.pop_front() {
@@ -663,6 +687,9 @@ impl Cluster {
         // --- Gather demands ------------------------------------------------
         // CPU and disk demands per node: (slave_task_index or BACKGROUND, amount).
         const BACKGROUND: usize = usize::MAX;
+        // Gray-failure kernel burn: contends like a hog but is accounted as
+        // system time, so the deviation surfaces in `%system`, not `%user`.
+        const BACKGROUND_SYS: usize = usize::MAX - 2;
         let mut cpu_dem: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         let mut disk_dem: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n]; // (who, kb, is_write)
                                                                               // Flows: (consumer node, task index, kind tag, Flow)
@@ -706,6 +733,15 @@ impl Cluster {
                 if bg.disk_write_kb > 0.0 {
                     for _ in 0..4 {
                         disk_dem[node].push((BACKGROUND, bg.disk_write_kb / 4.0, true));
+                    }
+                }
+                // Load-conditional gray failure: a kernel-side burn that only
+                // fires while the node carries real work.
+                let load_tasks = self.slaves[node].running.len() as f64;
+                let gray = fault.gray_demand(now, load_tasks, cores);
+                if gray.cpu_system > 0.0 {
+                    for _ in 0..6 {
+                        cpu_dem[node].push((BACKGROUND_SYS, gray.cpu_system / 6.0));
                     }
                 }
             }
@@ -885,6 +921,9 @@ impl Cluster {
                     tt_proc[node].cpu_system += grant * 0.1;
                     acts[node].cpu_user += grant * 0.9;
                     acts[node].cpu_system += grant * 0.1;
+                } else if who == BACKGROUND_SYS {
+                    // Gray-failure burn shows up as kernel time.
+                    acts[node].cpu_system += grant;
                 } else {
                     // Background (hog or daemons): all user except daemons.
                     acts[node].cpu_user += grant;
@@ -1206,12 +1245,17 @@ impl Cluster {
                     _ => a.io_wait_tasks += 0.5,
                 }
             }
-            if slave
-                .fault
-                .as_ref()
-                .is_some_and(|f| f.is_active(now) && f.spec.kind == FaultKind::CpuHog)
-            {
-                a.running_tasks += 1.0;
+            // Background fault processes occupy memory and show up in the
+            // run queue like any other process — apply whatever the fault
+            // demanded this second (behavior-driven; no per-kind matching).
+            if let Some(f) = &slave.fault {
+                let (cores, disk_kbps) = {
+                    let spec = slave.sim.spec();
+                    (f64::from(spec.cores), spec.disk_kbps)
+                };
+                let bg = f.background_demand(now, cores, disk_kbps);
+                a.mem_used_mb += bg.mem_used_mb;
+                a.running_tasks += bg.running_tasks;
             }
 
             let mut dn = dn_proc[node];
@@ -1298,6 +1342,13 @@ impl Cluster {
         let mut finished: Vec<usize> = Vec::new();
         let mut kills: Vec<(TaskId, usize)> = Vec::new();
         let n_tasks = self.slaves[node].running.len();
+        // Stragglers burn their full grants (already accumulated into the
+        // node's Activity) but convert only a fraction into phase progress,
+        // so tasks pile up and speculative re-execution kicks in.
+        let progress = self.slaves[node]
+            .fault
+            .as_ref()
+            .map_or(1.0, |f| f.progress_factor(now));
 
         for t_idx in 0..n_tasks {
             // Work on a copy of the phase to keep borrows short.
@@ -1305,8 +1356,8 @@ impl Cluster {
                 let ext = &self.slaves[node].running[t_idx];
                 (ext.task.attempt, ext.task.phase)
             };
-            let cpu = cpu_grants.get(t_idx).copied().unwrap_or(0.0);
-            let io = io_grants.get(t_idx).copied().unwrap_or(0.0);
+            let cpu = cpu_grants.get(t_idx).copied().unwrap_or(0.0) * progress;
+            let io = io_grants.get(t_idx).copied().unwrap_or(0.0) * progress;
             let mut done = false;
             let mut failed: Option<&'static str> = None;
             let mut blame: Vec<usize> = vec![node];

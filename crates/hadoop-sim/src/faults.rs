@@ -1,14 +1,44 @@
 //! Fault injection: the six documented Hadoop problems from Table 2 of the
-//! paper.
+//! paper, plus four synthetic fault kinds widening the matrix beyond it
+//! (stragglers, slow leaks, flaky links, load-conditional gray failures).
 //!
 //! Faults are *behaviours*, not labels: each one perturbs the simulation
 //! (competing resource demand, collapsed network goodput, hung or failing
 //! task attempts), and the diagnosis pipeline sees only the resulting
 //! metric and log deviations. Nothing downstream ever reads the fault flag.
+//!
+//! Every activation predicate here is a *pure function of `now`* (plus, for
+//! the gray failure, the instantaneous load): two [`ActiveFault`]s built
+//! from the same [`FaultSpec`] answer every query identically at every
+//! time, which is what keeps whole-cluster runs bitwise reproducible. The
+//! single piece of mutable state — the disk hog's remaining byte budget —
+//! is advanced only by the explicit [`ActiveFault::consume_disk`] call.
 
 use procsim::Activity;
 
-/// Which documented problem to inject (paper Table 2).
+/// Straggler: fraction of its normal per-second CPU/disk grant a task on
+/// the afflicted node actually converts into progress.
+pub const STRAGGLER_FACTOR: f64 = 0.25;
+/// MemLeak: resident-set growth per active second, MB.
+pub const LEAK_RATE_MB_PER_SEC: f64 = 2.0;
+/// MemLeak: plateau where the leaking process stops growing (its own
+/// virtual arena is exhausted), MB.
+pub const LEAK_CAP_MB: f64 = 5_000.0;
+/// FlakyLink: packet-loss fraction at the moment of injection.
+pub const FLAKY_LOSS_FLOOR: f64 = 0.10;
+/// FlakyLink: additional loss fraction per active second.
+pub const FLAKY_LOSS_RAMP_PER_SEC: f64 = 0.01;
+/// FlakyLink: loss ceiling (the link degrades toward, but never reaches,
+/// a full partition — `ifup` stays 1).
+pub const FLAKY_LOSS_CEIL: f64 = 0.70;
+/// GrayFailure: running-task count at or above which the defect manifests.
+pub const GRAY_LOAD_THRESHOLD: f64 = 3.0;
+/// GrayFailure: kernel-time demand while manifesting, as a fraction of the
+/// node's cores.
+pub const GRAY_SYS_FRACTION: f64 = 0.75;
+
+/// Which documented problem to inject (paper Table 2, plus the widened
+/// synthetic matrix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// `[CPUHog]` — "Emulate a CPU-intensive task that consumes 70% CPU
@@ -32,11 +62,45 @@ pub enum FaultKind {
     /// `[HADOOP-2080]` — "Reduce tasks hang due to a miscalculated
     /// checksum": the reducer freezes at the end of the copy/merge step.
     Hadoop2080,
+    /// `[Straggler]` — degraded hardware (failing disk retries, a
+    /// thermally-throttled CPU): every task on the node makes progress at
+    /// only [`STRAGGLER_FACTOR`] of the granted rate, so work piles up
+    /// while resources look busy.
+    Straggler,
+    /// `[MemLeak]` — a slave daemon leaks [`LEAK_RATE_MB_PER_SEC`] MB of
+    /// resident memory per second until it plateaus at [`LEAK_CAP_MB`] MB;
+    /// the slow burn is visible long before anything crashes.
+    MemLeak,
+    /// `[FlakyLink]` — a degrading NIC/cable: inbound packet loss starts at
+    /// [`FLAKY_LOSS_FLOOR`] and ramps by [`FLAKY_LOSS_RAMP_PER_SEC`] per
+    /// second toward [`FLAKY_LOSS_CEIL`] — a creeping partial partition
+    /// rather than PacketLoss's step function.
+    FlakyLink,
+    /// `[GrayFailure]` — a defect (lock contention in a kernel path) that
+    /// stays completely silent until the node runs at least
+    /// [`GRAY_LOAD_THRESHOLD`] tasks, then burns [`GRAY_SYS_FRACTION`] of
+    /// the cores in system time. Under light load the node looks healthy.
+    GrayFailure,
 }
 
 impl FaultKind {
-    /// All six faults, in the paper's Table 2 / Figure 7 order.
-    pub const ALL: [FaultKind; 6] = [
+    /// Every fault kind: the paper's six (Table 2 / Figure 7 order) first,
+    /// then the widened matrix.
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::CpuHog,
+        FaultKind::DiskHog,
+        FaultKind::Hadoop1036,
+        FaultKind::Hadoop1152,
+        FaultKind::Hadoop2080,
+        FaultKind::PacketLoss,
+        FaultKind::Straggler,
+        FaultKind::MemLeak,
+        FaultKind::FlakyLink,
+        FaultKind::GrayFailure,
+    ];
+
+    /// The paper's original six faults, in Table 2 / Figure 7 order.
+    pub const PAPER: [FaultKind; 6] = [
         FaultKind::CpuHog,
         FaultKind::DiskHog,
         FaultKind::Hadoop1036,
@@ -45,7 +109,15 @@ impl FaultKind {
         FaultKind::PacketLoss,
     ];
 
-    /// The paper's fault name, as used in figures.
+    /// The widened matrix beyond the paper: the four synthetic kinds.
+    pub const EXTENDED: [FaultKind; 4] = [
+        FaultKind::Straggler,
+        FaultKind::MemLeak,
+        FaultKind::FlakyLink,
+        FaultKind::GrayFailure,
+    ];
+
+    /// The fault name, as used in figures and on the CLI.
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::CpuHog => "CPUHog",
@@ -54,14 +126,29 @@ impl FaultKind {
             FaultKind::Hadoop1036 => "HADOOP-1036",
             FaultKind::Hadoop1152 => "HADOOP-1152",
             FaultKind::Hadoop2080 => "HADOOP-2080",
+            FaultKind::Straggler => "Straggler",
+            FaultKind::MemLeak => "MemLeak",
+            FaultKind::FlakyLink => "FlakyLink",
+            FaultKind::GrayFailure => "GrayFailure",
         }
     }
 
     /// Whether the fault manifests only when the faulty code path runs
     /// (the paper's explanation for HADOOP-1152/2080's long fingerpointing
-    /// latencies: "the fault remained dormant for several minutes").
+    /// latencies: "the fault remained dormant for several minutes"). The
+    /// gray failure is dormant by construction — it does nothing below its
+    /// load threshold.
     pub fn is_dormant(self) -> bool {
-        matches!(self, FaultKind::Hadoop1152 | FaultKind::Hadoop2080)
+        match self {
+            FaultKind::Hadoop1152 | FaultKind::Hadoop2080 | FaultKind::GrayFailure => true,
+            FaultKind::CpuHog
+            | FaultKind::DiskHog
+            | FaultKind::PacketLoss
+            | FaultKind::Hadoop1036
+            | FaultKind::Straggler
+            | FaultKind::MemLeak
+            | FaultKind::FlakyLink => false,
+        }
     }
 }
 
@@ -101,6 +188,12 @@ impl ActiveFault {
         }
     }
 
+    /// Seconds the fault has been active at `now` (0 at the injection
+    /// second), used by the time-ramped kinds.
+    fn active_secs(&self, now: u64) -> f64 {
+        now.saturating_sub(self.spec.start_at) as f64
+    }
+
     /// Whether the fault is active at `now` (injection time reached and,
     /// for DiskHog, data still left to write).
     pub fn is_active(&self, now: u64) -> bool {
@@ -109,13 +202,23 @@ impl ActiveFault {
         }
         match self.spec.kind {
             FaultKind::DiskHog => self.disk_remaining_kb > 0.0,
-            _ => true,
+            FaultKind::CpuHog
+            | FaultKind::PacketLoss
+            | FaultKind::Hadoop1036
+            | FaultKind::Hadoop1152
+            | FaultKind::Hadoop2080
+            | FaultKind::Straggler
+            | FaultKind::MemLeak
+            | FaultKind::FlakyLink
+            | FaultKind::GrayFailure => true,
         }
     }
 
     /// The *environmental* resource demand this fault adds on its node for
-    /// the next second (CPU hogs, disk hogs). Task-level misbehaviour
-    /// (hangs, copy failures) is applied by the tasktracker model instead.
+    /// the next second (CPU hogs, disk hogs, leaked memory). Task-level
+    /// misbehaviour (hangs, copy failures, straggling) is applied by the
+    /// tasktracker model instead, and the gray failure's load-conditional
+    /// demand comes from [`ActiveFault::gray_demand`].
     ///
     /// `cores` is the node's core count; `disk_kbps` its disk bandwidth.
     pub fn background_demand(&self, now: u64, cores: f64, disk_kbps: f64) -> Activity {
@@ -132,17 +235,81 @@ impl ActiveFault {
                 .with_cpu_user(0.1)
                 .with_running_tasks(1.0)
                 .with_mem_used_mb(20.0),
-            // PacketLoss and the application bugs add no background load.
-            _ => Activity::idle(),
+            // Resident set grows linearly from the injection second and
+            // plateaus; a pure function of `now`, so replay is exact.
+            FaultKind::MemLeak => {
+                let leaked =
+                    (LEAK_RATE_MB_PER_SEC * (self.active_secs(now) + 1.0)).min(LEAK_CAP_MB);
+                Activity::idle()
+                    .with_mem_used_mb(leaked)
+                    .with_cpu_user(0.05)
+            }
+            // Network and task-level faults add no background load.
+            FaultKind::PacketLoss
+            | FaultKind::Hadoop1036
+            | FaultKind::Hadoop1152
+            | FaultKind::Hadoop2080
+            | FaultKind::Straggler
+            | FaultKind::FlakyLink
+            | FaultKind::GrayFailure => Activity::idle(),
         }
+    }
+
+    /// The gray failure's load-conditional demand: zero below
+    /// [`GRAY_LOAD_THRESHOLD`] running tasks, a [`GRAY_SYS_FRACTION`]
+    /// kernel-time burn at or above it. Pure in `(now, load_tasks)`.
+    pub fn gray_demand(&self, now: u64, load_tasks: f64, cores: f64) -> Activity {
+        if !self.is_active(now)
+            || self.spec.kind != FaultKind::GrayFailure
+            || load_tasks < GRAY_LOAD_THRESHOLD
+        {
+            return Activity::idle();
+        }
+        Activity::idle().with_cpu_system(GRAY_SYS_FRACTION * cores)
     }
 
     /// Inbound packet-loss fraction this fault imposes (0 when inactive).
     pub fn packet_loss(&self, now: u64) -> f64 {
-        if self.is_active(now) && self.spec.kind == FaultKind::PacketLoss {
-            0.5
-        } else {
-            0.0
+        if !self.is_active(now) {
+            return 0.0;
+        }
+        match self.spec.kind {
+            FaultKind::PacketLoss => 0.5,
+            // The flaky link degrades over time: a loss ramp from the
+            // floor toward the ceiling, again pure in `now`.
+            FaultKind::FlakyLink => (FLAKY_LOSS_FLOOR
+                + FLAKY_LOSS_RAMP_PER_SEC * self.active_secs(now))
+            .min(FLAKY_LOSS_CEIL),
+            FaultKind::CpuHog
+            | FaultKind::DiskHog
+            | FaultKind::Hadoop1036
+            | FaultKind::Hadoop1152
+            | FaultKind::Hadoop2080
+            | FaultKind::Straggler
+            | FaultKind::MemLeak
+            | FaultKind::GrayFailure => 0.0,
+        }
+    }
+
+    /// Fraction of a granted per-second resource quantum that a task on
+    /// this node actually converts into progress (1.0 = healthy). The
+    /// straggler's defining behaviour: resources are consumed at the full
+    /// granted rate, progress happens at a quarter of it.
+    pub fn progress_factor(&self, now: u64) -> f64 {
+        if !self.is_active(now) {
+            return 1.0;
+        }
+        match self.spec.kind {
+            FaultKind::Straggler => STRAGGLER_FACTOR,
+            FaultKind::CpuHog
+            | FaultKind::DiskHog
+            | FaultKind::PacketLoss
+            | FaultKind::Hadoop1036
+            | FaultKind::Hadoop1152
+            | FaultKind::Hadoop2080
+            | FaultKind::MemLeak
+            | FaultKind::FlakyLink
+            | FaultKind::GrayFailure => 1.0,
         }
     }
 
@@ -170,7 +337,9 @@ mod tests {
             let f = ActiveFault::new(spec(kind));
             assert!(!f.is_active(99));
             assert_eq!(f.background_demand(99, 4.0, 80_000.0), Activity::idle());
+            assert_eq!(f.gray_demand(99, 10.0, 4.0), Activity::idle());
             assert_eq!(f.packet_loss(99), 0.0);
+            assert_eq!(f.progress_factor(99), 1.0);
         }
     }
 
@@ -215,12 +384,69 @@ mod tests {
     }
 
     #[test]
+    fn straggler_slows_progress_without_background_demand() {
+        let f = ActiveFault::new(spec(FaultKind::Straggler));
+        assert_eq!(f.progress_factor(100), STRAGGLER_FACTOR);
+        assert_eq!(f.progress_factor(99), 1.0);
+        assert_eq!(f.background_demand(100, 4.0, 80_000.0), Activity::idle());
+        // No other kind slows progress.
+        for kind in FaultKind::ALL {
+            if kind != FaultKind::Straggler {
+                assert_eq!(ActiveFault::new(spec(kind)).progress_factor(500), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_leak_grows_linearly_then_plateaus() {
+        let f = ActiveFault::new(spec(FaultKind::MemLeak));
+        let at = |now| f.background_demand(now, 4.0, 80_000.0).mem_used_mb;
+        assert_eq!(at(100), LEAK_RATE_MB_PER_SEC);
+        assert_eq!(at(109), 10.0 * LEAK_RATE_MB_PER_SEC);
+        // Monotone and eventually capped.
+        assert!(at(1000) > at(500));
+        assert_eq!(at(1_000_000), LEAK_CAP_MB);
+    }
+
+    #[test]
+    fn flaky_link_ramps_from_floor_to_ceiling() {
+        let f = ActiveFault::new(spec(FaultKind::FlakyLink));
+        assert_eq!(f.packet_loss(100), FLAKY_LOSS_FLOOR);
+        assert!(f.packet_loss(130) > f.packet_loss(110));
+        assert_eq!(f.packet_loss(100_000), FLAKY_LOSS_CEIL);
+    }
+
+    #[test]
+    fn gray_failure_is_silent_below_its_load_threshold() {
+        let f = ActiveFault::new(spec(FaultKind::GrayFailure));
+        for load in [0.0, 1.0, GRAY_LOAD_THRESHOLD - 0.5] {
+            assert_eq!(f.gray_demand(500, load, 4.0), Activity::idle());
+        }
+        let d = f.gray_demand(500, GRAY_LOAD_THRESHOLD, 4.0);
+        assert_eq!(d.cpu_system, GRAY_SYS_FRACTION * 4.0);
+        assert_eq!(d.cpu_user, 0.0);
+        // Only the gray failure responds to load.
+        for kind in FaultKind::ALL {
+            if kind != FaultKind::GrayFailure {
+                assert_eq!(
+                    ActiveFault::new(spec(kind)).gray_demand(500, 10.0, 4.0),
+                    Activity::idle()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn dormancy_classification_matches_the_paper() {
         assert!(FaultKind::Hadoop1152.is_dormant());
         assert!(FaultKind::Hadoop2080.is_dormant());
+        assert!(FaultKind::GrayFailure.is_dormant());
         assert!(!FaultKind::CpuHog.is_dormant());
         assert!(!FaultKind::Hadoop1036.is_dormant());
         assert!(!FaultKind::PacketLoss.is_dormant());
+        assert!(!FaultKind::Straggler.is_dormant());
+        assert!(!FaultKind::MemLeak.is_dormant());
+        assert!(!FaultKind::FlakyLink.is_dormant());
     }
 
     #[test]
@@ -234,8 +460,19 @@ mod tests {
                 "HADOOP-1036",
                 "HADOOP-1152",
                 "HADOOP-2080",
-                "PacketLoss"
+                "PacketLoss",
+                "Straggler",
+                "MemLeak",
+                "FlakyLink",
+                "GrayFailure"
             ]
         );
+        // The paper set is a prefix of ALL, in the same order.
+        assert_eq!(FaultKind::ALL[..6], FaultKind::PAPER);
+        assert_eq!(FaultKind::ALL[6..], FaultKind::EXTENDED);
+        // Names are unique and CLI-parsable (no spaces).
+        let set: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), FaultKind::ALL.len());
+        assert!(names.iter().all(|n| !n.contains(' ')));
     }
 }

@@ -40,8 +40,10 @@ pub mod hdfs;
 pub mod job;
 pub mod logging;
 pub mod resources;
+pub mod trace;
 pub mod types;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterStats};
 pub use faults::{FaultKind, FaultSpec};
 pub use gridmix::{GridMix, GridMixConfig};
+pub use trace::{Trace, TraceParseError, TraceReplay};

@@ -50,6 +50,8 @@ fn main() {
         consecutive: cfg.consecutive,
         black_box: true,
         white_box: true,
+        metric_rank: false,
+        rank_top: 5,
         engine_threads: 1,
         batch_size: cfg.batch_size,
     })

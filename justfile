@@ -23,6 +23,13 @@ equivalence:
 kernel-props:
     cargo test -q -p asdf-modules --test kernel_prop --test dist2_prop --test classify_proptest
 
+# The widened-fault-matrix suites: activation-model property tests, the
+# golden per-fault scenarios with the metric-rank accuracy gate, and the
+# trace-parser fixtures.
+scenarios:
+    cargo test -q -p integration-tests --test fault_props
+    cargo test -p integration-tests --test scenario_matrix
+
 # Concurrency model tests for the lock-free engine primitives (SPSC lane,
 # spill stack, readiness wavefront) under the vendored loom facade. Uses a
 # separate target dir so --cfg loom never invalidates the main build cache.
@@ -37,9 +44,10 @@ docs:
         -p asdf-core -p asdf-modules -p asdf -p asdf-obs -p bench \
         -p integration-tests -p asdf-examples
 
-# Regenerate the golden campaign fixtures after an intended result change.
+# Regenerate the golden campaign and scenario fixtures after an intended
+# result change.
 update-fixtures:
-    UPDATE_FIXTURES=1 cargo test -p integration-tests --test golden_figures
+    UPDATE_FIXTURES=1 cargo test -p integration-tests --test golden_figures --test scenario_matrix
 
 # Refresh BENCH_campaign.json (campaign, self-overhead, engine speedup).
 bench:

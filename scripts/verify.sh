@@ -27,6 +27,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "[verify] differential equivalence suite (--engine-threads 4 pass included)" >&2
 cargo test -p integration-tests --test shard_equivalence --test golden_figures
 
+echo "[verify] fault matrix: activation properties + golden scenarios" >&2
+cargo test -q -p integration-tests --test fault_props
+cargo test -p integration-tests --test scenario_matrix
+
 echo "[verify] kernel property suites (bitwise SIMD/scalar pinning)" >&2
 cargo test -q -p asdf-modules --test kernel_prop --test dist2_prop --test classify_proptest
 

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use asdf::experiments::{self, CampaignConfig, FaultResult};
+use asdf::experiments::{self, CampaignConfig, FaultResult, Workload};
 use asdf::pipeline::{AsdfBuilder, AsdfOptions};
 use asdf_core::config::Config;
 use asdf_core::dag::Dag;
@@ -248,12 +248,16 @@ pub const ANALYSIS_TAPS: [&str; 3] = ["bb", "wb_tt", "wb_dn"];
 /// Deploys the full fingerpointing pipeline over a fresh simulated
 /// cluster and returns each analysis tap's raw envelope stream — the
 /// bitwise ground truth the sharded engine is compared on.
+///
+/// Honors the campaign's workload (GridMix or trace replay) and, when
+/// [`CampaignConfig::metric_rank`] is set, appends the `mr` tap's stream
+/// after the three analysis taps.
 pub fn pipeline_streams(
     cfg: &CampaignConfig,
     model: &Arc<BlackBoxModel>,
     fault: Option<FaultKind>,
     seed: u64,
-) -> [Vec<Envelope>; 3] {
+) -> Vec<Vec<Envelope>> {
     let faults = fault
         .map(|kind| {
             vec![hadoop_sim::faults::FaultSpec {
@@ -263,7 +267,11 @@ pub fn pipeline_streams(
             }]
         })
         .unwrap_or_default();
-    let cluster = Cluster::new(ClusterConfig::new(cfg.slaves, seed), faults);
+    let mut cc = ClusterConfig::new(cfg.slaves, seed);
+    if let Workload::Trace(trace) = &cfg.workload {
+        cc.trace = Some(Arc::clone(trace));
+    }
+    let cluster = Cluster::new(cc, faults);
     let mut dep = AsdfBuilder::new(AsdfOptions {
         window: cfg.window,
         slide: cfg.window,
@@ -272,13 +280,69 @@ pub fn pipeline_streams(
         consecutive: cfg.consecutive,
         engine_threads: cfg.engine_threads,
         batch_size: cfg.batch_size,
+        metric_rank: cfg.metric_rank,
         ..AsdfOptions::default()
     })
     .with_model(Arc::clone(model))
     .deploy(cluster)
     .expect("harness pipeline deploys");
     dep.run_for(cfg.run_secs);
-    ANALYSIS_TAPS.map(|id| dep.tap(id).expect("both paths built").drain())
+    let mut taps: Vec<&str> = ANALYSIS_TAPS.to_vec();
+    if cfg.metric_rank {
+        taps.push("mr");
+    }
+    taps.iter()
+        .map(|id| dep.tap(id).expect("tapped stage built").drain())
+        .collect()
+}
+
+/// Loads the checked-in sample job trace
+/// (`tests/fixtures/sample_trace.csv`) behind an [`Arc`] for sharing
+/// across runs.
+pub fn sample_trace() -> Arc<hadoop_sim::Trace> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("sample_trace.csv");
+    Arc::new(hadoop_sim::Trace::load(&path).expect("sample trace parses"))
+}
+
+/// The qualified metric names matching the flattened `sadc` vector, by
+/// rendering one frame of a throwaway single-node cluster (the frame
+/// layout is fixed, so any frame yields the canonical names).
+pub fn metric_names() -> Vec<String> {
+    let mut cluster = Cluster::new(ClusterConfig::new(1, 1), Vec::new());
+    cluster.tick();
+    cluster
+        .latest_frame(0)
+        .expect("one tick renders a frame")
+        .flat_names()
+}
+
+/// Renders one fault-scenario run — its accuracy row plus the faulty
+/// node's top-ranked metrics — as deterministic JSON for golden
+/// fixtures.
+pub fn render_scenario_json(r: &FaultResult, top_metrics: &[(String, f64)]) -> String {
+    let lat = |l: Option<u64>| l.map_or("null".to_owned(), |v| v.to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"fault\": \"{}\",\n  \"ba_bb\": {:?},\n  \"ba_wb\": {:?},\n  \"ba_all\": {:?},\n  \
+         \"lat_bb\": {},\n  \"lat_wb\": {},\n  \"lat_all\": {},\n  \"top_metrics\": [\n",
+        r.fault.name(),
+        r.ba_black_box,
+        r.ba_white_box,
+        r.ba_combined,
+        lat(r.lat_black_box),
+        lat(r.lat_white_box),
+        lat(r.lat_combined),
+    ));
+    for (i, (name, score)) in top_metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"metric\": \"{name}\", \"dev\": {score:?}}}{}\n",
+            if i + 1 < top_metrics.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders fig7 rows as deterministic JSON (f64s via Rust's shortest

@@ -1,0 +1,162 @@
+//! Property tests for the fault-activation model.
+//!
+//! The determinism argument for whole-cluster replay rests on every
+//! [`ActiveFault`] query being a pure function of `now` (plus the
+//! instantaneous load, for the gray failure): no hidden clocks, no
+//! query-order dependence, no drift between two faults built from the
+//! same spec. These properties pin that contract down over the whole
+//! fault matrix, arbitrary injection times, and arbitrary query times.
+
+use hadoop_sim::faults::{
+    ActiveFault, FaultKind, FaultSpec, FLAKY_LOSS_CEIL, FLAKY_LOSS_FLOOR, GRAY_LOAD_THRESHOLD,
+    LEAK_CAP_MB,
+};
+use procsim::Activity;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = FaultKind> {
+    (0..FaultKind::ALL.len()).prop_map(|i| FaultKind::ALL[i])
+}
+
+fn fault(kind: FaultKind, start_at: u64) -> ActiveFault {
+    ActiveFault::new(FaultSpec {
+        node: 0,
+        kind,
+        start_at,
+    })
+}
+
+/// Everything observable about a fault at one instant, for whole-state
+/// equality checks.
+fn observe(f: &ActiveFault, now: u64, load: f64) -> (bool, Activity, Activity, f64, f64) {
+    (
+        f.is_active(now),
+        f.background_demand(now, 4.0, 80_000.0),
+        f.gray_demand(now, load, 4.0),
+        f.packet_loss(now),
+        f.progress_factor(now),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Two faults built from the same spec answer every query
+    /// identically, and querying never mutates: the same instance asked
+    /// twice (and asked out of time order) gives the same answers.
+    #[test]
+    fn queries_are_pure_in_now(
+        kind in any_kind(),
+        start_at in 0u64..10_000,
+        now_a in 0u64..20_000,
+        now_b in 0u64..20_000,
+        load in 0f64..16.0,
+    ) {
+        let f = fault(kind, start_at);
+        let twin = fault(kind, start_at);
+        // Query the twin in the opposite order first: answers may not
+        // depend on what was asked before.
+        let twin_b = observe(&twin, now_b, load);
+        let twin_a = observe(&twin, now_a, load);
+        prop_assert_eq!(observe(&f, now_a, load), twin_a);
+        prop_assert_eq!(observe(&f, now_b, load), twin_b);
+        // Re-asking the same instant is idempotent.
+        prop_assert_eq!(observe(&f, now_a, load), observe(&f, now_a, load));
+    }
+
+    /// Before its injection second every fault is completely inert:
+    /// inactive, zero demand, zero loss, full progress.
+    #[test]
+    fn faults_are_inert_before_injection(
+        kind in any_kind(),
+        start_at in 1u64..10_000,
+        before_raw in 0u64..10_000,
+        load in 0f64..16.0,
+    ) {
+        let before = before_raw % start_at; // strictly before the injection
+        let f = fault(kind, start_at);
+        prop_assert!(!f.is_active(before));
+        prop_assert_eq!(f.background_demand(before, 4.0, 80_000.0), Activity::idle());
+        prop_assert_eq!(f.gray_demand(before, load, 4.0), Activity::idle());
+        prop_assert_eq!(f.packet_loss(before), 0.0);
+        prop_assert_eq!(f.progress_factor(before), 1.0);
+    }
+
+    /// The gray failure emits exactly zero deviation below its load
+    /// threshold — at any active time — and no other kind responds to
+    /// load at all.
+    #[test]
+    fn gray_failure_is_provably_silent_below_threshold(
+        kind in any_kind(),
+        start_at in 0u64..10_000,
+        now in 0u64..20_000,
+        load in 0f64..16.0,
+    ) {
+        let f = fault(kind, start_at);
+        if kind != FaultKind::GrayFailure || load < GRAY_LOAD_THRESHOLD {
+            prop_assert_eq!(f.gray_demand(now, load, 4.0), Activity::idle());
+        } else if now >= start_at {
+            prop_assert!(f.gray_demand(now, load, 4.0).cpu_system > 0.0);
+        }
+    }
+
+    /// Packet loss is a fraction for every kind at every time, and the
+    /// flaky link's ramp is monotone in time and capped at its ceiling.
+    #[test]
+    fn packet_loss_is_bounded_and_flaky_ramp_is_monotone(
+        kind in any_kind(),
+        start_at in 0u64..10_000,
+        now in 0u64..100_000,
+        later in 0u64..100_000,
+    ) {
+        let f = fault(kind, start_at);
+        let loss = f.packet_loss(now);
+        prop_assert!((0.0..=1.0).contains(&loss), "loss {loss} out of range");
+        if kind == FaultKind::FlakyLink {
+            prop_assert!(loss <= FLAKY_LOSS_CEIL);
+            if now >= start_at {
+                prop_assert!(loss >= FLAKY_LOSS_FLOOR);
+            }
+            if later >= now {
+                prop_assert!(f.packet_loss(later) >= loss, "ramp must not regress");
+            }
+        }
+    }
+
+    /// The memory leak only ever grows (until its plateau) and never
+    /// exceeds the cap.
+    #[test]
+    fn leak_is_monotone_and_capped(
+        start_at in 0u64..10_000,
+        now in 0u64..5_000_000,
+        later in 0u64..5_000_000,
+    ) {
+        let f = fault(FaultKind::MemLeak, start_at);
+        let mem = |t: u64| f.background_demand(t, 4.0, 80_000.0).mem_used_mb;
+        prop_assert!(mem(now) <= LEAK_CAP_MB);
+        if later >= now {
+            prop_assert!(mem(later) >= mem(now));
+        }
+    }
+
+    /// `consume_disk` is the only mutation, and only the disk hog's
+    /// behaviour reads the consumed budget.
+    #[test]
+    fn consume_disk_only_affects_the_disk_hog(
+        kind in any_kind(),
+        start_at in 0u64..10_000,
+        now in 0u64..20_000,
+        kb in 0f64..1e9,
+        load in 0f64..16.0,
+    ) {
+        let mut f = fault(kind, start_at);
+        let before = observe(&f, now, load);
+        f.consume_disk(kb);
+        if kind != FaultKind::DiskHog {
+            prop_assert_eq!(observe(&f, now, load), before);
+        } else if kb >= 20.0 * 1024.0 * 1024.0 {
+            // Budget exhausted: the hog ends for good.
+            prop_assert!(!f.is_active(now.max(start_at)));
+        }
+    }
+}

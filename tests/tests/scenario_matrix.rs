@@ -1,0 +1,216 @@
+//! Golden scenarios for the widened fault matrix, and the accuracy
+//! contract for the Orion+-style `metric_rank` stage.
+//!
+//! One pinned campaign run per new fault kind becomes a byte-exact
+//! fixture (accuracy row plus the faulty node's top-ranked metrics), so
+//! any behavioural drift in the simulator, the analysis paths, or the
+//! ranking math shows up as a fixture diff. On top of the fixtures, the
+//! ranking must actually *name* the perturbed metric: for at least 3 of
+//! the 4 new kinds the injected deviation's metric family must appear in
+//! the top 2. The trace-replay parser gets the same treatment: the
+//! checked-in sample trace parses to a fixture, and every corruption of
+//! it is rejected with the offending line number.
+
+use asdf::experiments::{self, CampaignConfig, Workload};
+use hadoop_sim::faults::FaultKind;
+use hadoop_sim::Trace;
+use integration_tests::support;
+
+/// The flattened `sadc` metrics each injected fault perturbs most
+/// directly — what a correct peer-deviation ranking should surface.
+fn culprit_metrics(fault: FaultKind) -> &'static [&'static str] {
+    match fault {
+        // Task pileup and collapsed per-task throughput: the daemons' I/O
+        // rates diverge from peers, and the queue/load family rises.
+        FaultKind::Straggler => &[
+            "datanode.kB_rd/s",
+            "datanode.kB_wr/s",
+            "tasktracker.kB_rd/s",
+            "tasktracker.kB_wr/s",
+            "runq-sz",
+            "plist-sz",
+            "ldavg-1",
+            "ldavg-5",
+            "ldavg-15",
+        ],
+        // Resident-set growth.
+        FaultKind::MemLeak => &[
+            "kbmemused",
+            "%memused",
+            "kbmemfree",
+            "kbcommit",
+            "%commit",
+            "kbactive",
+        ],
+        // Inbound drops and collapsed receive goodput.
+        FaultKind::FlakyLink => &[
+            "eth0.rxdrop/s",
+            "eth0.rxkB/s",
+            "eth0.rxpck/s",
+            "eth0.txkB/s",
+            "eth0.txpck/s",
+        ],
+        // Kernel-time burn.
+        FaultKind::GrayFailure => &["%system", "%idle", "cswch/s", "intr/s"],
+        other => panic!("no culprit-metric set for {other:?}"),
+    }
+}
+
+/// Runs one faulty campaign and returns (accuracy row, faulty node's
+/// ranked metrics by name).
+fn scenario(
+    cfg: &CampaignConfig,
+    fault: FaultKind,
+    names: &[String],
+) -> (experiments::FaultResult, Vec<(String, f64)>) {
+    let model = support::small_model(cfg);
+    let tr = experiments::run_once(cfg, &model, Some(fault), cfg.base_seed + 500);
+    let result = experiments::score_run(&tr, fault);
+    let ranks = tr
+        .metric_ranks
+        .expect("metric_rank campaigns extract rankings");
+    let top = ranks[cfg.fault_node]
+        .iter()
+        .map(|&(i, s)| (names[i].clone(), s))
+        .collect();
+    (result, top)
+}
+
+#[test]
+fn extended_fault_scenarios_match_fixtures_and_rank_the_culprit_metric() {
+    let cfg = CampaignConfig {
+        metric_rank: true,
+        ..support::small_campaign(1)
+    };
+    let names = support::metric_names();
+    let mut hits = 0;
+    for fault in FaultKind::EXTENDED {
+        let (result, top) = scenario(&cfg, fault, &names);
+        support::assert_matches_fixture(
+            &format!("scenario_{}_small.json", fault.name().to_lowercase()),
+            &support::render_scenario_json(&result, &top),
+        );
+        let candidates = culprit_metrics(fault);
+        let top2: Vec<&str> = top.iter().take(2).map(|(n, _)| n.as_str()).collect();
+        if top2.iter().any(|n| candidates.contains(n)) {
+            hits += 1;
+        } else {
+            eprintln!("[scenario] {fault:?}: top-2 {top2:?} missed {candidates:?}");
+        }
+    }
+    assert!(
+        hits >= 3,
+        "metric_rank must place the perturbed metric in the top 2 for at \
+         least 3 of the 4 new fault kinds; got {hits}"
+    );
+}
+
+#[test]
+fn trace_workload_scenario_matches_fixture() {
+    // The same golden treatment over the replayed sample trace (model
+    // trained on the trace workload too): pins the whole trace →
+    // cluster → analysis → ranking path to bytes.
+    let cfg = CampaignConfig {
+        metric_rank: true,
+        workload: Workload::Trace(support::sample_trace()),
+        ..support::small_campaign(1)
+    };
+    let names = support::metric_names();
+    let (result, top) = scenario(&cfg, FaultKind::Straggler, &names);
+    support::assert_matches_fixture(
+        "scenario_trace_straggler_small.json",
+        &support::render_scenario_json(&result, &top),
+    );
+}
+
+#[test]
+fn sample_trace_parses_to_fixture() {
+    let trace = support::sample_trace();
+    let mut out = String::from("[\n");
+    for (i, r) in trace.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"at\": {}, \"class\": \"{}\", \"maps\": {}, \"reduces\": {}, \
+             \"map_input_kb\": {:?}, \"map_cpu_secs\": {:?}, \"shuffle_kb\": {:?}, \
+             \"reduce_cpu_secs\": {:?}}}{}\n",
+            r.arrival_secs,
+            r.class.name(),
+            r.maps,
+            r.reduces,
+            r.map_profile.input_kb,
+            r.map_profile.cpu_secs,
+            r.reduce_profile.shuffle_kb,
+            r.reduce_profile.reduce_cpu_secs,
+            if i + 1 < trace.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    support::assert_matches_fixture("sample_trace_parsed.json", &out);
+}
+
+#[test]
+fn corruptions_of_the_sample_trace_are_rejected_with_line_numbers() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("sample_trace.csv");
+    let text = std::fs::read_to_string(path).expect("sample trace is checked in");
+    assert!(Trace::parse_str(&text).is_ok(), "pristine sample parses");
+
+    let lines: Vec<&str> = text.lines().collect();
+    let first_data = lines
+        .iter()
+        .position(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .expect("sample has data rows");
+    let corrupt = |replacement: &str| -> String {
+        let mut out: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+        out[first_data] = replacement.to_owned();
+        out.join("\n")
+    };
+
+    // Each corruption of the first data row must be an error naming that
+    // row's 1-based line number — malformed rows are never skipped.
+    let cases: &[(&str, &str)] = &[
+        ("0,webdata_scan,8,1", "columns"),
+        ("0,mystery_job,8,1,1,1,1,1,1,1,1", "class"),
+        ("soon,webdata_scan,8,1,1,1,1,1,1,1,1", "arrival_secs"),
+        ("0,webdata_scan,0,1,1,1,1,1,1,1,1", "maps"),
+        ("0,webdata_scan,8,1,-5,1,1,1,1,1,1", "map_input_kb"),
+        ("0,webdata_scan,8,1,1,1,1,NaN,1,1,1", "shuffle_kb"),
+    ];
+    for (replacement, needle) in cases {
+        let e = Trace::parse_str(&corrupt(replacement)).expect_err(replacement);
+        assert_eq!(e.line, first_data + 1, "line number for {replacement:?}");
+        assert!(
+            e.message.contains(needle),
+            "error {:?} should mention {needle:?}",
+            e.message
+        );
+    }
+
+    // Garbage appended after the last row is caught at its own line.
+    let appended = format!("{text}not,a,row\n");
+    let e = Trace::parse_str(&appended).expect_err("appended garbage");
+    assert_eq!(e.line, lines.len() + 1);
+
+    // A trace with no rows at all is an error, not an empty workload.
+    assert!(Trace::parse_str("# empty\n\n").is_err());
+}
+
+#[test]
+fn trace_replay_campaign_detects_faults_too() {
+    // Not a fixture: a coarse accuracy floor showing the trace-driven
+    // workload still exercises both analysis paths well enough to
+    // fingerpoint a classic fault.
+    let cfg = CampaignConfig {
+        workload: Workload::Trace(support::sample_trace()),
+        ..support::small_campaign(1)
+    };
+    let model = support::small_model(&cfg);
+    let tr = experiments::run_once(&cfg, &model, Some(FaultKind::Hadoop1036), cfg.base_seed + 9);
+    let r = experiments::score_run(&tr, FaultKind::Hadoop1036);
+    assert!(
+        r.ba_combined > 50.0,
+        "combined path should beat chance on a trace-replay workload, got {}",
+        r.ba_combined
+    );
+    assert!(r.lat_combined.is_some(), "culprit should be fingerpointed");
+}

@@ -6,7 +6,9 @@
 //! exactly. Each test here runs the same workload serially and sharded
 //! and compares with `==`, never with tolerances.
 
-use asdf::experiments::{self, CampaignConfig};
+use std::sync::Arc;
+
+use asdf::experiments::{self, CampaignConfig, Workload};
 use hadoop_sim::faults::FaultKind;
 use integration_tests::support;
 use proptest::prelude::*;
@@ -284,6 +286,118 @@ fn broadcast_heavy_fanout_is_schedule_invariant() {
             assert_eq!(
                 &reference, &got,
                 "broadcast fan-out diverged: seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// A shortened small campaign for the widened-matrix sweeps below: the
+/// 4-fault × thread × batch grid is large, so each run is half the usual
+/// differential length — still several analysis windows and a hundred
+/// seconds of fault exposure per run.
+fn matrix_campaign(engine_threads: usize, batch_size: usize) -> CampaignConfig {
+    CampaignConfig {
+        run_secs: 240,
+        batch_size,
+        metric_rank: true,
+        ..support::small_campaign(engine_threads)
+    }
+}
+
+#[test]
+fn extended_fault_streams_identical_across_threads_and_batches() {
+    // The widened fault matrix rides the same contract: for each new
+    // kind, a (1 thread, batch 1) run is the reference and the full
+    // threads {1,2,4,8} × batch {1,7,64} grid must reproduce every
+    // analysis stream — the metric_rank tap included — bitwise.
+    let base = matrix_campaign(1, 1);
+    let model = support::small_model(&base);
+    for fault in FaultKind::EXTENDED {
+        let reference = support::pipeline_streams(&base, &model, Some(fault), 31);
+        assert_eq!(reference.len(), 4, "metric_rank tap must be present");
+        assert!(
+            reference.iter().all(|s| !s.is_empty()),
+            "reference run must produce output on every tap ({fault:?})"
+        );
+        for threads in [1, 2, 4, 8] {
+            for batch_size in BATCHES {
+                if threads == 1 && batch_size == 1 {
+                    continue; // the reference itself
+                }
+                let cfg = matrix_campaign(threads, batch_size);
+                let got = support::pipeline_streams(&cfg, &model, Some(fault), 31);
+                assert_eq!(
+                    reference, got,
+                    "stream diverged: fault {fault:?}, threads {threads}, batch {batch_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_workload_streams_identical_across_threads_and_batches() {
+    // Trace replay is deterministic by construction; here it must also be
+    // schedule- and batch-invariant end to end, fault-free and under a
+    // ramping fault, with the model trained on the replayed trace itself.
+    let trace = support::sample_trace();
+    let with_trace = |cfg: CampaignConfig| CampaignConfig {
+        workload: Workload::Trace(Arc::clone(&trace)),
+        ..cfg
+    };
+    let base = with_trace(matrix_campaign(1, 1));
+    let model = support::small_model(&base);
+    for fault in [None, Some(FaultKind::FlakyLink)] {
+        let reference = support::pipeline_streams(&base, &model, fault, 47);
+        assert!(
+            reference.iter().all(|s| !s.is_empty()),
+            "trace-replay reference must produce output on every tap ({fault:?})"
+        );
+        for threads in [1, 2, 4, 8] {
+            for batch_size in BATCHES {
+                if threads == 1 && batch_size == 1 {
+                    continue;
+                }
+                let cfg = with_trace(matrix_campaign(threads, batch_size));
+                let got = support::pipeline_streams(&cfg, &model, fault, 47);
+                assert_eq!(
+                    reference, got,
+                    "trace-replay stream diverged: fault {fault:?}, threads {threads}, \
+                     batch {batch_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extended_fault_alarms_and_rankings_identical_under_sharding() {
+    // Campaign-path equality for the new kinds: window scores, alarm
+    // sequences, and the per-node metric rankings must survive the
+    // representative sharded/batched corners.
+    let reference_cfg = matrix_campaign(1, 1);
+    let model = support::small_model(&reference_cfg);
+    for fault in FaultKind::EXTENDED {
+        let reference = experiments::run_once(&reference_cfg, &model, Some(fault), 63);
+        assert!(reference.bb.n_windows() > 0);
+        assert!(
+            reference.metric_ranks.is_some(),
+            "metric_rank campaigns must extract rankings"
+        );
+        for (threads, batch_size) in [(4, 7), (8, 64)] {
+            let cfg = matrix_campaign(threads, batch_size);
+            let got = experiments::run_once(&cfg, &model, Some(fault), 63);
+            assert_eq!(
+                (&reference.bb, &reference.wb, &reference.metric_ranks),
+                (&got.bb, &got.wb, &got.metric_ranks),
+                "campaign trace diverged: fault {fault:?}, threads {threads}, \
+                 batch {batch_size}"
+            );
+            assert_eq!(
+                reference.combined_alarms(),
+                got.combined_alarms(),
+                "combined alarms diverged: fault {fault:?}, threads {threads}, \
+                 batch {batch_size}"
             );
         }
     }
