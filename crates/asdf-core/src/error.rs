@@ -217,6 +217,61 @@ impl fmt::Display for ModuleError {
 
 impl StdError for ModuleError {}
 
+/// An error raised while launching an [`crate::online::OnlineEngine`]
+/// through its builder.
+///
+/// Replaces the stringly `Vec<String>` the builder used to return: each
+/// failure mode is a typed variant, and spawn failures chain the underlying
+/// [`std::io::Error`] through [`StdError::source`], matching the
+/// [`BuildDagError`]/[`RunEngineError`] precedent. (Not `Clone`/`PartialEq`
+/// because `io::Error` is neither.)
+#[derive(Debug)]
+pub enum OnlineStartError {
+    /// One or more requested taps matched no DAG instance.
+    UnknownTaps {
+        /// The tap ids that matched nothing, in registration order.
+        taps: Vec<String>,
+    },
+    /// The configured speed multiplier was not a positive finite number.
+    InvalidSpeed {
+        /// The rejected multiplier.
+        speed: f64,
+    },
+    /// The operating system refused to spawn an engine thread.
+    Spawn {
+        /// The thread that failed to spawn (module instance id or `ticker`).
+        thread: String,
+        /// The OS-level failure.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for OnlineStartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineStartError::UnknownTaps { taps } => {
+                write!(f, "tap(s) match no DAG instance: {}", taps.join(", "))
+            }
+            OnlineStartError::InvalidSpeed { speed } => write!(
+                f,
+                "speed multiplier must be a positive finite number, got {speed}"
+            ),
+            OnlineStartError::Spawn { thread, source } => {
+                write!(f, "failed to spawn engine thread `{thread}`: {source}")
+            }
+        }
+    }
+}
+
+impl StdError for OnlineStartError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            OnlineStartError::Spawn { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 /// A runtime error from engine execution: some module's `run()` failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunEngineError {
@@ -266,6 +321,28 @@ mod tests {
 
         let e = ModuleError::invalid_parameter("size", "must be positive");
         assert_eq!(e.to_string(), "invalid parameter `size`: must be positive");
+    }
+
+    #[test]
+    fn online_start_error_displays_and_chains() {
+        let e = OnlineStartError::UnknownTaps {
+            taps: vec!["ghost".into(), "phantom".into()],
+        };
+        assert_eq!(
+            e.to_string(),
+            "tap(s) match no DAG instance: ghost, phantom"
+        );
+        assert!(e.source().is_none());
+
+        let e = OnlineStartError::InvalidSpeed { speed: -2.0 };
+        assert!(e.to_string().contains("-2"));
+
+        let e = OnlineStartError::Spawn {
+            thread: "ticker".into(),
+            source: std::io::Error::other("no threads left"),
+        };
+        assert!(e.to_string().contains("ticker"));
+        assert!(e.source().is_some());
     }
 
     #[test]

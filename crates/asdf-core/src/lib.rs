@@ -75,7 +75,9 @@ pub mod prelude {
     pub use crate::config::{Config, Connection, InstanceConfig};
     pub use crate::dag::Dag;
     pub use crate::engine::{TapHandle, TickEngine};
-    pub use crate::error::{BuildDagError, ModuleError, ParseConfigError, RunEngineError};
+    pub use crate::error::{
+        BuildDagError, ModuleError, OnlineStartError, ParseConfigError, RunEngineError,
+    };
     pub use crate::module::{
         Envelope, InitCtx, Module, OutputMeta, PortId, RunCtx, RunReason, ScheduleSpec,
     };

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 
 use crate::dag::Dag;
 use crate::engine::TapHandle;
-use crate::error::RunEngineError;
+use crate::error::{OnlineStartError, RunEngineError};
 use crate::module::{Envelope, PortId, RunCtx, RunReason};
 use crate::time::Timestamp;
 use crate::value::Sample;
@@ -45,24 +45,51 @@ enum Cmd {
 /// per-engine atomics for [`OnlineEngine::scheduler_lag_ticks`] and
 /// [`OnlineEngine::tick_overruns`].
 struct SchedulerStats {
+    /// `[online]` for an unlabeled engine, `[online:tenant]` otherwise —
+    /// prefixes every warning so multi-tenant logs stay attributable.
+    tag: String,
     last_lag_ticks: AtomicI64,
+    lag_watermark: AtomicI64,
     overruns: AtomicU64,
     delivered: AtomicU64,
+    catchups: AtomicU64,
     lag_gauge: Arc<asdf_obs::Gauge>,
+    watermark_gauge: Arc<asdf_obs::Gauge>,
     overrun_counter: Arc<asdf_obs::Counter>,
     delivered_counter: Arc<asdf_obs::Counter>,
+    drift_gauge: Arc<asdf_obs::Gauge>,
+    catchup_counter: Arc<asdf_obs::Counter>,
 }
 
 impl SchedulerStats {
-    fn new() -> Self {
+    /// Registers this engine's metric family. An empty `label` keeps the
+    /// historical unsuffixed names; a tenant label suffixes every metric
+    /// with `.<label>` so N engines in one process stay distinguishable.
+    fn new(label: &str) -> Self {
         let reg = asdf_obs::registry();
+        let suffix = if label.is_empty() {
+            String::new()
+        } else {
+            format!(".{label}")
+        };
+        let tag = if label.is_empty() {
+            "online".to_owned()
+        } else {
+            format!("online:{label}")
+        };
         SchedulerStats {
+            tag,
             last_lag_ticks: AtomicI64::new(0),
+            lag_watermark: AtomicI64::new(0),
             overruns: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
-            lag_gauge: reg.gauge("online.scheduler_lag_ticks"),
-            overrun_counter: reg.counter("online.tick_overruns_total"),
-            delivered_counter: reg.counter("online.delivered_total"),
+            catchups: AtomicU64::new(0),
+            lag_gauge: reg.gauge(&format!("online.scheduler_lag_ticks{suffix}")),
+            watermark_gauge: reg.gauge(&format!("online.scheduler_lag_ticks_watermark{suffix}")),
+            overrun_counter: reg.counter(&format!("online.tick_overruns_total{suffix}")),
+            delivered_counter: reg.counter(&format!("online.delivered_total{suffix}")),
+            drift_gauge: reg.gauge(&format!("online.ticker_drift_ticks{suffix}")),
+            catchup_counter: reg.counter(&format!("online.ticker_catchup_total{suffix}")),
         }
     }
 
@@ -81,13 +108,36 @@ impl SchedulerStats {
     fn observe(&self, instance: &str, lag_ticks: i64) {
         self.last_lag_ticks.store(lag_ticks, Ordering::Relaxed);
         self.lag_gauge.set(lag_ticks);
+        let seen = self.lag_watermark.fetch_max(lag_ticks, Ordering::Relaxed);
+        self.watermark_gauge.set(seen.max(lag_ticks));
         if lag_ticks >= 1 {
             let n = self.overruns.fetch_add(1, Ordering::Relaxed) + 1;
             self.overrun_counter.inc();
             if n.is_power_of_two() {
                 eprintln!(
-                    "warning: [online] periodic module `{instance}` started {lag_ticks} tick(s) \
-                     late ({n} overrun(s) so far) — modules are not keeping up with the ticker"
+                    "warning: [{}] periodic module `{instance}` started {lag_ticks} tick(s) \
+                     late ({n} overrun(s) so far) — modules are not keeping up with the ticker",
+                    self.tag
+                );
+            }
+        }
+    }
+
+    /// Records how far the ticker itself drifted behind wall time between
+    /// two wake-ups (0 = on time). A positive drift means the ticker slept
+    /// through whole ticks — the host is overloaded or the tick is shorter
+    /// than the OS can schedule — and the engine is now catching up by
+    /// dispatching the skipped periods late.
+    fn observe_drift(&self, drift_ticks: i64) {
+        self.drift_gauge.set(drift_ticks);
+        if drift_ticks >= 1 {
+            let n = self.catchups.fetch_add(1, Ordering::Relaxed) + 1;
+            self.catchup_counter.inc();
+            if n.is_power_of_two() {
+                eprintln!(
+                    "warning: [{}] ticker drifted {drift_ticks} tick(s) behind wall time \
+                     and is catching up ({n} catch-up(s) so far)",
+                    self.tag
                 );
             }
         }
@@ -117,6 +167,8 @@ pub struct Builder {
     wall_per_tick: Duration,
     taps: Vec<String>,
     batch_size: usize,
+    label: String,
+    speed: f64,
 }
 
 impl Builder {
@@ -124,6 +176,26 @@ impl Builder {
     #[must_use]
     pub fn wall_per_tick(mut self, d: Duration) -> Self {
         self.wall_per_tick = d;
+        self
+    }
+
+    /// Labels this engine's scheduler metrics (`online.*.<label>`) and log
+    /// warnings. The empty default keeps the historical unsuffixed metric
+    /// names; a serve daemon labels each tenant's engine with the tenant id
+    /// so per-tenant lag stays observable as tenant count grows.
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Scales real-time pacing: the effective tick is
+    /// `wall_per_tick / speed` (default 1.0). `2.0` replays twice as fast
+    /// as real time; `0.5` half speed. Rejected at [`Builder::start`] if
+    /// not a positive finite number.
+    #[must_use]
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
         self
     }
 
@@ -155,30 +227,40 @@ impl Builder {
     ///
     /// # Errors
     ///
-    /// Returns the list of tap ids that matched no instance.
-    pub fn start(self) -> Result<OnlineEngine, Vec<String>> {
+    /// Returns [`OnlineStartError::UnknownTaps`] for tap ids that matched
+    /// no instance, [`OnlineStartError::InvalidSpeed`] for a non-positive
+    /// or non-finite speed multiplier, and [`OnlineStartError::Spawn`]
+    /// (chaining the OS error) if a thread failed to launch — already
+    /// spawned threads are stopped and joined before returning.
+    pub fn start(self) -> Result<OnlineEngine, OnlineStartError> {
         let Builder {
             dag,
             wall_per_tick,
             taps,
             batch_size,
+            label,
+            speed,
         } = self;
 
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err(OnlineStartError::InvalidSpeed { speed });
+        }
         let missing: Vec<String> = taps
             .iter()
             .filter(|id| dag.index_of(id).is_none())
             .cloned()
             .collect();
         if !missing.is_empty() {
-            return Err(missing);
+            return Err(OnlineStartError::UnknownTaps { taps: missing });
         }
 
         let clock = WallClock {
             start: Instant::now(),
-            wall_per_tick,
+            wall_per_tick: wall_per_tick.div_f64(speed),
         };
-        let sched = Arc::new(SchedulerStats::new());
+        let sched = Arc::new(SchedulerStats::new(&label));
         let stop = Arc::new(AtomicBool::new(false));
+        let ticker_stop = Arc::new(AtomicBool::new(false));
         let first_error: Arc<Mutex<Option<RunEngineError>>> = Arc::new(Mutex::new(None));
 
         let n = dag.len();
@@ -196,8 +278,39 @@ impl Builder {
             .iter()
             .map(|node| node.schedule.periodic.map(|p| p.as_secs().max(1)))
             .collect();
+        // Node-level fan-out edges, kept for graceful shutdown: flushing
+        // stops instances in topological order so every upstream's final
+        // envelopes are already enqueued when the downstream's Stop lands.
+        let downstream_map: Vec<Vec<usize>> = dag
+            .nodes
+            .iter()
+            .map(|node| {
+                let mut dsts: Vec<usize> = node
+                    .routes
+                    .iter()
+                    .flat_map(|targets| targets.iter().map(|&(dst, _)| dst))
+                    .collect();
+                dsts.sort_unstable();
+                dsts.dedup();
+                dsts
+            })
+            .collect();
 
-        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(n + 1);
+        // Abort a partially spawned engine: released threads see the stop
+        // flag (or a Stop command) and exit; join them all before failing.
+        let abort_spawned =
+            |node_handles: &mut Vec<Option<JoinHandle<()>>>, thread: String, source| {
+                stop.store(true, Ordering::Relaxed);
+                for tx in &senders {
+                    let _ = tx.send(Cmd::Stop);
+                }
+                for handle in node_handles.iter_mut().filter_map(Option::take) {
+                    let _ = handle.join();
+                }
+                OnlineStartError::Spawn { thread, source }
+            };
+
+        let mut node_handles: Vec<Option<JoinHandle<()>>> = (0..n).map(|_| None).collect();
         for (idx, node) in dag.nodes.into_iter().enumerate().rev() {
             let rx = receivers.pop().expect("one receiver per node");
             debug_assert_eq!(receivers.len(), idx);
@@ -218,6 +331,7 @@ impl Builder {
             } else {
                 Vec::new()
             };
+            let id = node.id.clone();
             let stop = Arc::clone(&stop);
             let first_error = Arc::clone(&first_error);
             let span = SpanHandle::new(
@@ -227,8 +341,8 @@ impl Builder {
             );
             let node_clock = clock.clone();
             let node_sched = Arc::clone(&sched);
-            let handle = std::thread::Builder::new()
-                .name(format!("asdf-{}", node.id))
+            let spawned = std::thread::Builder::new()
+                .name(format!("asdf-{id}"))
                 .spawn(move || {
                     node_thread(
                         node,
@@ -242,24 +356,37 @@ impl Builder {
                         span,
                         batch_size,
                     );
-                })
-                .expect("spawn module thread");
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => node_handles[idx] = Some(handle),
+                Err(source) => return Err(abort_spawned(&mut node_handles, id, source)),
+            }
         }
 
-        // Ticker thread: wakes every wall_per_tick and dispatches Periodic
-        // commands to due instances.
-        {
+        // Ticker thread: wakes every effective tick and dispatches Periodic
+        // commands to due instances. Obeys its own stop flag so a graceful
+        // shutdown can quiesce the clock without aborting module threads.
+        let ticker_handle = {
             let senders = senders.clone();
             let clock = clock.clone();
             let stop = Arc::clone(&stop);
-            let handle = std::thread::Builder::new()
+            let ticker_stop = Arc::clone(&ticker_stop);
+            let sched = Arc::clone(&sched);
+            let spawned = std::thread::Builder::new()
                 .name("asdf-ticker".to_owned())
                 .spawn(move || {
                     let mut next_due: Vec<Option<u64>> =
                         periods.iter().map(|p| p.as_ref().map(|_| 0u64)).collect();
-                    while !stop.load(Ordering::Relaxed) {
+                    let mut last_seen: Option<u64> = None;
+                    while !stop.load(Ordering::Relaxed) && !ticker_stop.load(Ordering::Relaxed) {
                         let now = clock.now();
+                        // Drift: a wake-up normally advances the clock by at
+                        // most one tick (we sleep a quarter tick). Jumping
+                        // further means whole ticks were slept through.
+                        if let Some(prev) = last_seen {
+                            sched.observe_drift(now.as_secs().saturating_sub(prev + 1) as i64);
+                        }
+                        last_seen = Some(now.as_secs());
                         for (idx, due) in next_due.iter_mut().enumerate() {
                             if let Some(due_at) = due {
                                 if *due_at <= now.as_secs() {
@@ -271,15 +398,26 @@ impl Builder {
                         }
                         std::thread::sleep(clock.wall_per_tick / 4);
                     }
-                })
-                .expect("spawn ticker thread");
-            handles.push(handle);
-        }
+                });
+            match spawned {
+                Ok(handle) => handle,
+                Err(source) => {
+                    return Err(abort_spawned(
+                        &mut node_handles,
+                        "ticker".to_owned(),
+                        source,
+                    ))
+                }
+            }
+        };
 
         Ok(OnlineEngine {
             senders,
-            handles,
+            node_handles,
+            ticker_handle: Some(ticker_handle),
+            downstream_map,
             stop,
+            ticker_stop,
             first_error,
             tap_handles,
             clock,
@@ -445,12 +583,48 @@ fn node_thread(
 /// Created through [`OnlineEngine::builder`]. Dropping the engine stops it.
 pub struct OnlineEngine {
     senders: Vec<Sender<Cmd>>,
-    handles: Vec<JoinHandle<()>>,
+    node_handles: Vec<Option<JoinHandle<()>>>,
+    ticker_handle: Option<JoinHandle<()>>,
+    downstream_map: Vec<Vec<usize>>,
     stop: Arc<AtomicBool>,
+    ticker_stop: Arc<AtomicBool>,
     first_error: Arc<Mutex<Option<RunEngineError>>>,
     tap_handles: HashMap<String, TapHandle>,
     clock: WallClock,
     sched: Arc<SchedulerStats>,
+}
+
+/// Kahn's topological order over node-level fan-out edges. A built [`Dag`]
+/// is acyclic, but the order stays total regardless (stragglers append at
+/// the end) so shutdown always reaches every node.
+fn topo_order(downstream: &[Vec<usize>]) -> Vec<usize> {
+    use std::collections::VecDeque;
+    let n = downstream.len();
+    let mut indegree = vec![0usize; n];
+    for dsts in downstream {
+        for &d in dsts {
+            indegree[d] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        seen[i] = true;
+        for &d in &downstream[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    for (i, s) in seen.into_iter().enumerate() {
+        if !s {
+            order.push(i);
+        }
+    }
+    order
 }
 
 impl OnlineEngine {
@@ -461,6 +635,8 @@ impl OnlineEngine {
             wall_per_tick: Duration::from_secs(1),
             taps: Vec::new(),
             batch_size: 1,
+            label: String::new(),
+            speed: 1.0,
         }
     }
 
@@ -491,6 +667,19 @@ impl OnlineEngine {
         self.sched.last_lag_ticks.load(Ordering::Relaxed)
     }
 
+    /// The worst scheduler lag observed over this engine's lifetime, in
+    /// ticks — the soak gate's "lag stays bounded" number (also exported as
+    /// the `online.scheduler_lag_ticks_watermark[.<label>]` gauge).
+    pub fn scheduler_lag_watermark(&self) -> i64 {
+        self.sched.lag_watermark.load(Ordering::Relaxed)
+    }
+
+    /// How many ticker wake-ups found that whole ticks had been slept
+    /// through (wall-time drift the ticker then caught up on).
+    pub fn ticker_catchups(&self) -> u64 {
+        self.sched.catchups.load(Ordering::Relaxed)
+    }
+
     /// Envelopes dequeued from module mailboxes so far, across all module
     /// threads of this engine — the online pipeline's throughput figure.
     /// (The global `online.delivered_total` counter aggregates the same
@@ -500,6 +689,11 @@ impl OnlineEngine {
     }
 
     /// Stops all threads and joins them.
+    ///
+    /// Abortive: module threads exit at the next command without draining
+    /// their mailboxes, so in-flight envelopes may be dropped. Use
+    /// [`OnlineEngine::flush_and_stop`] when every delivered sample must
+    /// reach its consumers first.
     ///
     /// # Errors
     ///
@@ -512,12 +706,48 @@ impl OnlineEngine {
         }
     }
 
+    /// Stops the engine gracefully, flushing in-flight envelopes.
+    ///
+    /// The ticker is quiesced first (no new periodic work), then module
+    /// threads are stopped in topological order: because each mailbox is
+    /// FIFO, a node's Stop command queues behind every envelope its
+    /// already-stopped upstreams emitted, so the node consumes its whole
+    /// backlog (running whenever its trigger is met) before exiting.
+    /// Envelopes left below a trigger threshold are dropped, exactly as a
+    /// running engine would never have fired on them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first module failure observed during the run, if any.
+    /// After a failure the flush degenerates to the abortive path (the
+    /// failed engine is already tearing down).
+    pub fn flush_and_stop(mut self) -> Result<(), RunEngineError> {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.ticker_handle.take() {
+            let _ = handle.join();
+        }
+        for idx in topo_order(&self.downstream_map) {
+            let _ = self.senders[idx].send(Cmd::Stop);
+            if let Some(handle) = self.node_handles[idx].take() {
+                let _ = handle.join();
+            }
+        }
+        match self.first_error.lock().take() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.ticker_stop.store(true, Ordering::Relaxed);
         for tx in &self.senders {
             let _ = tx.send(Cmd::Stop);
         }
-        for handle in self.handles.drain(..) {
+        if let Some(handle) = self.ticker_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.node_handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
     }
@@ -728,6 +958,94 @@ mod tests {
             .start()
             .map(|_| ())
             .unwrap_err();
-        assert_eq!(err, ["ghost"]);
+        match err {
+            OnlineStartError::UnknownTaps { taps } => assert_eq!(taps, ["ghost"]),
+            other => panic!("expected UnknownTaps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_positive_or_non_finite_speed_is_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = OnlineEngine::builder(dag("[source]\nid = s\n"))
+                .speed(bad)
+                .start()
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, OnlineStartError::InvalidSpeed { .. }),
+                "speed {bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn speed_multiplier_compresses_wall_time() {
+        // 40 ms per tick at 8x => 5 ms effective; after 100 ms the clock
+        // must have advanced well past what 40 ms ticks would allow.
+        let engine = OnlineEngine::builder(dag("[source]\nid = s\n"))
+            .wall_per_tick(Duration::from_millis(40))
+            .speed(8.0)
+            .start()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let now = engine.now();
+        engine.stop().unwrap();
+        assert!(
+            now.as_secs() >= 5,
+            "expected >= 5 compressed ticks, got {}",
+            now.as_secs()
+        );
+    }
+
+    #[test]
+    fn flush_and_stop_delivers_every_inflight_envelope() {
+        // Abortive stop may drop envelopes queued between source and
+        // doubler; graceful flush must not: after flushing, the doubler's
+        // output is exactly the source's output doubled, element for
+        // element — no truncated tail.
+        let engine = OnlineEngine::builder(dag(
+            "[source]\nid = s\n\n[doubler]\nid = d\ninput[i] = s.out\n",
+        ))
+        .wall_per_tick(Duration::from_millis(5))
+        .tap("s")
+        .tap("d")
+        .start()
+        .unwrap();
+
+        std::thread::sleep(Duration::from_millis(100));
+        let src = engine.tap_handle("s").unwrap().clone();
+        let dst = engine.tap_handle("d").unwrap().clone();
+        engine.flush_and_stop().unwrap();
+
+        let produced: Vec<i64> = src
+            .drain()
+            .iter()
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        let consumed: Vec<i64> = dst
+            .drain()
+            .iter()
+            .map(|e| e.sample.value.as_int().unwrap())
+            .collect();
+        assert!(produced.len() >= 5, "expected several samples");
+        let doubled: Vec<i64> = produced.iter().map(|v| v * 2).collect();
+        assert_eq!(consumed, doubled, "flush lost in-flight envelopes");
+    }
+
+    #[test]
+    fn lag_watermark_tracks_worst_observed_lag() {
+        let engine = OnlineEngine::builder(dag("[sleeper]\nid = slow\n"))
+            .wall_per_tick(Duration::from_millis(5))
+            .label("wmtest")
+            .start()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let watermark = engine.scheduler_lag_watermark();
+        engine.stop().unwrap();
+        assert!(
+            watermark >= 1,
+            "expected positive watermark, got {watermark}"
+        );
     }
 }

@@ -20,7 +20,41 @@
 use asdf_core::error::ModuleError;
 use asdf_core::module::{InitCtx, Module, PortId, RunCtx, RunReason};
 use asdf_core::time::TickDuration;
-use asdf_rpc::daemons::{ClusterHandle, HadoopLogRpcd, LogDaemon, SadcRpcd, StraceRpcd};
+use asdf_rpc::daemons::{ClusterHandle, Collector, HadoopLogRpcd, LogDaemon, SadcRpcd, StraceRpcd};
+
+/// Shared collector scheduling: free-run once per second without a clock
+/// input, trigger per pulse with one.
+fn schedule_collector(ctx: &mut InitCtx<'_>, kind: &str) -> Result<(), ModuleError> {
+    match ctx.input_slots().len() {
+        0 => ctx.request_periodic(TickDuration::SECOND),
+        1 => ctx.set_input_trigger(1),
+        n => {
+            return Err(ModuleError::BadInputs(format!(
+                "{kind} takes at most one clock input, got {n}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Shared collector run body: consume the clock pulse, poll the daemon
+/// through the generic [`Collector`] contract, and emit the value vector
+/// columnar (consecutive snapshots pack into one row block under a
+/// batching engine instead of one `Vec`-allocating envelope per poll).
+fn poll_collector(
+    daemon: &mut (dyn Collector + Send),
+    ctx: &mut RunCtx<'_>,
+    out: PortId,
+) -> Result<(), ModuleError> {
+    ctx.discard_pending();
+    let snap = daemon
+        .poll_sample()
+        .map_err(|e| ModuleError::Other(format!("{}_rpcd poll failed: {e}", daemon.kind())))?;
+    if let Some(snap) = snap {
+        ctx.emit_row(out, &snap.values);
+    }
+    Ok(())
+}
 
 /// Advances the simulated cluster one second per engine tick and emits a
 /// clock pulse that downstream collectors trigger on.
@@ -54,7 +88,7 @@ impl Module for ClusterDriver {
 /// The black-box collector: polls `sadc_rpcd` for one node's metric vector.
 pub struct Sadc {
     cluster: ClusterHandle,
-    daemon: Option<SadcRpcd>,
+    daemon: Option<Box<dyn Collector + Send>>,
     out: Option<PortId>,
 }
 
@@ -83,32 +117,13 @@ impl Module for Sadc {
             .map_err(|e| ModuleError::Other(format!("sadc_rpcd connect failed: {e}")))?;
         let origin = self.cluster.slave_name(node);
         self.out = Some(ctx.declare_output_with_origin("output0", origin));
-        self.daemon = Some(daemon);
-        match ctx.input_slots().len() {
-            0 => ctx.request_periodic(TickDuration::SECOND),
-            1 => ctx.set_input_trigger(1),
-            n => {
-                return Err(ModuleError::BadInputs(format!(
-                    "sadc takes at most one clock input, got {n}"
-                )))
-            }
-        }
-        Ok(())
+        self.daemon = Some(Box::new(daemon));
+        schedule_collector(ctx, "sadc")
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        ctx.discard_pending(); // consume the clock pulse, if wired
         let daemon = self.daemon.as_mut().expect("initialized");
-        let snap = daemon
-            .poll()
-            .map_err(|e| ModuleError::Other(format!("sadc_rpcd poll failed: {e}")))?;
-        if let Some(snap) = snap {
-            // Columnar emission: under a batching engine consecutive
-            // snapshots pack into one row block instead of one
-            // `Vec`-allocating envelope per poll.
-            ctx.emit_row(self.out.unwrap(), &snap.values);
-        }
-        Ok(())
+        poll_collector(daemon.as_mut(), ctx, self.out.unwrap())
     }
 }
 
@@ -116,7 +131,7 @@ impl Module for Sadc {
 /// counts from one daemon's log.
 pub struct HadoopLog {
     cluster: ClusterHandle,
-    daemon: Option<HadoopLogRpcd>,
+    daemon: Option<Box<dyn Collector + Send>>,
     out: Option<PortId>,
 }
 
@@ -154,27 +169,13 @@ impl Module for HadoopLog {
             .map_err(|e| ModuleError::Other(format!("hadoop_log_rpcd connect failed: {e}")))?;
         let origin = self.cluster.slave_name(node);
         self.out = Some(ctx.declare_output_with_origin("output0", origin));
-        self.daemon = Some(daemon);
-        match ctx.input_slots().len() {
-            0 => ctx.request_periodic(TickDuration::SECOND),
-            1 => ctx.set_input_trigger(1),
-            n => {
-                return Err(ModuleError::BadInputs(format!(
-                    "hadoop_log takes at most one clock input, got {n}"
-                )))
-            }
-        }
-        Ok(())
+        self.daemon = Some(Box::new(daemon));
+        schedule_collector(ctx, "hadoop_log")
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        ctx.discard_pending();
         let daemon = self.daemon.as_mut().expect("initialized");
-        let snap = daemon
-            .poll()
-            .map_err(|e| ModuleError::Other(format!("hadoop_log_rpcd poll failed: {e}")))?;
-        ctx.emit_row(self.out.unwrap(), &snap.counts);
-        Ok(())
+        poll_collector(daemon.as_mut(), ctx, self.out.unwrap())
     }
 }
 
@@ -187,7 +188,7 @@ impl Module for HadoopLog {
 /// peers.
 pub struct Strace {
     cluster: ClusterHandle,
-    daemon: Option<StraceRpcd>,
+    daemon: Option<Box<dyn Collector + Send>>,
     out: Option<PortId>,
 }
 
@@ -215,29 +216,13 @@ impl Module for Strace {
             .map_err(|e| ModuleError::Other(format!("strace_rpcd connect failed: {e}")))?;
         let origin = self.cluster.slave_name(node);
         self.out = Some(ctx.declare_output_with_origin("output0", origin));
-        self.daemon = Some(daemon);
-        match ctx.input_slots().len() {
-            0 => ctx.request_periodic(TickDuration::SECOND),
-            1 => ctx.set_input_trigger(1),
-            n => {
-                return Err(ModuleError::BadInputs(format!(
-                    "strace takes at most one clock input, got {n}"
-                )))
-            }
-        }
-        Ok(())
+        self.daemon = Some(Box::new(daemon));
+        schedule_collector(ctx, "strace")
     }
 
     fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
-        ctx.discard_pending();
         let daemon = self.daemon.as_mut().expect("initialized");
-        let snap = daemon
-            .poll()
-            .map_err(|e| ModuleError::Other(format!("strace_rpcd poll failed: {e}")))?;
-        if let Some(snap) = snap {
-            ctx.emit_row(self.out.unwrap(), &snap.counts);
-        }
-        Ok(())
+        poll_collector(daemon.as_mut(), ctx, self.out.unwrap())
     }
 }
 

@@ -81,6 +81,50 @@ impl std::fmt::Debug for ClusterHandle {
     }
 }
 
+/// One decoded sample from any collector daemon, in the shape every kind
+/// shares: a simulation timestamp plus a flat `f64` vector (metrics, state
+/// counts, or syscall counts, depending on the kind).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorSample {
+    /// Simulation time of the sample.
+    pub timestamp: u64,
+    /// The kind-specific value vector.
+    pub values: Vec<f64>,
+}
+
+/// The shared contract of the collector RPC daemons.
+///
+/// Every daemon kind does the same four things per second — poll the
+/// monitored system, encode the response onto the accounted wire, account
+/// the bytes, decode it back — and differs only in *what* it samples. The
+/// trait lets the serve loop and the batch pipeline drive any kind
+/// generically; [`SadcRpcd`], [`HadoopLogRpcd`], and [`StraceRpcd`] remain
+/// the concrete types (their inherent `poll` methods keep the
+/// kind-specific snapshot types for callers that want them).
+pub trait Collector {
+    /// Short kind name (`sadc`, `hadoop_log`, `strace`) for metric names
+    /// and error messages.
+    fn kind(&self) -> &'static str;
+
+    /// The slave node index this daemon monitors.
+    fn node(&self) -> usize;
+
+    /// Polls one second of data in the kind-agnostic shape. Returns
+    /// `Ok(None)` when the monitored source has produced nothing yet
+    /// (e.g. before the first simulation tick).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the response fails to decode.
+    fn poll_sample(&mut self) -> Result<Option<CollectorSample>, WireError>;
+
+    /// Bandwidth accounting for Table 4.
+    fn bandwidth(&self) -> BandwidthStats;
+
+    /// Closes the connection.
+    fn close(&mut self);
+}
+
 /// One second of black-box samples from a `sadc_rpcd` poll.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SadcSnapshot {
@@ -478,6 +522,84 @@ impl StraceRpcd {
     }
 }
 
+impl Collector for SadcRpcd {
+    fn kind(&self) -> &'static str {
+        "sadc"
+    }
+
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn poll_sample(&mut self) -> Result<Option<CollectorSample>, WireError> {
+        Ok(self.poll()?.map(|s| CollectorSample {
+            timestamp: s.timestamp,
+            values: s.values,
+        }))
+    }
+
+    fn bandwidth(&self) -> BandwidthStats {
+        SadcRpcd::bandwidth(self)
+    }
+
+    fn close(&mut self) {
+        SadcRpcd::close(self);
+    }
+}
+
+impl Collector for HadoopLogRpcd {
+    fn kind(&self) -> &'static str {
+        "hadoop_log"
+    }
+
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn poll_sample(&mut self) -> Result<Option<CollectorSample>, WireError> {
+        // The log daemon always has a sample: an idle second is a vector
+        // of zero counts, not an absence of data.
+        let s = self.poll()?;
+        Ok(Some(CollectorSample {
+            timestamp: s.timestamp,
+            values: s.counts,
+        }))
+    }
+
+    fn bandwidth(&self) -> BandwidthStats {
+        HadoopLogRpcd::bandwidth(self)
+    }
+
+    fn close(&mut self) {
+        HadoopLogRpcd::close(self);
+    }
+}
+
+impl Collector for StraceRpcd {
+    fn kind(&self) -> &'static str {
+        "strace"
+    }
+
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn poll_sample(&mut self) -> Result<Option<CollectorSample>, WireError> {
+        Ok(self.poll()?.map(|s| CollectorSample {
+            timestamp: s.timestamp,
+            values: s.counts,
+        }))
+    }
+
+    fn bandwidth(&self) -> BandwidthStats {
+        StraceRpcd::bandwidth(self)
+    }
+
+    fn close(&mut self) {
+        StraceRpcd::close(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +709,46 @@ mod tests {
         assert_eq!(h.now(), 2);
         assert_eq!(h2.n_slaves(), 2);
         assert_eq!(h.slave_name(1), "slave01");
+    }
+
+    #[test]
+    fn every_daemon_kind_drives_through_the_collector_trait() {
+        // The generic contract: all three kinds poll through one vtable
+        // and their samples agree with the kind-specific inherent polls.
+        let h = handle(3, 7);
+        let mut collectors: Vec<Box<dyn Collector + Send>> = vec![
+            Box::new(SadcRpcd::connect(h.clone(), 1).unwrap()),
+            Box::new(HadoopLogRpcd::connect(h.clone(), 1, LogDaemon::TaskTracker).unwrap()),
+            Box::new(StraceRpcd::connect(h.clone(), 1).unwrap()),
+        ];
+        assert_eq!(
+            collectors.iter().map(|c| c.kind()).collect::<Vec<_>>(),
+            ["sadc", "hadoop_log", "strace"]
+        );
+        assert!(collectors.iter().all(|c| c.node() == 1));
+        h.with(|c| c.advance(30));
+        for c in &mut collectors {
+            let s = c.poll_sample().unwrap().expect("sample after 30 ticks");
+            assert_eq!(s.timestamp, 29, "{} timestamp", c.kind());
+            assert!(!s.values.is_empty(), "{} values", c.kind());
+            assert!(c.bandwidth().iterations >= 1, "{} accounted", c.kind());
+            c.close();
+        }
+    }
+
+    #[test]
+    fn trait_poll_matches_inherent_poll() {
+        let h = handle(2, 11);
+        let mut a = SadcRpcd::connect(h.clone(), 0).unwrap();
+        let mut b = SadcRpcd::connect(h.clone(), 0).unwrap();
+        h.tick();
+        let inherent = a.poll().unwrap().unwrap();
+        let generic = (&mut b as &mut dyn Collector)
+            .poll_sample()
+            .unwrap()
+            .unwrap();
+        assert_eq!(inherent.timestamp, generic.timestamp);
+        assert_eq!(inherent.values, generic.values);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! * [`transport`] — per-connection byte accounting (static overhead vs
 //!   per-iteration bandwidth — exactly the two columns of the paper's
 //!   Table 4);
-//! * [`daemons`] — [`daemons::SadcRpcd`] and [`daemons::HadoopLogRpcd`],
-//!   which fully encode and decode every poll over the accounted wire;
+//! * [`daemons`] — [`daemons::SadcRpcd`], [`daemons::HadoopLogRpcd`], and
+//!   [`daemons::StraceRpcd`], which fully encode and decode every poll
+//!   over the accounted wire, all driven generically through the
+//!   [`daemons::Collector`] trait (poll → encode → account → decode);
 //! * [`meter`] — process CPU/RSS measurement for the Table 3 overhead
 //!   experiment.
 //!
@@ -38,7 +40,8 @@ pub mod transport;
 pub mod wire;
 
 pub use daemons::{
-    ClusterHandle, HadoopLogRpcd, LogDaemon, LogSnapshot, SadcRpcd, SadcSnapshot, StraceRpcd,
-    StraceSnapshot,
+    ClusterHandle, Collector, CollectorSample, HadoopLogRpcd, LogDaemon, LogSnapshot, SadcRpcd,
+    SadcSnapshot, StraceRpcd, StraceSnapshot,
 };
 pub use transport::{BandwidthStats, Connection};
+pub use wire::{Handshake, WireError, WIRE_VERSION};

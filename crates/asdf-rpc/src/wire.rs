@@ -7,7 +7,17 @@
 //! it is also exercised end-to-end by the collectors, which decode every
 //! message they "receive".
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
+
+pub use bytes::Bytes;
+
+/// The wire protocol version this build speaks.
+///
+/// The first payload byte of every session [`Handshake`] carries the
+/// sender's version; a receiver that sees any other value rejects the
+/// session with [`WireError::VersionMismatch`] before touching the rest of
+/// the frame, so the encoding after the version byte is free to evolve.
+pub const WIRE_VERSION: u8 = 1;
 
 /// An error while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +33,14 @@ pub enum WireError {
         /// Bytes actually present.
         available: usize,
     },
+    /// A session handshake announced a protocol version this build does
+    /// not speak.
+    VersionMismatch {
+        /// The version this build speaks ([`WIRE_VERSION`]).
+        ours: u8,
+        /// The version the peer announced.
+        theirs: u8,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -37,11 +55,67 @@ impl std::fmt::Display for WireError {
                 f,
                 "message length prefix promised {expected} bytes but {available} are available"
             ),
+            WireError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "peer speaks wire version {theirs} but this build speaks version {ours}"
+            ),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// The session-opening handshake: a version byte plus the tenant id.
+///
+/// A monitored cluster ("tenant") opens its stream to the serve daemon
+/// with exactly one handshake frame; everything after it is collector
+/// data. The version byte travels first so that a future incompatible
+/// encoding only needs the receiver to read one byte before rejecting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    /// Protocol version the sender speaks.
+    pub version: u8,
+    /// The tenant (monitored cluster) this session belongs to.
+    pub tenant: String,
+}
+
+impl Handshake {
+    /// A handshake at this build's [`WIRE_VERSION`] for `tenant`.
+    pub fn new(tenant: impl Into<String>) -> Self {
+        Handshake {
+            version: WIRE_VERSION,
+            tenant: tenant.into(),
+        }
+    }
+
+    /// Encodes the handshake as one framed wire message.
+    pub fn encode(&self) -> Bytes {
+        let mut b = MessageBuilder::new();
+        b.put_u8(self.version);
+        b.put_str(&self.tenant);
+        b.finish()
+    }
+
+    /// Decodes and validates a handshake frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::VersionMismatch`] (naming both versions) when
+    /// the peer's version byte differs from [`WIRE_VERSION`]; framing and
+    /// string errors propagate as the usual [`WireError`] variants.
+    pub fn decode(framed: Bytes) -> Result<Self, WireError> {
+        let mut r = MessageReader::new(framed)?;
+        let version = r.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::VersionMismatch {
+                ours: WIRE_VERSION,
+                theirs: version,
+            });
+        }
+        let tenant = r.get_str()?;
+        Ok(Handshake { version, tenant })
+    }
+}
 
 /// Incrementally builds one wire message.
 #[derive(Debug, Default)]
@@ -286,6 +360,46 @@ mod tests {
         b.put_f64_slice(&[]);
         let mut r = MessageReader::new(b.finish()).unwrap();
         assert_eq!(r.get_f64_slice().unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        let hello = Handshake::new("tenant-03");
+        assert_eq!(hello.version, WIRE_VERSION);
+        let decoded = Handshake::decode(hello.encode()).unwrap();
+        assert_eq!(decoded, hello);
+        assert_eq!(decoded.tenant, "tenant-03");
+    }
+
+    #[test]
+    fn handshake_rejects_unknown_version_naming_both() {
+        let mut b = MessageBuilder::new();
+        b.put_u8(WIRE_VERSION + 41);
+        b.put_str("tenant-x");
+        let err = Handshake::decode(b.finish()).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::VersionMismatch {
+                ours: WIRE_VERSION,
+                theirs: WIRE_VERSION + 41
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&WIRE_VERSION.to_string())
+                && msg.contains(&(WIRE_VERSION + 41).to_string()),
+            "message must name both versions: {msg}"
+        );
+    }
+
+    #[test]
+    fn handshake_rejects_truncated_frames() {
+        let mut b = MessageBuilder::new();
+        b.put_u8(WIRE_VERSION); // version byte but no tenant string
+        assert_eq!(
+            Handshake::decode(b.finish()).unwrap_err(),
+            WireError::UnexpectedEof
+        );
     }
 
     #[test]

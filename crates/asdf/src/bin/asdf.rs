@@ -16,6 +16,14 @@
 //!   is captured as a span and written as Chrome `trace_event` JSON —
 //!   loadable in `chrome://tracing` or Perfetto. Each campaign subcommand
 //!   ends with the instrumentation summary table on stderr.
+//! * `serve [--tenants N] [--flood F] [--slaves N] [--secs S] [--seed X]
+//!   [--tick-ms MS] [--speed F] [--queue-cap N] [--window W]
+//!   [--threshold T] [--k K] [--batch-size B]` — the long-lived
+//!   multi-tenant diagnosis daemon: trains a workload model, then serves
+//!   `N` monitored clusters streaming collector frames concurrently
+//!   (`F` of them flooding at max rate) until every tenant finishes its
+//!   `--secs` collection steps; prints the per-tenant soak report
+//!   (alarms, shed frames, scheduler-lag watermark).
 //! * `perfwatch [--history PATH] [--report PATH] [--json PATH]
 //!   [--permutations N] [--pvalue P] [--min-segment N] [--no-dogfood]` —
 //!   the dogfooded perf-regression watchdog: loads the BENCH history
@@ -53,7 +61,7 @@ use hadoop_sim::faults::{FaultKind, FaultSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: asdf <demo|dump-config|run-config|fig7|fig6|ablate> [options]\n\
+        "usage: asdf <demo|dump-config|run-config|fig7|fig6|ablate|serve> [options]\n\
          \n\
          asdf demo        [--fault NAME] [--slaves N] [--secs S] [--seed X]\n\
          asdf dump-config [--slaves N]\n\
@@ -62,6 +70,9 @@ fn usage() -> ! {
          \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
          \x20                     [--engine-threads N] [--batch-size B] [--trace-out PATH]\n\
          \x20                     [--workload gridmix|trace:PATH] [--metric-rank]\n\
+         asdf serve       [--tenants N] [--flood F] [--slaves N] [--secs S]\n\
+         \x20                [--seed X] [--tick-ms MS] [--speed F] [--queue-cap N]\n\
+         \x20                [--window W] [--threshold T] [--k K] [--batch-size B]\n\
          asdf perfwatch   [--history PATH] [--report PATH] [--json PATH]\n\
          \x20                [--permutations N] [--pvalue P] [--min-segment N]\n\
          \x20                [--seed X] [--no-dogfood]\n\
@@ -110,6 +121,11 @@ struct Opts {
     pvalue: Option<f64>,
     min_segment: Option<usize>,
     no_dogfood: bool,
+    tenants: usize,
+    flood: usize,
+    tick_ms: u64,
+    speed: f64,
+    queue_cap: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -136,6 +152,11 @@ fn parse_opts(args: &[String]) -> Opts {
         pvalue: None,
         min_segment: None,
         no_dogfood: false,
+        tenants: 4,
+        flood: 0,
+        tick_ms: 1000,
+        speed: 1.0,
+        queue_cap: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -177,6 +198,13 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.min_segment = Some(val("--min-segment").parse().unwrap_or_else(|_| usage()));
             }
             "--no-dogfood" => o.no_dogfood = true,
+            "--tenants" => o.tenants = val("--tenants").parse().unwrap_or_else(|_| usage()),
+            "--flood" => o.flood = val("--flood").parse().unwrap_or_else(|_| usage()),
+            "--tick-ms" => o.tick_ms = val("--tick-ms").parse().unwrap_or_else(|_| usage()),
+            "--speed" => o.speed = val("--speed").parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => {
+                o.queue_cap = Some(val("--queue-cap").parse().unwrap_or_else(|_| usage()));
+            }
             other if !other.starts_with("--") && o.file.is_none() => {
                 o.file = Some(other.to_owned());
             }
@@ -482,6 +510,91 @@ fn cmd_ablate(cfg: &CampaignConfig) {
     }
 }
 
+fn cmd_serve(o: Opts) {
+    use asdf::serve::{ServeDaemon, ServeOptions, TenantSpec};
+    use asdf_rpc::wire::Handshake;
+    use std::time::Duration;
+
+    let slaves = o.slaves.unwrap_or(4);
+    let steps = o.secs.unwrap_or(240);
+    let flood = o.flood.min(o.tenants);
+    let window = o.window.unwrap_or(60);
+    let train_cfg = CampaignConfig {
+        slaves,
+        base_seed: o.seed,
+        ..CampaignConfig::smoke()
+    };
+    eprintln!(
+        "[serve] training workload model ({} nodes x {} s fault-free)...",
+        train_cfg.slaves, train_cfg.training_secs
+    );
+    let model = experiments::train_model(&train_cfg);
+    let opts = ServeOptions {
+        slaves,
+        wall_per_tick: Duration::from_millis(o.tick_ms),
+        speed: o.speed,
+        window,
+        slide: window,
+        threshold: o.threshold.unwrap_or(60.0),
+        wb_k: o.k.unwrap_or(3.0),
+        batch_size: o.batch_size.unwrap_or(64),
+        ..ServeOptions::default()
+    };
+    let opts = match o.queue_cap {
+        Some(cap) => ServeOptions {
+            queue_capacity: cap,
+            ..opts
+        },
+        None => opts,
+    };
+    let mut daemon = ServeDaemon::new(model, opts);
+    eprintln!(
+        "[serve] serving {} tenant(s) ({flood} flooding) x {steps} step(s) at {}x pacing, \
+         {} ms/tick",
+        o.tenants, o.speed, o.tick_ms
+    );
+    let mut names = Vec::new();
+    for i in 0..o.tenants {
+        let name = format!("tenant{i:02}");
+        let seed = o.seed + i as u64;
+        let spec = if i < flood {
+            TenantSpec::flooding(seed, steps)
+        } else {
+            TenantSpec::paced(seed, steps)
+        };
+        if let Err(e) = daemon.join_tenant(Handshake::new(&name).encode(), spec) {
+            eprintln!("cannot join {name}: {e}");
+            std::process::exit(1);
+        }
+        names.push(name);
+    }
+    for name in &names {
+        if !daemon.wait_idle(name, Duration::from_secs(steps * o.tick_ms / 500 + 60)) {
+            eprintln!("warning: [serve] tenant {name} did not go idle; flushing anyway");
+        }
+    }
+    let reports = daemon.shutdown().unwrap_or_else(|e| {
+        eprintln!("serve shutdown failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>6} {:>10} {:>9}",
+        "tenant", "bb", "wb_tt", "wb_st", "shed", "delivered", "lag_max"
+    );
+    for r in &reports {
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>6} {:>10} {:>9}",
+            r.tenant,
+            r.bb_alarms.len(),
+            r.wb_tt_alarms.len(),
+            r.wb_st_alarms.len(),
+            r.shed,
+            r.delivered,
+            r.lag_watermark
+        );
+    }
+}
+
 fn cmd_perfwatch(o: Opts) {
     use asdf::perfwatch::{self, AnalyzeOptions};
     let path = o.history.as_deref().unwrap_or("BENCH_history.jsonl");
@@ -576,6 +689,7 @@ fn main() {
         "demo" => cmd_demo(opts),
         "dump-config" => cmd_dump_config(opts),
         "run-config" => cmd_run_config(opts),
+        "serve" => cmd_serve(opts),
         "perfwatch" => cmd_perfwatch(opts),
         "fig7" | "fig6" | "ablate" => {
             let cfg = opts.campaign();

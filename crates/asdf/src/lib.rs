@@ -24,6 +24,10 @@
 //!   out across threads with deterministic, order-preserving collection;
 //! * [`report`] — plain-text rendering in the shape of the paper's
 //!   tables;
+//! * [`serve`] — the long-lived multi-tenant diagnosis daemon behind
+//!   `asdf serve`: many monitored clusters ("tenants") stream collector
+//!   frames over the versioned wire protocol into bounded per-tenant
+//!   ingress queues, each diagnosed by its own labeled online engine;
 //! * [`perfwatch`] — the dogfooded perf-regression watchdog: it loads
 //!   the repo's own `BENCH_history.jsonl` benchmark series, runs
 //!   E-Divisive-mean change-point detection per metric, and cross-checks
@@ -54,6 +58,8 @@ pub mod experiments;
 pub mod perfwatch;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
 pub use eval::{AnalysisTrace, Confusion, GroundTruth};
 pub use pipeline::{AsdfBuilder, AsdfOptions, Deployment};
+pub use serve::{ServeDaemon, ServeError, ServeOptions, TenantReport, TenantSpec};

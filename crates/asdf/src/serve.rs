@@ -1,0 +1,830 @@
+//! The long-lived multi-tenant diagnosis daemon behind `asdf serve`.
+//!
+//! Batch campaigns build a pipeline, drain it, and exit; the paper's
+//! deployment model is the opposite — a control node that keeps running
+//! while many monitored clusters stream samples at it. [`ServeDaemon`]
+//! reproduces that: each monitored cluster is a **tenant** that joins with
+//! a versioned wire [`Handshake`], streams `sadc` / `hadoop_log` / `strace`
+//! frames over the length-prefixed wire format into a bounded per-tenant
+//! ingress queue, and is diagnosed by its own [`OnlineEngine`] (per-tenant
+//! DAG, batched RowBlock path) — all inside one process.
+//!
+//! The serve model handles the messy parts a batch run never sees:
+//!
+//! * **Backpressure** — each tenant's ingress queue is bounded; a flooding
+//!   tenant sheds its *oldest* frames (freshest data wins, per the paper's
+//!   online bias) with the drop counted on `rpc.shed_total.<tenant>`.
+//!   Queues are per tenant, so one tenant flooding never blocks another.
+//! * **Pacing** — tenants replay at `wall_per_tick / speed`; the engine's
+//!   ticker tracks its own drift and warns when it has to catch up.
+//! * **Join/leave without restart** — tenants are added and removed while
+//!   the daemon runs; leaving flushes in-flight envelopes via
+//!   [`OnlineEngine::flush_and_stop`] before reporting.
+//! * **Isolation** — analysis state, scheduler metrics
+//!   (`online.*.<tenant>`), and queue metrics are all per tenant, so a
+//!   healthy tenant's alarm stream is bitwise identical to a solo run of
+//!   the same frame sequence.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use asdf_core::config::{Config, InstanceConfig};
+use asdf_core::dag::Dag;
+use asdf_core::error::{BuildDagError, ModuleError, OnlineStartError, RunEngineError};
+use asdf_core::module::{Envelope, InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::online::OnlineEngine;
+use asdf_core::registry::ModuleRegistry;
+use asdf_core::time::{TickDuration, Timestamp};
+use asdf_modules::training::BlackBoxModel;
+use asdf_rpc::daemons::{ClusterHandle, Collector, HadoopLogRpcd, LogDaemon, SadcRpcd, StraceRpcd};
+use asdf_rpc::wire::{Bytes, Handshake, MessageBuilder, MessageReader, WireError};
+use hadoop_sim::cluster::{Cluster, ClusterConfig};
+
+/// Stream tag for black-box `sadc` frames.
+pub const STREAM_SADC: u8 = 1;
+/// Stream tag for white-box TaskTracker `hadoop_log` frames.
+pub const STREAM_LOG: u8 = 2;
+/// Stream tag for `strace` syscall-count frames.
+pub const STREAM_STRACE: u8 = 3;
+
+/// Tunable knobs of the serve daemon, shared by every tenant.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Slave nodes per monitored cluster (paper-style peer comparison
+    /// needs at least 3).
+    pub slaves: usize,
+    /// Wall time one engine second occupies before the speed multiplier.
+    pub wall_per_tick: Duration,
+    /// Real-time pacing multiplier (1.0 = real time, 2.0 = twice as fast).
+    pub speed: f64,
+    /// Default ingress-queue capacity, in frames, before shed-oldest.
+    pub queue_capacity: usize,
+    /// Analysis window, in samples.
+    pub window: usize,
+    /// Samples between window evaluations.
+    pub slide: usize,
+    /// Black-box L1 alarm threshold.
+    pub threshold: f64,
+    /// White-box threshold multiplier k.
+    pub wb_k: f64,
+    /// Consecutive anomalous windows required before an alarm.
+    pub consecutive: usize,
+    /// Mailbox coalescing window of each tenant engine.
+    pub batch_size: usize,
+    /// Build the white-box paths (`hadoop_log` and `strace` streams feed
+    /// `mavgvec → analysis_wb`) in addition to the black-box path.
+    pub white_box: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            slaves: 4,
+            wall_per_tick: Duration::from_secs(1),
+            speed: 1.0,
+            queue_capacity: 4096,
+            window: 60,
+            slide: 60,
+            threshold: 60.0,
+            wb_k: 3.0,
+            consecutive: 3,
+            batch_size: 64,
+            white_box: true,
+        }
+    }
+}
+
+/// Per-tenant workload description supplied at join time.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Simulation seed of the tenant's monitored cluster.
+    pub seed: u64,
+    /// Number of one-second collection steps the tenant streams. A fixed
+    /// count keeps a tenant's frame sequence reproducible, which is what
+    /// makes solo and multi-tenant alarm streams comparable bit for bit.
+    pub steps: u64,
+    /// Stream at maximum rate instead of pacing — a misbehaving tenant
+    /// that must be absorbed by shedding, not by slowing anyone down.
+    pub flood: bool,
+    /// Overrides [`ServeOptions::queue_capacity`] for this tenant.
+    pub queue_capacity: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A paced, well-behaved tenant streaming `steps` collection steps.
+    pub fn paced(seed: u64, steps: u64) -> Self {
+        TenantSpec {
+            seed,
+            steps,
+            flood: false,
+            queue_capacity: None,
+        }
+    }
+
+    /// A flooding tenant: same workload, no pacing.
+    pub fn flooding(seed: u64, steps: u64) -> Self {
+        TenantSpec {
+            flood: true,
+            ..TenantSpec::paced(seed, steps)
+        }
+    }
+}
+
+/// An error from the serve daemon's tenant lifecycle.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The join handshake was malformed or spoke an unknown wire version.
+    Handshake(WireError),
+    /// A tenant with this id is already being served.
+    DuplicateTenant(String),
+    /// No tenant with this id is being served.
+    UnknownTenant(String),
+    /// Connecting a collector daemon to the tenant's cluster failed.
+    Collector(WireError),
+    /// The tenant's analysis DAG failed to build.
+    Build(BuildDagError),
+    /// The tenant's online engine failed to launch.
+    Start(OnlineStartError),
+    /// The tenant's engine reported a module failure.
+    Engine(RunEngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Handshake(e) => write!(f, "tenant handshake rejected: {e}"),
+            ServeError::DuplicateTenant(t) => write!(f, "tenant `{t}` already joined"),
+            ServeError::UnknownTenant(t) => write!(f, "no such tenant `{t}`"),
+            ServeError::Collector(e) => write!(f, "collector connect failed: {e}"),
+            ServeError::Build(e) => write!(f, "tenant DAG failed to build: {e}"),
+            ServeError::Start(e) => write!(f, "tenant engine failed to start: {e}"),
+            ServeError::Engine(e) => write!(f, "tenant engine failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Handshake(e) | ServeError::Collector(e) => Some(e),
+            ServeError::Build(e) => Some(e),
+            ServeError::Start(e) => Some(e),
+            ServeError::Engine(e) => Some(e),
+            ServeError::DuplicateTenant(_) | ServeError::UnknownTenant(_) => None,
+        }
+    }
+}
+
+/// A bounded, shed-oldest ingress queue decoupling one tenant's stream
+/// from its engine.
+///
+/// `push` never blocks: at capacity the *oldest* frame is dropped (the
+/// freshest observation is the valuable one for online diagnosis) and the
+/// drop is counted — locally for test isolation and on the global
+/// `rpc.shed_total.<tenant>` counter for operators.
+pub struct IngressQueue {
+    inner: Mutex<VecDeque<Bytes>>,
+    capacity: usize,
+    shed: AtomicU64,
+    shed_counter: Arc<asdf_obs::Counter>,
+    depth_gauge: Arc<asdf_obs::Gauge>,
+}
+
+impl IngressQueue {
+    /// Creates a queue for `tenant` holding at most `capacity` frames.
+    pub fn new(tenant: &str, capacity: usize) -> Self {
+        let reg = asdf_obs::registry();
+        IngressQueue {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            shed: AtomicU64::new(0),
+            shed_counter: reg.counter(&format!("rpc.shed_total.{tenant}")),
+            depth_gauge: reg.gauge(&format!("rpc.queue_depth.{tenant}")),
+        }
+    }
+
+    /// Enqueues a frame, shedding the oldest one first when full.
+    pub fn push(&self, frame: Bytes) {
+        let mut q = self.inner.lock().expect("ingress queue lock");
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.shed_counter.inc();
+        }
+        q.push_back(frame);
+        self.depth_gauge.set(q.len() as i64);
+    }
+
+    /// Moves every queued frame into `out`, preserving order.
+    pub fn drain_into(&self, out: &mut Vec<Bytes>) {
+        let mut q = self.inner.lock().expect("ingress queue lock");
+        out.extend(q.drain(..));
+        self.depth_gauge.set(0);
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ingress queue lock").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Frames shed (dropped oldest-first) since creation.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// Encodes one collector frame for the ingress queue: stream tag, node
+/// index, collection timestamp, and the value vector.
+pub fn encode_frame(stream: u8, node: u32, timestamp: u64, values: &[f64]) -> Bytes {
+    let mut b = MessageBuilder::new();
+    b.put_u8(stream)
+        .put_u32(node)
+        .put_u64(timestamp)
+        .put_f64_slice(values);
+    b.finish()
+}
+
+/// The per-tenant ingest module: drains the tenant's ingress queue once
+/// per engine tick and re-emits each frame on the per-node port of its
+/// stream, stamped with the frame's *collection* timestamp.
+///
+/// Emitting with the original timestamps (via `emit_row_at`) is what makes
+/// the downstream analyses a pure function of the frame sequence: `knn`
+/// and the aligners key on sample timestamps, so queue batching — which
+/// varies with wall-clock scheduling — cannot change any alarm.
+struct ServeIngest {
+    queue: Arc<IngressQueue>,
+    origins: Vec<String>,
+    white_box: bool,
+    sadc_ports: Vec<PortId>,
+    tt_ports: Vec<PortId>,
+    st_ports: Vec<PortId>,
+    buf: Vec<Bytes>,
+}
+
+impl ServeIngest {
+    fn new(queue: Arc<IngressQueue>, origins: Vec<String>, white_box: bool) -> Self {
+        ServeIngest {
+            queue,
+            origins,
+            white_box,
+            sadc_ports: Vec::new(),
+            tt_ports: Vec::new(),
+            st_ports: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Module for ServeIngest {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        ctx.expect_input_count(0)?;
+        for (i, origin) in self.origins.clone().into_iter().enumerate() {
+            self.sadc_ports
+                .push(ctx.declare_output_with_origin(format!("sadc{i}"), origin.clone()));
+            if self.white_box {
+                self.tt_ports
+                    .push(ctx.declare_output_with_origin(format!("tt{i}"), origin.clone()));
+                self.st_ports
+                    .push(ctx.declare_output_with_origin(format!("st{i}"), origin));
+            }
+        }
+        ctx.request_periodic(TickDuration::SECOND);
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        self.buf.clear();
+        self.queue.drain_into(&mut self.buf);
+        for frame in self.buf.drain(..) {
+            let mut r = MessageReader::new(frame)
+                .map_err(|e| ModuleError::Other(format!("bad ingress frame: {e}")))?;
+            let (stream, node, ts, values) = (|| -> Result<_, WireError> {
+                let stream = r.get_u8()?;
+                let node = r.get_u32()? as usize;
+                let ts = r.get_u64()?;
+                let values = r.get_f64_slice()?;
+                Ok((stream, node, ts, values))
+            })()
+            .map_err(|e| ModuleError::Other(format!("bad ingress frame: {e}")))?;
+            let ports = match stream {
+                STREAM_SADC => &self.sadc_ports,
+                STREAM_LOG => &self.tt_ports,
+                STREAM_STRACE => &self.st_ports,
+                other => {
+                    return Err(ModuleError::Other(format!(
+                        "unknown ingress stream tag {other}"
+                    )))
+                }
+            };
+            let Some(&port) = ports.get(node) else {
+                // White-box streams of a black-box-only tenant, or a node
+                // index beyond the cluster: not wired, drop silently.
+                continue;
+            };
+            ctx.emit_row_at(port, Timestamp::from_secs(ts), &values);
+        }
+        Ok(())
+    }
+}
+
+/// Everything the daemon tracks for one joined tenant.
+struct Tenant {
+    engine: OnlineEngine,
+    queue: Arc<IngressQueue>,
+    feeder: Option<JoinHandle<()>>,
+    feeder_stop: Arc<AtomicBool>,
+    feeder_done: Arc<AtomicBool>,
+}
+
+/// What a tenant leaves behind: its drained alarm streams and the
+/// soak-gate numbers.
+#[derive(Debug)]
+pub struct TenantReport {
+    /// The tenant id from the join handshake.
+    pub tenant: String,
+    /// Black-box alarm/distance envelopes drained from the `bb` tap.
+    pub bb_alarms: Vec<Envelope>,
+    /// White-box (TaskTracker log) envelopes from the `wb_tt` tap.
+    pub wb_tt_alarms: Vec<Envelope>,
+    /// White-box (strace) envelopes from the `wb_st` tap.
+    pub wb_st_alarms: Vec<Envelope>,
+    /// Frames shed from the tenant's ingress queue.
+    pub shed: u64,
+    /// Worst scheduler lag the tenant's engine ever observed, in ticks.
+    pub lag_watermark: i64,
+    /// Envelopes delivered through the tenant's engine.
+    pub delivered: u64,
+}
+
+/// The multi-tenant online diagnosis daemon.
+///
+/// One process, N tenants: each joined tenant gets its own simulated
+/// cluster feeder, bounded ingress queue, and labeled [`OnlineEngine`].
+/// See the module docs for the lifecycle; see `asdf serve` for the CLI.
+pub struct ServeDaemon {
+    model: Arc<BlackBoxModel>,
+    opts: ServeOptions,
+    tenants: BTreeMap<String, Tenant>,
+}
+
+impl ServeDaemon {
+    /// Creates an idle daemon diagnosing against `model`.
+    pub fn new(model: Arc<BlackBoxModel>, opts: ServeOptions) -> Self {
+        ServeDaemon {
+            model,
+            opts,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The daemon's shared options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Currently joined tenant ids, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.tenants.keys().cloned().collect()
+    }
+
+    /// Generates the per-tenant analysis configuration (the Figure-4
+    /// shape, fed by `serve_ingest` instead of in-process collectors).
+    fn config(&self) -> Config {
+        let o = &self.opts;
+        let mut cfg = Config::new();
+        let push = |cfg: &mut Config, inst: InstanceConfig| {
+            cfg.push(inst).expect("generated ids are unique");
+        };
+        push(&mut cfg, InstanceConfig::new("serve_ingest", "ingest"));
+        let centroids_text = self.model.centroids_param();
+        let stddev_text = self.model.stddev_param();
+        for i in 0..o.slaves {
+            push(
+                &mut cfg,
+                InstanceConfig::new("knn", format!("onenn{i}"))
+                    .with_param("centroids", centroids_text.clone())
+                    .with_param("stddev", stddev_text.clone())
+                    .with_param("k", 1)
+                    .with_input("input", "ingest", format!("sadc{i}")),
+            );
+        }
+        let mut bb = InstanceConfig::new("analysis_bb", "bb")
+            .with_param("n_states", self.model.n_states())
+            .with_param("window", o.window)
+            .with_param("slide", o.slide)
+            .with_param("threshold", o.threshold)
+            .with_param("consecutive", o.consecutive);
+        for i in 0..o.slaves {
+            bb = bb.with_input(format!("l{i}"), format!("onenn{i}"), "output0");
+        }
+        push(&mut cfg, bb);
+        if o.white_box {
+            for (tag, port) in [("tt", "tt"), ("st", "st")] {
+                for i in 0..o.slaves {
+                    push(
+                        &mut cfg,
+                        InstanceConfig::new("mavgvec", format!("avg_{tag}_{i}"))
+                            .with_param("window", o.window)
+                            .with_param("slide", o.slide)
+                            .with_param("emit", "both")
+                            .with_input("input", "ingest", format!("{port}{i}")),
+                    );
+                }
+                let mut wb = InstanceConfig::new("analysis_wb", format!("wb_{tag}"))
+                    .with_param("k", o.wb_k)
+                    .with_param("consecutive", o.consecutive);
+                for i in 0..o.slaves {
+                    wb = wb
+                        .with_input(format!("a{i}"), format!("avg_{tag}_{i}"), "mean")
+                        .with_input(format!("d{i}"), format!("avg_{tag}_{i}"), "stddev");
+                }
+                push(&mut cfg, wb);
+            }
+        }
+        cfg
+    }
+
+    /// Admits a tenant: validates its wire handshake, builds its analysis
+    /// engine, and starts its collector feeder. Runs while other tenants
+    /// are being served — no restart involved.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Handshake`] for a malformed or version-mismatched
+    /// hello, [`ServeError::DuplicateTenant`] if the id is taken, and the
+    /// build/start variants if the tenant's engine cannot launch.
+    pub fn join_tenant(&mut self, hello: Bytes, spec: TenantSpec) -> Result<String, ServeError> {
+        let handshake = Handshake::decode(hello).map_err(ServeError::Handshake)?;
+        let tenant = handshake.tenant;
+        if self.tenants.contains_key(&tenant) {
+            return Err(ServeError::DuplicateTenant(tenant));
+        }
+
+        let cluster = Cluster::new(ClusterConfig::new(self.opts.slaves, spec.seed), Vec::new());
+        let origins: Vec<String> = (0..self.opts.slaves)
+            .map(|i| cluster.slave_name(i))
+            .collect();
+        let handle = ClusterHandle::new(cluster);
+        let mut collectors: Vec<(u8, Box<dyn Collector + Send>)> = Vec::new();
+        for node in 0..self.opts.slaves {
+            collectors.push((
+                STREAM_SADC,
+                Box::new(SadcRpcd::connect(handle.clone(), node).map_err(ServeError::Collector)?),
+            ));
+            if self.opts.white_box {
+                collectors.push((
+                    STREAM_LOG,
+                    Box::new(
+                        HadoopLogRpcd::connect(handle.clone(), node, LogDaemon::TaskTracker)
+                            .map_err(ServeError::Collector)?,
+                    ),
+                ));
+                collectors.push((
+                    STREAM_STRACE,
+                    Box::new(
+                        StraceRpcd::connect(handle.clone(), node).map_err(ServeError::Collector)?,
+                    ),
+                ));
+            }
+        }
+
+        let capacity = spec.queue_capacity.unwrap_or(self.opts.queue_capacity);
+        let queue = Arc::new(IngressQueue::new(&tenant, capacity));
+
+        let mut registry = ModuleRegistry::new();
+        asdf_modules::register_analysis_modules(&mut registry);
+        let q = Arc::clone(&queue);
+        let white_box = self.opts.white_box;
+        registry.register("serve_ingest", move || {
+            Box::new(ServeIngest::new(Arc::clone(&q), origins.clone(), white_box))
+        });
+        let dag = Dag::build(&registry, &self.config()).map_err(ServeError::Build)?;
+        let mut builder = OnlineEngine::builder(dag)
+            .wall_per_tick(self.opts.wall_per_tick)
+            .speed(self.opts.speed)
+            .batch_size(self.opts.batch_size)
+            .label(tenant.clone())
+            .tap("bb");
+        if self.opts.white_box {
+            builder = builder.tap("wb_tt").tap("wb_st");
+        }
+        let engine = builder.start().map_err(ServeError::Start)?;
+
+        let feeder_stop = Arc::new(AtomicBool::new(false));
+        let feeder_done = Arc::new(AtomicBool::new(false));
+        let pace = if spec.flood {
+            None
+        } else {
+            Some(self.opts.wall_per_tick.div_f64(self.opts.speed))
+        };
+        let feeder = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&feeder_stop);
+            let done = Arc::clone(&feeder_done);
+            let steps = spec.steps;
+            std::thread::Builder::new()
+                .name(format!("asdf-feed-{tenant}"))
+                .spawn(move || {
+                    feeder_loop(handle, collectors, queue, stop, steps, pace);
+                    done.store(true, Ordering::Relaxed);
+                })
+                .map_err(|source| {
+                    ServeError::Start(OnlineStartError::Spawn {
+                        thread: format!("feed-{tenant}"),
+                        source,
+                    })
+                })?
+        };
+
+        self.tenants.insert(
+            tenant.clone(),
+            Tenant {
+                engine,
+                queue,
+                feeder: Some(feeder),
+                feeder_stop,
+                feeder_done,
+            },
+        );
+        Ok(tenant)
+    }
+
+    /// Whether the tenant's feeder has streamed all its steps.
+    pub fn tenant_done_streaming(&self, tenant: &str) -> bool {
+        self.tenants
+            .get(tenant)
+            .is_some_and(|t| t.feeder_done.load(Ordering::Relaxed))
+    }
+
+    /// Frames currently queued for a tenant.
+    pub fn tenant_queue_len(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map_or(0, |t| t.queue.len())
+    }
+
+    /// Frames shed from a tenant's queue so far.
+    pub fn tenant_shed(&self, tenant: &str) -> u64 {
+        self.tenants.get(tenant).map_or(0, |t| t.queue.shed_count())
+    }
+
+    /// Worst scheduler lag a tenant's engine has observed, in ticks.
+    pub fn tenant_lag_watermark(&self, tenant: &str) -> i64 {
+        self.tenants
+            .get(tenant)
+            .map_or(0, |t| t.engine.scheduler_lag_watermark())
+    }
+
+    /// Blocks until `tenant` has streamed all its steps and its queue is
+    /// drained (or `timeout` passes / its engine fails). Returns whether
+    /// the tenant actually went idle.
+    pub fn wait_idle(&self, tenant: &str, timeout: Duration) -> bool {
+        let Some(t) = self.tenants.get(tenant) else {
+            return false;
+        };
+        let deadline = Instant::now() + timeout;
+        loop {
+            if t.engine.has_failed() {
+                return false;
+            }
+            if t.feeder_done.load(Ordering::Relaxed) && t.queue.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Removes a tenant: stops its feeder, waits for its ingress queue to
+    /// drain, flushes the engine's in-flight envelopes, and returns the
+    /// tenant's alarms and soak numbers. Other tenants keep running.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for an unknown id, or
+    /// [`ServeError::Engine`] if the tenant's engine had failed.
+    pub fn leave_tenant(&mut self, tenant: &str) -> Result<TenantReport, ServeError> {
+        let mut t = self
+            .tenants
+            .remove(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_owned()))?;
+        t.feeder_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = t.feeder.take() {
+            let _ = handle.join();
+        }
+        // Already-queued frames still belong to the tenant: give the
+        // engine's periodic ingest a bounded window to drain them before
+        // flushing (one tick suffices once the feeder is quiet).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !t.queue.is_empty() && !t.engine.has_failed() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let lag_watermark = t.engine.scheduler_lag_watermark();
+        let delivered = t.engine.envelopes_delivered();
+        let bb = t.engine.tap_handle("bb").cloned();
+        let wb_tt = t.engine.tap_handle("wb_tt").cloned();
+        let wb_st = t.engine.tap_handle("wb_st").cloned();
+        t.engine.flush_and_stop().map_err(ServeError::Engine)?;
+        Ok(TenantReport {
+            tenant: tenant.to_owned(),
+            bb_alarms: bb.map(|h| h.drain()).unwrap_or_default(),
+            wb_tt_alarms: wb_tt.map(|h| h.drain()).unwrap_or_default(),
+            wb_st_alarms: wb_st.map(|h| h.drain()).unwrap_or_default(),
+            shed: t.queue.shed_count(),
+            lag_watermark,
+            delivered,
+        })
+    }
+
+    /// Graceful shutdown: leaves every tenant (in sorted order), flushing
+    /// each engine's in-flight envelopes, and returns all reports.
+    ///
+    /// # Errors
+    ///
+    /// The first tenant-engine failure encountered; remaining tenants are
+    /// still torn down by drop.
+    pub fn shutdown(mut self) -> Result<Vec<TenantReport>, ServeError> {
+        let ids = self.tenants();
+        let mut reports = Vec::with_capacity(ids.len());
+        for id in ids {
+            reports.push(self.leave_tenant(&id)?);
+        }
+        Ok(reports)
+    }
+}
+
+impl std::fmt::Debug for ServeDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeDaemon")
+            .field("tenants", &self.tenants())
+            .field("options", &self.opts)
+            .finish()
+    }
+}
+
+/// One tenant's collector feeder: ticks the monitored cluster once per
+/// step, polls every collector over the accounted wire, and pushes the
+/// encoded frames into the ingress queue — paced to `pace` per step, or
+/// flat out when `pace` is `None` (a flooding tenant).
+fn feeder_loop(
+    handle: ClusterHandle,
+    mut collectors: Vec<(u8, Box<dyn Collector + Send>)>,
+    queue: Arc<IngressQueue>,
+    stop: Arc<AtomicBool>,
+    steps: u64,
+    pace: Option<Duration>,
+) {
+    let start = Instant::now();
+    for step in 0..steps {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        handle.tick();
+        for (stream, collector) in &mut collectors {
+            match collector.poll_sample() {
+                Ok(Some(sample)) => {
+                    queue.push(encode_frame(
+                        *stream,
+                        collector.node() as u32,
+                        sample.timestamp,
+                        &sample.values,
+                    ));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!(
+                        "warning: [serve] {} collector poll failed, tenant stream ends: {e}",
+                        collector.kind()
+                    );
+                    return;
+                }
+            }
+        }
+        if let Some(tick) = pace {
+            let target = tick.mul_f64((step + 1) as f64);
+            let elapsed = start.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_modules::kernel::CentroidBlock;
+
+    fn tiny_model() -> Arc<BlackBoxModel> {
+        let dim = 120;
+        Arc::new(BlackBoxModel {
+            stddev: vec![1.0; dim],
+            centroids: CentroidBlock::from_rows(&[vec![0.0; dim], vec![5.0; dim]]),
+        })
+    }
+
+    fn fast_opts() -> ServeOptions {
+        ServeOptions {
+            wall_per_tick: Duration::from_millis(2),
+            window: 10,
+            slide: 10,
+            white_box: false,
+            ..ServeOptions::default()
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_ingress_encoding() {
+        let frame = encode_frame(STREAM_SADC, 3, 41, &[1.0, 2.5]);
+        let mut r = MessageReader::new(frame).unwrap();
+        assert_eq!(r.get_u8().unwrap(), STREAM_SADC);
+        assert_eq!(r.get_u32().unwrap(), 3);
+        assert_eq!(r.get_u64().unwrap(), 41);
+        assert_eq!(r.get_f64_slice().unwrap(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn ingress_queue_sheds_oldest_when_full() {
+        let q = IngressQueue::new("shedtest", 3);
+        for i in 0..5u8 {
+            q.push(encode_frame(STREAM_SADC, 0, i as u64, &[f64::from(i)]));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.shed_count(), 2);
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        // Oldest two (timestamps 0, 1) were shed; 2..5 survive in order.
+        let stamps: Vec<u64> = out
+            .into_iter()
+            .map(|f| {
+                let mut r = MessageReader::new(f).unwrap();
+                r.get_u8().unwrap();
+                r.get_u32().unwrap();
+                r.get_u64().unwrap()
+            })
+            .collect();
+        assert_eq!(stamps, [2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tenant_joins_streams_and_leaves_with_alarms() {
+        let mut daemon = ServeDaemon::new(tiny_model(), fast_opts());
+        let hello = Handshake::new("alpha").encode();
+        let id = daemon.join_tenant(hello, TenantSpec::paced(7, 40)).unwrap();
+        assert_eq!(id, "alpha");
+        assert_eq!(daemon.tenants(), ["alpha"]);
+        assert!(daemon.wait_idle("alpha", Duration::from_secs(30)));
+        let report = daemon.leave_tenant("alpha").unwrap();
+        assert_eq!(report.shed, 0, "a paced tenant must not shed");
+        // 40 steps at window/slide 10 = 4 evaluations x 4 nodes x
+        // (alarm + dist) = 32 envelopes, all flushed out.
+        assert_eq!(report.bb_alarms.len(), 32);
+        assert!(daemon.tenants().is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tenants_are_rejected() {
+        let mut daemon = ServeDaemon::new(tiny_model(), fast_opts());
+        daemon
+            .join_tenant(Handshake::new("dup").encode(), TenantSpec::paced(1, 5))
+            .unwrap();
+        let err = daemon
+            .join_tenant(Handshake::new("dup").encode(), TenantSpec::paced(2, 5))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateTenant(t) if t == "dup"));
+        let err = daemon.leave_tenant("ghost").unwrap_err();
+        assert!(matches!(err, ServeError::UnknownTenant(t) if t == "ghost"));
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn version_mismatched_hello_is_rejected_with_both_versions() {
+        use asdf_rpc::wire::WIRE_VERSION;
+        let mut daemon = ServeDaemon::new(tiny_model(), fast_opts());
+        let mut b = MessageBuilder::new();
+        b.put_u8(WIRE_VERSION + 9).put_str("evil");
+        let err = daemon
+            .join_tenant(b.finish(), TenantSpec::paced(1, 5))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&WIRE_VERSION.to_string())
+                && msg.contains(&(WIRE_VERSION + 9).to_string()),
+            "message should name both versions: {msg}"
+        );
+        assert!(matches!(
+            err,
+            ServeError::Handshake(WireError::VersionMismatch { .. })
+        ));
+    }
+}

@@ -30,6 +30,12 @@ scenarios:
     cargo test -q -p integration-tests --test fault_props
     cargo test -p integration-tests --test scenario_matrix
 
+# The N-tenant serve soak: healthy tenants bitwise-identical to their
+# solo runs while a flooding tenant sheds, join/leave mid-run, graceful
+# shutdown flush, and the 8-tenant scheduler-lag bound.
+serve-soak:
+    cargo test -p integration-tests --test serve_soak
+
 # Concurrency model tests for the lock-free engine primitives (SPSC lane,
 # spill stack, readiness wavefront) under the vendored loom facade. Uses a
 # separate target dir so --cfg loom never invalidates the main build cache.

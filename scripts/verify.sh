@@ -31,6 +31,9 @@ echo "[verify] fault matrix: activation properties + golden scenarios" >&2
 cargo test -q -p integration-tests --test fault_props
 cargo test -p integration-tests --test scenario_matrix
 
+echo "[verify] serve soak (N-tenant isolation, shed, flush, lag bound)" >&2
+cargo test -p integration-tests --test serve_soak
+
 echo "[verify] kernel property suites (bitwise SIMD/scalar pinning)" >&2
 cargo test -q -p asdf-modules --test kernel_prop --test dist2_prop --test classify_proptest
 
