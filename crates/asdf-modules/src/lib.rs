@@ -14,7 +14,9 @@
 //! (`log(1+x)/σ`-scaled 1-NN workload classification), [`ibuffer`]
 //! (rate-matching batches), [`analysis_bb`] (state-histogram L1 peer
 //! comparison), [`analysis_wb`] (windowed-mean median comparison with the
-//! `max(1, k·σ_median)` threshold), [`print`](mod@print) (alarm sink).
+//! `max(1, k·σ_median)` threshold), [`rack_agg`] (fleet-scale rack
+//! tree-reduce feeding rack-mode [`metric_rank`]), [`print`](mod@print)
+//! (alarm sink).
 //!
 //! **Offline training** ([`training`]): k-means centroid fitting on
 //! fault-free traces, rendered to/from `knn` configuration parameters.
@@ -88,6 +90,8 @@ pub mod mavgvec;
 pub mod metric_rank;
 pub mod mitigate;
 pub mod print;
+pub mod rack;
+pub mod rack_agg;
 pub mod training;
 
 #[cfg(test)]
@@ -98,7 +102,7 @@ use asdf_rpc::daemons::ClusterHandle;
 
 /// Registers the cluster-agnostic analysis module types:
 /// `mavgvec`, `knn`, `ibuffer`, `analysis_bb`, `analysis_wb`,
-/// `metric_rank`, `print`.
+/// `metric_rank`, `rack_agg`, `print`.
 pub fn register_analysis_modules(registry: &mut ModuleRegistry) {
     registry.register("mavgvec", || Box::new(mavgvec::MavgVec::new()));
     registry.register("knn", || Box::new(knn::Knn::new()));
@@ -106,6 +110,7 @@ pub fn register_analysis_modules(registry: &mut ModuleRegistry) {
     registry.register("analysis_bb", || Box::new(analysis_bb::AnalysisBb::new()));
     registry.register("analysis_wb", || Box::new(analysis_wb::AnalysisWb::new()));
     registry.register("metric_rank", || Box::new(metric_rank::MetricRank::new()));
+    registry.register("rack_agg", || Box::new(rack_agg::RackAgg::new()));
     registry.register("print", || Box::new(print::Print::new()));
 }
 

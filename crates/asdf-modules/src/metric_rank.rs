@@ -44,8 +44,8 @@ use asdf_core::module::{Emitter, InitCtx, Module, PortId, RowBlock, RunCtx, RunR
 use asdf_core::value::Value;
 use hadoop_logs::sync::Aligner;
 
-use crate::analysis_bb::median;
 use crate::kernel::CentroidBlock;
+use crate::rack::{self, RackSummary};
 
 /// Fraction of the baseline magnitude used as the deviation
 /// denominator's floor (see the module docs' `dev` formula).
@@ -53,15 +53,16 @@ const MAD_FLOOR_FRACTION: f64 = 0.01;
 
 /// One buffered metric vector: an envelope's shared allocation or a
 /// zero-copy view into a columnar [`RowBlock`] (cf. `mavgvec`'s window
-/// rows — both paths are bitwise identical by construction).
+/// rows — both paths are bitwise identical by construction). Shared with
+/// the `rack_agg` aggregator, which buffers the same collector edges.
 #[derive(Debug, Clone)]
-enum MetricRow {
+pub(crate) enum MetricRow {
     Owned(Arc<[f64]>),
     Block(Arc<RowBlock>, usize),
 }
 
 impl MetricRow {
-    fn as_slice(&self) -> &[f64] {
+    pub(crate) fn as_slice(&self) -> &[f64] {
         match self {
             MetricRow::Owned(v) => v,
             MetricRow::Block(block, r) => block.row(*r),
@@ -94,6 +95,9 @@ pub struct MetricRank {
     /// Emission scratch: `[idx, score, ...]` pairs.
     out_row: Vec<f64>,
     rank_ports: Vec<PortId>,
+    /// Rack mode: total fleet nodes reconstructed from `rack_agg`
+    /// summaries (`0` = flat per-node inputs). See [`crate::rack`].
+    rack_nodes: usize,
 }
 
 impl MetricRank {
@@ -114,6 +118,7 @@ impl MetricRank {
             ranked: Vec::new(),
             out_row: Vec::new(),
             rank_ports: Vec::new(),
+            rack_nodes: 0,
         }
     }
 
@@ -134,7 +139,9 @@ impl MetricRank {
                 )))
             }
         };
-        self.check_width(row.as_slice().len())?;
+        if self.rack_nodes == 0 {
+            self.check_width(row.as_slice().len())?;
+        }
         self.aligner.push(slot_idx, secs, row);
         Ok(())
     }
@@ -154,8 +161,19 @@ impl MetricRank {
         Ok(())
     }
 
-    /// Drains aligned rows, evaluating a window every `slide` rows.
-    fn process_aligned(&mut self, emit: &mut Emitter<'_>) {
+    /// Drains aligned rows, evaluating a window every `slide` rows (flat
+    /// mode) or re-ranking on every aligned set of rack summaries (rack
+    /// mode — the rack aggregators already windowed).
+    fn process_aligned(&mut self, emit: &mut Emitter<'_>) -> Result<(), ModuleError> {
+        if self.rack_nodes > 0 {
+            self.process_aligned_rack(emit)
+        } else {
+            self.process_aligned_flat(emit);
+            Ok(())
+        }
+    }
+
+    fn process_aligned_flat(&mut self, emit: &mut Emitter<'_>) {
         let n_nodes = self.history.len();
         while let Some((t, row)) = self.aligner.pop_aligned() {
             for (node, v) in row.into_iter().enumerate() {
@@ -171,51 +189,91 @@ impl MetricRank {
             }
             self.rows_since_eval = 0;
 
-            // Windowed per-node means into the reused contiguous rows.
-            self.means.zero();
-            let inv_n = 1.0 / self.window as f64;
+            // Windowed per-node means into the reused contiguous rows —
+            // the same arithmetic `rack_agg` applies per rack.
             for node in 0..n_nodes {
-                let mean = self.means.row_mut(node);
-                for v in self.history[node].iter() {
-                    for (m, x) in mean.iter_mut().zip(v.as_slice()) {
-                        *m += x;
-                    }
-                }
-                for m in mean {
-                    *m *= inv_n;
-                }
+                rack::windowed_mean_into(
+                    self.history[node].iter().map(|v| v.as_slice()),
+                    self.window,
+                    self.means.row_mut(node),
+                );
             }
-            // Peer baseline and spread, per metric.
-            for d in 0..self.dim {
-                self.col.clear();
-                self.col.extend(self.means.rows().map(|r| r[d]));
-                self.baseline[d] = median(&mut self.col);
+            self.rank_and_emit(t, emit);
+        }
+    }
+
+    /// Rack mode: every aligned set of rack summaries is one already-
+    /// windowed evaluation. Summaries cover contiguous node ranges in
+    /// ascending global order, so concatenating them rebuilds the flat
+    /// mean matrix bitwise (see [`crate::rack`]).
+    fn process_aligned_rack(&mut self, emit: &mut Emitter<'_>) -> Result<(), ModuleError> {
+        while let Some((t, row)) = self.aligner.pop_aligned() {
+            let mut at = 0;
+            for rack_row in &row {
+                let summary =
+                    RackSummary::decode(rack_row.as_slice()).map_err(ModuleError::Other)?;
+                if self.dim == 0 {
+                    self.dim = summary.dim;
+                    self.means = CentroidBlock::zeroed(summary.dim, self.rack_nodes);
+                    self.baseline = vec![0.0; summary.dim];
+                    self.mad = vec![0.0; summary.dim];
+                } else if summary.dim != self.dim {
+                    return Err(ModuleError::Other(format!(
+                        "inconsistent rack metric width: {} then {}",
+                        self.dim, summary.dim
+                    )));
+                }
+                if at + summary.n_nodes > self.rack_nodes {
+                    return Err(ModuleError::Other(format!(
+                        "rack summaries cover more than the declared {} nodes",
+                        self.rack_nodes
+                    )));
+                }
+                for local in 0..summary.n_nodes {
+                    self.means
+                        .row_mut(at + local)
+                        .copy_from_slice(&summary.means[local * self.dim..][..self.dim]);
+                }
+                at += summary.n_nodes;
+            }
+            if at != self.rack_nodes {
+                return Err(ModuleError::Other(format!(
+                    "rack summaries cover {at} nodes, expected {}",
+                    self.rack_nodes
+                )));
+            }
+            self.rank_and_emit(t, emit);
+        }
+        Ok(())
+    }
+
+    /// Peer baseline + MAD + deviation ranking over the mean matrix —
+    /// identical on the flat and rack paths.
+    fn rank_and_emit(&mut self, t: u64, emit: &mut Emitter<'_>) {
+        rack::peer_baseline_into(
+            &self.means,
+            &mut self.baseline,
+            &mut self.mad,
+            &mut self.col,
+        );
+        let ts = asdf_core::time::Timestamp::from_secs(t);
+        for node in 0..self.rank_ports.len() {
+            self.ranked.clear();
+            let mean = self.means.row(node);
+            for (d, m) in mean.iter().enumerate() {
                 let base = self.baseline[d];
-                self.col.clear();
-                self.col
-                    .extend(self.means.rows().map(|r| (r[d] - base).abs()));
-                self.mad[d] = median(&mut self.col);
+                let floor = MAD_FLOOR_FRACTION * (1.0 + base.abs());
+                let dev = (m - base).abs() / (self.mad[d] + floor);
+                self.ranked.push((d, dev));
             }
-            // Rank and emit per node.
-            let ts = asdf_core::time::Timestamp::from_secs(t);
-            for node in 0..n_nodes {
-                self.ranked.clear();
-                let mean = self.means.row(node);
-                for (d, m) in mean.iter().enumerate() {
-                    let base = self.baseline[d];
-                    let floor = MAD_FLOOR_FRACTION * (1.0 + base.abs());
-                    let dev = (m - base).abs() / (self.mad[d] + floor);
-                    self.ranked.push((d, dev));
-                }
-                self.ranked
-                    .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                self.out_row.clear();
-                for &(d, dev) in self.ranked.iter().take(self.top) {
-                    self.out_row.push(d as f64);
-                    self.out_row.push(dev);
-                }
-                emit.emit_row_at(self.rank_ports[node], ts, &self.out_row);
+            self.ranked
+                .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            self.out_row.clear();
+            for &(d, dev) in self.ranked.iter().take(self.top) {
+                self.out_row.push(d as f64);
+                self.out_row.push(dev);
             }
+            emit.emit_row_at(self.rank_ports[node], ts, &self.out_row);
         }
     }
 }
@@ -241,7 +299,39 @@ impl Module for MetricRank {
             return Err(ModuleError::invalid_parameter("top", "must be positive"));
         }
 
-        let n_nodes = ctx.input_slots().len();
+        let n_slots = ctx.input_slots().len();
+        if let Some(nodes) = ctx.param("nodes") {
+            // Rack mode: inputs are `rack_agg` summaries covering
+            // contiguous node ranges in ascending global order; `nodes`
+            // names every fleet node so the per-node rank ports keep
+            // their origins.
+            let names: Vec<String> = nodes
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if names.len() < 3 {
+                return Err(ModuleError::BadInputs(format!(
+                    "peer baseline needs >= 3 nodes, got {}",
+                    names.len()
+                )));
+            }
+            if n_slots == 0 {
+                return Err(ModuleError::BadInputs(
+                    "rack mode needs at least one rack summary input".to_owned(),
+                ));
+            }
+            self.rack_nodes = names.len();
+            for (i, name) in names.into_iter().enumerate() {
+                self.rank_ports
+                    .push(ctx.declare_output_with_origin(format!("rank{i}"), name));
+            }
+            self.aligner = Aligner::new(n_slots);
+            self.col = Vec::with_capacity(self.rack_nodes);
+            return Ok(());
+        }
+
+        let n_nodes = n_slots;
         if n_nodes < 3 {
             return Err(ModuleError::BadInputs(format!(
                 "peer baseline needs >= 3 nodes, got {n_nodes}"
@@ -267,8 +357,7 @@ impl Module for MetricRank {
         for (slot_idx, env) in drain {
             self.push_envelope(slot_idx, env.sample.timestamp.as_secs(), &env.sample.value)?;
         }
-        self.process_aligned(&mut emit);
-        Ok(())
+        self.process_aligned(&mut emit)
     }
 
     /// Columnar delivery: the per-node collector edges are the campaign's
@@ -288,13 +377,14 @@ impl Module for MetricRank {
         for (slot_idx, block) in blocks {
             for r in 0..block.len() {
                 let secs = block.stamps[r].as_secs();
-                self.check_width(block.row(r).len())?;
+                if self.rack_nodes == 0 {
+                    self.check_width(block.row(r).len())?;
+                }
                 self.aligner
                     .push(slot_idx, secs, MetricRow::Block(Arc::clone(&block), r));
             }
         }
-        self.process_aligned(&mut emit);
-        Ok(())
+        self.process_aligned(&mut emit)
     }
 }
 
@@ -441,6 +531,80 @@ input[m2] = n2.out
             out.iter().map(|e| e.source.origin.as_str()).collect();
         assert!(origins.contains("peer0"));
         assert!(origins.contains("culprit"));
+    }
+
+    #[test]
+    fn rack_mode_is_bitwise_equal_to_flat() {
+        // Four nodes (one deviant), flat wiring vs two racks tree-reduced
+        // through rack_agg: the rank streams must match bitwise.
+        let nodes = "\
+[vecnode]
+id = n0
+origin = peer0
+
+[vecnode]
+id = n1
+origin = peer1
+
+[vecnode]
+id = n2
+origin = peer2
+
+[deviantvec]
+id = n3
+after = 5
+";
+        let flat = format!(
+            "{nodes}
+[metric_rank]
+id = mr
+window = 10
+top = 3
+input[m0] = n0.out
+input[m1] = n1.out
+input[m2] = n2.out
+input[m3] = n3.out
+"
+        );
+        let rack = format!(
+            "{nodes}
+[rack_agg]
+id = ra0
+window = 10
+input[m0] = n0.out
+input[m1] = n1.out
+
+[rack_agg]
+id = ra1
+window = 10
+input[m0] = n2.out
+input[m1] = n3.out
+
+[metric_rank]
+id = mr
+top = 3
+nodes = peer0,peer1,peer2,culprit
+input[r0] = ra0.sum
+input[r1] = ra1.sum
+"
+        );
+        let project =
+            |out: &[asdf_core::module::Envelope]| -> Vec<(String, String, u64, Vec<f64>)> {
+                out.iter()
+                    .map(|e| {
+                        (
+                            e.source.name.clone(),
+                            e.source.origin.clone(),
+                            e.sample.timestamp.as_secs(),
+                            e.sample.value.as_vector().unwrap().to_vec(),
+                        )
+                    })
+                    .collect()
+            };
+        let flat_out = project(&run(&flat, 40));
+        let rack_out = project(&run(&rack, 40));
+        assert!(!flat_out.is_empty());
+        assert_eq!(flat_out, rack_out);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Rack-level tree-reduce math for fleet-scale peer comparison.
+//!
+//! Diagnosing a 5000-node fleet with the flat `metric_rank` wiring pushes
+//! every node's metric vectors through one global DAG stage. The fleet
+//! path instead tree-reduces **per-rack summaries**: each rack computes
+//! its nodes' windowed per-metric means locally (`rack_agg`), and the
+//! global stage merges rack summaries before running the identical peer
+//! baseline + MAD + deviation ranking. The global stage then costs
+//! O(racks) *data* while the fleet still pays O(nodes) *work*, spread
+//! across the rack aggregators.
+//!
+//! The merge is exact by construction: a rack summary carries the per-node
+//! windowed means themselves (a sufficient statistic for the peer
+//! comparison), and merging is concatenation in global node order — no
+//! arithmetic happens at merge time, so any tree shape reduces to the same
+//! flat mean matrix bitwise. The per-node mean and the per-metric
+//! median/MAD are computed by the exact same code on both paths
+//! ([`windowed_mean_into`], [`peer_baseline_into`]), which is what the
+//! rack-merge proptests pin down.
+
+use crate::analysis_bb::median;
+use crate::kernel::CentroidBlock;
+
+/// Accumulates `rows` (chronologically ordered window samples) into `out`
+/// and scales by `1/window` — the exact windowed-mean arithmetic of the
+/// flat `metric_rank` path. `out` is fully overwritten.
+pub fn windowed_mean_into<'a>(
+    rows: impl Iterator<Item = &'a [f64]>,
+    window: usize,
+    out: &mut [f64],
+) {
+    for m in out.iter_mut() {
+        *m = 0.0;
+    }
+    for v in rows {
+        for (m, x) in out.iter_mut().zip(v) {
+            *m += x;
+        }
+    }
+    let inv_n = 1.0 / window as f64;
+    for m in out.iter_mut() {
+        *m *= inv_n;
+    }
+}
+
+/// Component-wise peer baseline (median across node rows) and MAD (median
+/// absolute deviation from that baseline) over a mean matrix. `col` is
+/// reusable scratch.
+pub fn peer_baseline_into(
+    means: &CentroidBlock,
+    baseline: &mut [f64],
+    mad: &mut [f64],
+    col: &mut Vec<f64>,
+) {
+    let dim = baseline.len();
+    for d in 0..dim {
+        col.clear();
+        col.extend(means.rows().map(|r| r[d]));
+        baseline[d] = median(col);
+        let base = baseline[d];
+        col.clear();
+        col.extend(means.rows().map(|r| (r[d] - base).abs()));
+        mad[d] = median(col);
+    }
+}
+
+/// A rack's contribution to the global peer comparison: the windowed
+/// per-metric means of its nodes, in ascending global node order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackSummary {
+    /// Nodes summarized by this partial.
+    pub n_nodes: usize,
+    /// Metrics per node.
+    pub dim: usize,
+    /// Row-major `n_nodes × dim` mean matrix.
+    pub means: Vec<f64>,
+}
+
+impl RackSummary {
+    /// Encodes the summary as a self-describing flat row:
+    /// `[n_nodes, dim, means…]`.
+    pub fn encode_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.push(self.n_nodes as f64);
+        out.push(self.dim as f64);
+        out.extend_from_slice(&self.means);
+    }
+
+    /// Decodes a row produced by [`Self::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation when the header is
+    /// missing, non-integral, or inconsistent with the payload length.
+    pub fn decode(row: &[f64]) -> Result<RackSummary, String> {
+        if row.len() < 2 {
+            return Err(format!(
+                "rack summary needs [k, dim, …], got {} values",
+                row.len()
+            ));
+        }
+        let (k, dim) = (row[0], row[1]);
+        if k.fract() != 0.0 || dim.fract() != 0.0 || k < 1.0 || dim < 1.0 {
+            return Err(format!("bad rack summary header [k={k}, dim={dim}]"));
+        }
+        let (n_nodes, dim) = (k as usize, dim as usize);
+        let want = n_nodes * dim;
+        if row.len() - 2 != want {
+            return Err(format!(
+                "rack summary payload is {} values, header says {n_nodes}x{dim}",
+                row.len() - 2
+            ));
+        }
+        Ok(RackSummary {
+            n_nodes,
+            dim,
+            means: row[2..].to_vec(),
+        })
+    }
+
+    /// Merges partials (each covering a contiguous node range, in global
+    /// node order) into one summary — pure concatenation, no arithmetic,
+    /// so every merge tree shape produces the identical matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when partials disagree on `dim`.
+    pub fn merge(parts: &[RackSummary]) -> RackSummary {
+        let dim = parts.first().map_or(0, |p| p.dim);
+        let mut merged = RackSummary {
+            n_nodes: 0,
+            dim,
+            means: Vec::new(),
+        };
+        for p in parts {
+            assert_eq!(p.dim, dim, "rack partials must agree on metric width");
+            merged.n_nodes += p.n_nodes;
+            merged.means.extend_from_slice(&p.means);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_round_trips_through_encoding() {
+        let s = RackSummary {
+            n_nodes: 2,
+            dim: 3,
+            means: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let mut row = Vec::new();
+        s.encode_into(&mut row);
+        assert_eq!(row[..2], [2.0, 3.0]);
+        assert_eq!(RackSummary::decode(&row).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_rows() {
+        assert!(RackSummary::decode(&[]).is_err());
+        assert!(RackSummary::decode(&[2.0]).is_err());
+        assert!(RackSummary::decode(&[2.5, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+        assert!(RackSummary::decode(&[2.0, 2.0, 0.0]).is_err()); // short payload
+        assert!(RackSummary::decode(&[0.0, 2.0]).is_err()); // zero nodes
+    }
+
+    #[test]
+    fn merge_concatenates_in_order() {
+        let a = RackSummary {
+            n_nodes: 1,
+            dim: 2,
+            means: vec![1.0, 2.0],
+        };
+        let b = RackSummary {
+            n_nodes: 2,
+            dim: 2,
+            means: vec![3.0, 4.0, 5.0, 6.0],
+        };
+        let m = RackSummary::merge(&[a.clone(), b.clone()]);
+        assert_eq!(m.n_nodes, 3);
+        assert_eq!(m.means, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // Tree shapes collapse to the same result.
+        let t = RackSummary::merge(&[RackSummary::merge(&[a]), b]);
+        assert_eq!(m, t);
+    }
+
+    #[test]
+    fn windowed_mean_matches_naive() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let mut out = vec![f64::NAN; 2];
+        windowed_mean_into(rows.iter().map(|r| r.as_slice()), 3, &mut out);
+        assert_eq!(
+            out,
+            vec![(1.0 + 2.0 + 3.0) / 3.0, (10.0 + 20.0 + 30.0) / 3.0]
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The `rack_agg` tree-reduce stage for fleet-scale peer comparison.
+//!
+//! One instance per rack, wired to the rack's per-node collector edges
+//! (`m0`, `m1`, …). Every `slide` aligned samples (once all nodes carry a
+//! full `window`), it computes each node's windowed per-metric mean with
+//! the exact arithmetic of the flat `metric_rank` path
+//! ([`crate::rack::windowed_mean_into`]) and emits one self-describing
+//! summary row `[k, dim, means…]` ([`crate::rack::RackSummary`]) on the
+//! `sum` port.
+//!
+//! A downstream `metric_rank` in rack mode (its `nodes` parameter set)
+//! concatenates the rack summaries back into the flat mean matrix and runs
+//! the identical baseline/MAD/deviation ranking — bitwise equal to the
+//! flat wiring, while the global DAG stage moves O(racks) rows instead of
+//! O(nodes) metric vectors per evaluation.
+//!
+//! Configuration parameters:
+//!
+//! * `window` — samples per window (default 60);
+//! * `slide` — samples between evaluations (default = `window`).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use asdf_core::error::ModuleError;
+use asdf_core::module::{Emitter, InitCtx, Module, PortId, RunCtx, RunReason};
+use asdf_core::value::Value;
+use hadoop_logs::sync::Aligner;
+
+use crate::metric_rank::MetricRow;
+use crate::rack;
+
+/// Per-rack windowed-mean summarizer (see the module docs).
+#[derive(Debug)]
+pub struct RackAgg {
+    window: usize,
+    slide: usize,
+    aligner: Aligner<MetricRow>,
+    history: Vec<VecDeque<MetricRow>>,
+    rows_since_eval: usize,
+    /// Metric vector width, discovered from the first sample.
+    dim: usize,
+    /// Emission scratch: `[k, dim, means…]`.
+    out_row: Vec<f64>,
+    /// Per-node mean scratch.
+    mean: Vec<f64>,
+    out: Option<PortId>,
+}
+
+impl RackAgg {
+    /// Creates an unconfigured instance.
+    pub fn new() -> Self {
+        RackAgg {
+            window: 0,
+            slide: 0,
+            aligner: Aligner::new(1),
+            history: Vec::new(),
+            rows_since_eval: 0,
+            dim: 0,
+            out_row: Vec::new(),
+            mean: Vec::new(),
+            out: None,
+        }
+    }
+
+    fn push_envelope(
+        &mut self,
+        slot_idx: usize,
+        secs: u64,
+        value: &Value,
+    ) -> Result<(), ModuleError> {
+        let row = match value {
+            Value::Vector(v) => MetricRow::Owned(Arc::clone(v)),
+            other => {
+                return Err(ModuleError::Other(format!(
+                    "rack_agg expects vector samples, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        self.check_width(row.as_slice().len())?;
+        self.aligner.push(slot_idx, secs, row);
+        Ok(())
+    }
+
+    fn check_width(&mut self, width: usize) -> Result<(), ModuleError> {
+        if self.dim == 0 {
+            self.dim = width;
+            self.mean = vec![0.0; width];
+        } else if width != self.dim {
+            return Err(ModuleError::Other(format!(
+                "inconsistent metric vector width: {} then {width}",
+                self.dim
+            )));
+        }
+        Ok(())
+    }
+
+    /// Drains aligned rows, emitting one rack summary every `slide` rows
+    /// once every node's window is full — the same cadence as the flat
+    /// `metric_rank`, so the rack path evaluates at identical timestamps.
+    fn process_aligned(&mut self, emit: &mut Emitter<'_>) {
+        let k = self.history.len();
+        while let Some((t, row)) = self.aligner.pop_aligned() {
+            for (node, v) in row.into_iter().enumerate() {
+                self.history[node].push_back(v);
+                if self.history[node].len() > self.window {
+                    self.history[node].pop_front();
+                }
+            }
+            self.rows_since_eval += 1;
+            let warm = self.history.iter().all(|h| h.len() >= self.window);
+            if !warm || self.rows_since_eval < self.slide {
+                continue;
+            }
+            self.rows_since_eval = 0;
+
+            self.out_row.clear();
+            self.out_row.push(k as f64);
+            self.out_row.push(self.dim as f64);
+            for node in 0..k {
+                rack::windowed_mean_into(
+                    self.history[node].iter().map(|v| v.as_slice()),
+                    self.window,
+                    &mut self.mean,
+                );
+                self.out_row.extend_from_slice(&self.mean);
+            }
+            let ts = asdf_core::time::Timestamp::from_secs(t);
+            emit.emit_row_at(self.out.expect("initialized"), ts, &self.out_row);
+        }
+    }
+}
+
+impl Default for RackAgg {
+    fn default() -> Self {
+        RackAgg::new()
+    }
+}
+
+impl Module for RackAgg {
+    fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+        self.window = ctx.parse_param_or("window", 60usize)?;
+        if self.window == 0 {
+            return Err(ModuleError::invalid_parameter("window", "must be positive"));
+        }
+        self.slide = ctx.parse_param_or("slide", self.window)?;
+        if self.slide == 0 {
+            return Err(ModuleError::invalid_parameter("slide", "must be positive"));
+        }
+        let k = ctx.input_slots().len();
+        if k == 0 {
+            return Err(ModuleError::BadInputs(
+                "rack_agg needs at least one node input".to_owned(),
+            ));
+        }
+        // The summary's origin is the rack's first node — downstream
+        // rack-mode `metric_rank` re-labels per node from its own list.
+        let (slot, sources) = &ctx.input_slots()[0];
+        let origin = sources
+            .first()
+            .map(|m| m.origin.clone())
+            .unwrap_or_else(|| slot.clone());
+        self.out = Some(ctx.declare_output_with_origin("sum", origin));
+        self.aligner = Aligner::new(k);
+        self.history = vec![VecDeque::new(); k];
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (slot_idx, env) in drain {
+            self.push_envelope(slot_idx, env.sample.timestamp.as_secs(), &env.sample.value)?;
+        }
+        self.process_aligned(&mut emit);
+        Ok(())
+    }
+
+    /// Columnar delivery: rack aggregators sit directly on the fleet's
+    /// highest-volume edges, so batch runs hand whole row blocks over.
+    fn accepts_row_blocks(&self) -> bool {
+        true
+    }
+
+    fn run_batch(&mut self, ctx: &mut RunCtx<'_>, _reason: RunReason) -> Result<(), ModuleError> {
+        // Queued envelopes are always older than backlog rows (engine
+        // invariant), so draining them first preserves arrival order.
+        let blocks = ctx.take_row_blocks();
+        let (drain, mut emit) = ctx.drain_and_emit();
+        for (slot_idx, env) in drain {
+            self.push_envelope(slot_idx, env.sample.timestamp.as_secs(), &env.sample.value)?;
+        }
+        for (slot_idx, block) in blocks {
+            for r in 0..block.len() {
+                let secs = block.stamps[r].as_secs();
+                self.check_width(block.row(r).len())?;
+                self.aligner
+                    .push(slot_idx, secs, MetricRow::Block(Arc::clone(&block), r));
+            }
+        }
+        self.process_aligned(&mut emit);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rack::RackSummary;
+    use asdf_core::config::Config;
+    use asdf_core::dag::Dag;
+    use asdf_core::engine::TickEngine;
+    use asdf_core::registry::ModuleRegistry;
+    use asdf_core::time::TickDuration;
+
+    /// Emits `[base, 2·base]` every second.
+    struct VecNode {
+        port: Option<PortId>,
+        base: f64,
+    }
+    impl Module for VecNode {
+        fn init(&mut self, ctx: &mut InitCtx<'_>) -> Result<(), ModuleError> {
+            self.base = ctx.parse_param("base")?;
+            self.port = Some(ctx.declare_output_with_origin("out", format!("n{}", self.base)));
+            ctx.request_periodic(TickDuration::SECOND);
+            Ok(())
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>, _: RunReason) -> Result<(), ModuleError> {
+            ctx.emit(self.port.unwrap(), vec![self.base, 2.0 * self.base]);
+            Ok(())
+        }
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut reg = ModuleRegistry::new();
+        crate::register_analysis_modules(&mut reg);
+        reg.register("vecnode", || {
+            Box::new(VecNode {
+                port: None,
+                base: 0.0,
+            })
+        });
+        reg
+    }
+
+    #[test]
+    fn summaries_carry_per_node_windowed_means() {
+        let cfg: Config = "\
+[vecnode]
+id = n0
+base = 1
+
+[vecnode]
+id = n1
+base = 3
+
+[rack_agg]
+id = ra
+window = 4
+input[m0] = n0.out
+input[m1] = n1.out
+"
+        .parse()
+        .unwrap();
+        let dag = Dag::build(&registry(), &cfg).unwrap();
+        let mut eng = TickEngine::new(dag);
+        let tap = eng.tap("ra").unwrap();
+        eng.run_for(TickDuration::from_secs(9)).unwrap();
+        let out = tap.drain();
+        assert_eq!(out.len(), 2, "two non-overlapping 4-sample windows");
+        for env in &out {
+            let row = env.sample.value.as_vector().unwrap();
+            let s = RackSummary::decode(row).unwrap();
+            assert_eq!((s.n_nodes, s.dim), (2, 2));
+            // Constant inputs: the mean is the input itself.
+            assert_eq!(s.means, vec![1.0, 2.0, 3.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        for cfg in [
+            "[vecnode]\nid = n0\nbase = 1\n\n[rack_agg]\nid = ra\nwindow = 0\ninput[m0] = n0.out\n",
+            "[rack_agg]\nid = ra\n",
+        ] {
+            let parsed: Config = cfg.parse().unwrap();
+            assert!(Dag::build(&registry(), &parsed).is_err(), "should reject");
+        }
+    }
+}

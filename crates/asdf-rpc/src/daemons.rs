@@ -71,7 +71,7 @@ impl ClusterHandle {
 
     /// Hostname of slave `node`.
     pub fn slave_name(&self, node: usize) -> String {
-        self.inner.lock().slave_name(node)
+        self.inner.lock().slave_name(node).to_owned()
     }
 }
 

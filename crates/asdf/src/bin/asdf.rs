@@ -70,6 +70,7 @@ fn usage() -> ! {
          \x20                     [--window W] [--threshold T] [--k K] [--threads N]\n\
          \x20                     [--engine-threads N] [--batch-size B] [--trace-out PATH]\n\
          \x20                     [--workload gridmix|trace:PATH] [--metric-rank]\n\
+         \x20                     [--sim-shards N] [--racks R]\n\
          asdf serve       [--tenants N] [--flood F] [--slaves N] [--secs S]\n\
          \x20                [--seed X] [--tick-ms MS] [--speed F] [--queue-cap N]\n\
          \x20                [--window W] [--threshold T] [--k K] [--batch-size B]\n\
@@ -80,7 +81,9 @@ fn usage() -> ! {
          campaign subcommands default to smoke scale; --trace-out writes a\n\
          Chrome trace_event JSON (chrome://tracing / Perfetto); perfwatch\n\
          analyzes BENCH_history.jsonl for perf regressions (advisory);\n\
-         --workload trace:PATH replays a cluster-trace CSV instead of GridMix\n\
+         --workload trace:PATH replays a cluster-trace CSV instead of GridMix;\n\
+         --sim-shards parallelizes each simulated cluster's tick loop and\n\
+         --racks tree-reduces metric ranking per rack (both bit-identical)\n\
          \n\
          faults: CPUHog DiskHog HADOOP-1036 HADOOP-1152 HADOOP-2080 PacketLoss\n\
          \x20       Straggler MemLeak FlakyLink GrayFailure"
@@ -113,6 +116,8 @@ struct Opts {
     batch_size: Option<usize>,
     workload: Option<String>,
     metric_rank: bool,
+    sim_shards: usize,
+    racks: usize,
     trace_out: Option<String>,
     history: Option<String>,
     report_out: Option<String>,
@@ -144,6 +149,8 @@ fn parse_opts(args: &[String]) -> Opts {
         batch_size: None,
         workload: None,
         metric_rank: false,
+        sim_shards: 1,
+        racks: 0,
         trace_out: None,
         history: None,
         report_out: None,
@@ -186,6 +193,10 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--workload" => o.workload = Some(val("--workload").clone()),
             "--metric-rank" => o.metric_rank = true,
+            "--sim-shards" => {
+                o.sim_shards = val("--sim-shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--racks" => o.racks = val("--racks").parse().unwrap_or_else(|_| usage()),
             "--trace-out" => o.trace_out = Some(val("--trace-out").clone()),
             "--history" => o.history = Some(val("--history").clone()),
             "--report" => o.report_out = Some(val("--report").clone()),
@@ -223,6 +234,8 @@ impl Opts {
         cfg.base_seed = self.seed;
         cfg.threads = self.threads;
         cfg.engine_threads = self.engine_threads;
+        cfg.sim_shards = self.sim_shards;
+        cfg.racks = self.racks;
         if let Some(b) = self.batch_size {
             cfg.batch_size = b;
         }

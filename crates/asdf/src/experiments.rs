@@ -78,6 +78,13 @@ pub struct CampaignConfig {
     /// Also run the Orion+-style `metric_rank` stage, populating
     /// [`RunTraces::metric_ranks`].
     pub metric_rank: bool,
+    /// Simulator worker shards per cluster (`1` = serial tick loop,
+    /// `0` = all available parallelism). Frames and logs are bitwise
+    /// identical at any setting; this only changes wall-clock time.
+    pub sim_shards: usize,
+    /// Rack count for the fleet-scale `metric_rank` path (`0`/`1` = flat
+    /// per-node wiring). Rankings are bitwise identical at any setting.
+    pub racks: usize,
 }
 
 /// The workload a campaign drives its clusters with.
@@ -122,6 +129,8 @@ impl Default for CampaignConfig {
             batch_size: 64,
             workload: Workload::GridMix,
             metric_rank: false,
+            sim_shards: 1,
+            racks: 0,
         }
     }
 }
@@ -148,6 +157,8 @@ impl CampaignConfig {
             batch_size: 64,
             workload: Workload::GridMix,
             metric_rank: false,
+            sim_shards: 1,
+            racks: 0,
         }
     }
 
@@ -164,6 +175,7 @@ impl CampaignConfig {
             rank_top: 5,
             engine_threads: self.engine_threads,
             batch_size: self.batch_size,
+            racks: self.racks,
         }
     }
 
@@ -171,6 +183,7 @@ impl CampaignConfig {
     /// `self.slaves` nodes, seeded by `seed`.
     fn cluster_config(&self, seed: u64) -> ClusterConfig {
         let mut cc = ClusterConfig::new(self.slaves, seed);
+        cc.sim_shards = self.sim_shards;
         if let Workload::Trace(trace) = &self.workload {
             cc.trace = Some(Arc::clone(trace));
         }

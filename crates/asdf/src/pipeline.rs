@@ -60,6 +60,12 @@ pub struct AsdfOptions {
     /// (`1` = per-sample delivery). Purely a transport knob: outputs are
     /// bitwise identical at any setting.
     pub batch_size: usize,
+    /// Rack count for the fleet-scale metric path: `> 1` tree-reduces the
+    /// collector edges through per-rack `rack_agg` summaries before a
+    /// rack-mode `metric_rank`, so the global DAG stage moves O(racks)
+    /// rows instead of O(nodes) metric vectors. Rankings are bitwise
+    /// identical to the flat wiring. `0`/`1` = flat per-node wiring.
+    pub racks: usize,
 }
 
 impl Default for AsdfOptions {
@@ -76,6 +82,7 @@ impl Default for AsdfOptions {
             rank_top: 5,
             engine_threads: 1,
             batch_size: 64,
+            racks: 0,
         }
     }
 }
@@ -108,12 +115,26 @@ impl AsdfBuilder {
         self
     }
 
-    /// Generates the `fpt-core` configuration for `n_nodes` slaves.
+    /// Generates the `fpt-core` configuration for `n_nodes` slaves, with
+    /// the default generated hostnames (`slave00`, `slave01`, …).
     ///
     /// # Panics
     ///
     /// Panics if the black-box path is requested without a model.
     pub fn config(&self, n_nodes: usize) -> Config {
+        let names: Vec<String> = (0..n_nodes).map(|i| format!("slave{i:02}")).collect();
+        self.config_with_names(&names)
+    }
+
+    /// Generates the `fpt-core` configuration for the named slaves (one
+    /// name per node, in node order — deployments pass the cluster's real
+    /// hostnames so rack-mode rankings keep per-node origins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the black-box path is requested without a model.
+    pub fn config_with_names(&self, names: &[String]) -> Config {
+        let n_nodes = names.len();
         let o = &self.options;
         let mut cfg = Config::new();
         let push = |cfg: &mut Config, inst: InstanceConfig| {
@@ -161,9 +182,47 @@ impl AsdfBuilder {
                 &mut cfg,
                 InstanceConfig::new("print", "BlackBoxAlarm").with_input_all("a", "bb"),
             );
-            if o.metric_rank {
-                // Rank metric deviations on the same collector edges the
-                // classifier consumes — no extra collection cost.
+        } else if o.metric_rank {
+            // Metric ranking without the classifier still needs the
+            // per-node collector edges.
+            for i in 0..n_nodes {
+                push(
+                    &mut cfg,
+                    InstanceConfig::new("sadc", format!("sadc{i}"))
+                        .with_param("node", i)
+                        .with_input("clock", "drv", "tick"),
+                );
+            }
+        }
+
+        if o.metric_rank {
+            // Rank metric deviations on the same collector edges the
+            // classifier consumes — no extra collection cost.
+            let n_racks = o.racks.min(n_nodes);
+            if n_racks > 1 {
+                // Fleet wiring: per-rack tree-reduce, then a rack-mode
+                // global ranker over O(racks) summary rows.
+                let per_rack = n_nodes.div_ceil(n_racks);
+                let mut mr = InstanceConfig::new("metric_rank", "mr")
+                    .with_param("top", o.rank_top)
+                    .with_param("nodes", names.join(","));
+                let mut rack = 0;
+                let mut start = 0;
+                while start < n_nodes {
+                    let end = (start + per_rack).min(n_nodes);
+                    let mut ra = InstanceConfig::new("rack_agg", format!("ra{rack}"))
+                        .with_param("window", o.window)
+                        .with_param("slide", o.slide);
+                    for (local, i) in (start..end).enumerate() {
+                        ra = ra.with_input(format!("m{local}"), format!("sadc{i}"), "output0");
+                    }
+                    push(&mut cfg, ra);
+                    mr = mr.with_input(format!("r{rack}"), format!("ra{rack}"), "sum");
+                    rack += 1;
+                    start = end;
+                }
+                push(&mut cfg, mr);
+            } else {
                 let mut mr = InstanceConfig::new("metric_rank", "mr")
                     .with_param("window", o.window)
                     .with_param("slide", o.slide)
@@ -223,11 +282,13 @@ impl AsdfBuilder {
     /// fewer than three slaves for peer comparison).
     pub fn deploy(self, cluster: Cluster) -> Result<Deployment, BuildDagError> {
         let n_nodes = cluster.n_slaves();
-        let node_names: Vec<String> = (0..n_nodes).map(|i| cluster.slave_name(i)).collect();
+        let node_names: Vec<String> = (0..n_nodes)
+            .map(|i| cluster.slave_name(i).to_owned())
+            .collect();
         let handle = ClusterHandle::new(cluster);
         let mut registry = ModuleRegistry::new();
         asdf_modules::register_all(&mut registry, handle.clone());
-        let config = self.config(n_nodes);
+        let config = self.config_with_names(&node_names);
         let dag = Dag::build(&registry, &config)?;
         let mut engine = TickEngine::with_threads(dag, self.options.engine_threads);
         engine.set_batch_size(self.options.batch_size);
@@ -439,6 +500,67 @@ mod tests {
             let row = e.sample.value.as_vector().unwrap();
             assert_eq!(row.len(), 6, "top=3 emits [idx, score] * 3");
         }
+    }
+
+    #[test]
+    fn rack_wiring_is_bitwise_equal_to_flat() {
+        // The fleet path (per-rack rack_agg tree-reduce + rack-mode
+        // metric_rank) must reproduce the flat wiring's rankings exactly,
+        // at any rack count that leaves >= 3 nodes' worth of summaries.
+        let run = |racks: usize| {
+            let cluster = Cluster::new(ClusterConfig::new(7, 9), Vec::new());
+            let mut dep = AsdfBuilder::new(AsdfOptions {
+                window: 5,
+                slide: 5,
+                metric_rank: true,
+                rank_top: 3,
+                racks,
+                ..AsdfOptions::default()
+            })
+            .with_model(tiny_model())
+            .deploy(cluster)
+            .expect("deploys");
+            dep.run_for(25);
+            dep.tap("mr")
+                .unwrap()
+                .drain()
+                .into_iter()
+                .map(|e| {
+                    (
+                        e.source.name.clone(),
+                        e.source.origin.clone(),
+                        e.sample.timestamp.as_secs(),
+                        e.sample.value.as_vector().unwrap().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let flat = run(0);
+        assert!(!flat.is_empty(), "flat wiring should emit rankings");
+        for racks in [2, 3, 7] {
+            assert_eq!(flat, run(racks), "racks={racks}");
+        }
+    }
+
+    #[test]
+    fn metric_rank_only_deployment_needs_no_model() {
+        // Fleet diagnosis latency benchmarks run just the ranking path;
+        // the collector edges are generated without the classifier.
+        let cluster = Cluster::new(ClusterConfig::new(6, 9), Vec::new());
+        let mut dep = AsdfBuilder::new(AsdfOptions {
+            black_box: false,
+            white_box: false,
+            metric_rank: true,
+            window: 5,
+            slide: 5,
+            racks: 2,
+            ..AsdfOptions::default()
+        })
+        .deploy(cluster)
+        .expect("deploys");
+        dep.run_for(15);
+        assert!(dep.tap("bb").is_none());
+        assert!(!dep.tap("mr").unwrap().is_empty());
     }
 
     #[test]

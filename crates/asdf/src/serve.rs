@@ -471,7 +471,7 @@ impl ServeDaemon {
 
         let cluster = Cluster::new(ClusterConfig::new(self.opts.slaves, spec.seed), Vec::new());
         let origins: Vec<String> = (0..self.opts.slaves)
-            .map(|i| cluster.slave_name(i))
+            .map(|i| cluster.slave_name(i).to_owned())
             .collect();
         let handle = ClusterHandle::new(cluster);
         let mut collectors: Vec<(u8, Box<dyn Collector + Send>)> = Vec::new();

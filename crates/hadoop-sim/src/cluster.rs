@@ -27,6 +27,7 @@ use crate::hdfs::Hdfs;
 use crate::job::{JobSpec, JobState, RunningTask, TaskPhase, TaskStatus};
 use crate::logging::{LogEvent, NodeLogs};
 use crate::resources::{allocate_flows, fair_share, loss_goodput_factor, Flow};
+use crate::shard::ShardPool;
 use crate::types::{BlockId, JobId, TaskId, TaskKind};
 
 /// Per-task rate caps (KB/s) — a single stream does not saturate a device.
@@ -82,6 +83,11 @@ pub struct ClusterConfig {
     /// When set, jobs are replayed from this trace instead of being
     /// synthesized by GridMix (see [`crate::trace`]).
     pub trace: Option<std::sync::Arc<crate::trace::Trace>>,
+    /// Worker shards for node-local simulation phases (demand gathering
+    /// and metric rendering). `1` is the serial path, `0` = all available
+    /// parallelism; any count produces bitwise-identical frames and logs
+    /// (see [`crate::shard`]).
+    pub sim_shards: usize,
 }
 
 impl ClusterConfig {
@@ -111,6 +117,7 @@ impl ClusterConfig {
                 ..GridMixConfig::default()
             },
             trace: None,
+            sim_shards: 1,
         }
     }
 }
@@ -181,6 +188,59 @@ struct RunningTaskExt {
     pending_failure: Option<(&'static str, Vec<usize>)>,
 }
 
+/// Cross-node traffic tags carried with each network flow so granted
+/// rates can be attributed back to tasks and daemons.
+#[derive(Clone, Copy, PartialEq)]
+enum FlowKind {
+    MapRemoteRead,
+    ShufflePull,
+    PipelineHop {
+        writer_node: usize,
+        writer_task: usize,
+    },
+}
+
+/// Everything one node's demand-gathering phase produces, collected
+/// node-locally on a shard and merged on the coordinating thread in
+/// ascending node order — the exact accumulation order of the serial loop,
+/// so f64 sums are bitwise identical at any shard count.
+struct NodeWork {
+    /// Network flows this node's tasks want: `(task index, kind, flow)`.
+    flows: Vec<(usize, FlowKind, Flow)>,
+    /// Shuffle demand contributions keyed `(job index, source node)`.
+    shuffle_wanted: Vec<((usize, usize), f64)>,
+    /// Wanted shuffle KB per consuming reduce attempt (task index).
+    reduce_wanted: Vec<(usize, f64)>,
+    /// Granted CPU seconds per running task.
+    task_cpu: Vec<f64>,
+    /// Granted IO KB per running task (before flow contributions).
+    task_io: Vec<f64>,
+    /// Node activity from local grants (flow traffic is added later).
+    act: Activity,
+    /// Tasktracker process activity from local grants.
+    tt: ProcessActivity,
+    /// Disk-hog bytes actually written this second.
+    bg_disk_written: f64,
+    /// Effective line rate under packet loss.
+    net_cap: f64,
+}
+
+impl NodeWork {
+    fn empty() -> Self {
+        NodeWork {
+            flows: Vec::new(),
+            shuffle_wanted: Vec::new(),
+            reduce_wanted: Vec::new(),
+            task_cpu: Vec::new(),
+            task_io: Vec::new(),
+            act: Activity::idle(),
+            tt: ProcessActivity::default(),
+            bg_disk_written: 0.0,
+            net_cap: 0.0,
+        }
+    }
+}
+
 /// The simulated Hadoop cluster.
 ///
 /// # Examples
@@ -198,6 +258,10 @@ pub struct Cluster {
     cfg: ClusterConfig,
     now: u64,
     slaves: Vec<Slave>,
+    /// Cached slave hostnames (`slave_name` is on hot paths).
+    names: Vec<String>,
+    /// Worker shards for the node-local phases of `execute_second`.
+    pool: ShardPool,
     jobs: Vec<JobState>,
     queue: VecDeque<(u64, JobSpec)>,
     workload: Workload,
@@ -254,9 +318,18 @@ impl Cluster {
         };
         let next_submission = workload.next_job();
         let hdfs = Hdfs::new(cfg.slaves, cfg.replication, cfg.seed);
+        let names = slaves.iter().map(|s| s.sim.spec().name.clone()).collect();
+        let shards = if cfg.sim_shards == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            cfg.sim_shards
+        };
+        let pool = ShardPool::new(shards.min(cfg.slaves));
         Cluster {
             now: 0,
             slaves,
+            names,
+            pool,
             jobs: Vec::new(),
             queue: VecDeque::new(),
             workload,
@@ -283,8 +356,9 @@ impl Cluster {
     }
 
     /// Hostname of slave `i` (sample origin throughout the pipeline).
-    pub fn slave_name(&self, i: usize) -> String {
-        self.slaves[i].sim.spec().name.clone()
+    /// Cached at construction — no allocation per call.
+    pub fn slave_name(&self, i: usize) -> &str {
+        &self.names[i]
     }
 
     /// Aggregate statistics so far.
@@ -396,7 +470,7 @@ impl Cluster {
 
     /// The index of the slave named `name`, if any.
     pub fn node_index_of(&self, name: &str) -> Option<usize> {
-        (0..self.cfg.slaves).find(|&i| self.slaves[i].sim.spec().name == name)
+        self.names.iter().position(|n| n == name)
     }
 
     fn free_slots(&self, node: usize, kind: TaskKind) -> usize {
@@ -684,24 +758,35 @@ impl Cluster {
         let n = self.cfg.slaves;
         let now = self.now;
 
-        // --- Gather demands ------------------------------------------------
-        // CPU and disk demands per node: (slave_task_index or BACKGROUND, amount).
-        const BACKGROUND: usize = usize::MAX;
-        // Gray-failure kernel burn: contends like a hog but is accounted as
-        // system time, so the deviation surfaces in `%system`, not `%user`.
-        const BACKGROUND_SYS: usize = usize::MAX - 2;
-        let mut cpu_dem: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let mut disk_dem: Vec<Vec<(usize, f64, bool)>> = vec![Vec::new(); n]; // (who, kb, is_write)
-                                                                              // Flows: (consumer node, task index, kind tag, Flow)
-        #[derive(Clone, Copy, PartialEq)]
-        enum FlowKind {
-            MapRemoteRead,
-            ShufflePull,
-            PipelineHop {
-                writer_node: usize,
-                writer_task: usize,
-            },
+        // Availability of shuffle data per job: emitted-so-far per reduce.
+        let emitted_per_job: Vec<f64> = self
+            .jobs
+            .iter()
+            .map(|j| j.map_output_kb_by_node.iter().sum())
+            .collect();
+
+        // --- Node-local phase: demand gathering + local arbitration --------
+        // Each shard owns a contiguous range of nodes and computes their
+        // resource demands, max-min fair CPU/disk grants, and local
+        // activity accounting independently — nothing here crosses nodes.
+        // Only genuinely cross-node traffic (the flows) leaves this phase,
+        // and it is merged below in ascending node order, reproducing the
+        // serial loop's accumulation order bitwise.
+        let mut works: Vec<NodeWork> = Vec::with_capacity(n);
+        works.resize_with(n, NodeWork::empty);
+        {
+            let slaves = &self.slaves;
+            let jobs = &self.jobs;
+            let emitted = &emitted_per_job;
+            self.pool.run_chunks(&mut works, &|at, chunk| {
+                for (i, work) in chunk.iter_mut().enumerate() {
+                    let node = at + i;
+                    node_demands(jobs, emitted, now, node, &slaves[node], work);
+                }
+            });
         }
+
+        // --- Coordination barrier: merge node-local outputs ----------------
         let mut flows: Vec<(usize, usize, FlowKind, Flow)> = Vec::new();
         // Shuffle demand/grant accounting per (job index, source node), for
         // fetch-stall detection.
@@ -712,241 +797,40 @@ impl Cluster {
         // Per consuming reduce attempt: (wanted, granted) shuffle totals.
         let mut reduce_rx: std::collections::HashMap<(usize, usize), (f64, f64)> =
             std::collections::HashMap::new();
-
-        // Background fault demand + daemon hum.
-        for node in 0..n {
-            let (cores, disk_kbps) = {
-                let spec = self.slaves[node].sim.spec();
-                (f64::from(spec.cores), spec.disk_kbps)
-            };
-            if let Some(fault) = &self.slaves[node].fault {
-                let bg = fault.background_demand(now, cores, disk_kbps);
-                // Hog processes contend as multiple threads/streams, so the
-                // scheduler's max-min fair share actually squeezes the
-                // tasks on the node — a single monolithic demand would be
-                // water-filled around and leave tasks untouched.
-                if bg.cpu_user > 0.0 {
-                    for _ in 0..6 {
-                        cpu_dem[node].push((BACKGROUND, bg.cpu_user / 6.0));
-                    }
-                }
-                if bg.disk_write_kb > 0.0 {
-                    for _ in 0..4 {
-                        disk_dem[node].push((BACKGROUND, bg.disk_write_kb / 4.0, true));
-                    }
-                }
-                // Load-conditional gray failure: a kernel-side burn that only
-                // fires while the node carries real work.
-                let load_tasks = self.slaves[node].running.len() as f64;
-                let gray = fault.gray_demand(now, load_tasks, cores);
-                if gray.cpu_system > 0.0 {
-                    for _ in 0..6 {
-                        cpu_dem[node].push((BACKGROUND_SYS, gray.cpu_system / 6.0));
-                    }
-                }
+        let mut net_caps: Vec<f64> = Vec::with_capacity(n);
+        let mut task_cpu: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut task_io: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut acts: Vec<Activity> = Vec::with_capacity(n);
+        let mut dn_proc: Vec<ProcessActivity> = vec![ProcessActivity::default(); n];
+        let mut tt_proc: Vec<ProcessActivity> = Vec::with_capacity(n);
+        let mut bg_disk_written: Vec<f64> = Vec::with_capacity(n);
+        for (node, work) in works.iter_mut().enumerate() {
+            for (t_idx, kind, flow) in work.flows.drain(..) {
+                flows.push((node, t_idx, kind, flow));
             }
-            // Daemon CPU hum (datanode + tasktracker).
-            cpu_dem[node].push((BACKGROUND - 1, 0.08));
-        }
-
-        // Availability of shuffle data per job: emitted-so-far per reduce.
-        let emitted_per_job: Vec<f64> = self
-            .jobs
-            .iter()
-            .map(|j| j.map_output_kb_by_node.iter().sum())
-            .collect();
-
-        for node in 0..n {
-            for t_idx in 0..self.slaves[node].running.len() {
-                let ext = &self.slaves[node].running[t_idx];
-                match ext.task.phase {
-                    TaskPhase::MapRead {
-                        remaining_kb,
-                        source,
-                    } => match source {
-                        None => {
-                            disk_dem[node].push((t_idx, remaining_kb.min(TASK_DISK_KBPS), false))
-                        }
-                        Some(src) => flows.push((
-                            node,
-                            t_idx,
-                            FlowKind::MapRemoteRead,
-                            Flow {
-                                src,
-                                dst: node,
-                                wanted_kb: remaining_kb.min(TASK_NET_KBPS),
-                            },
-                        )),
-                    },
-                    TaskPhase::MapCompute { remaining_secs }
-                    | TaskPhase::ReduceSort { remaining_secs }
-                    | TaskPhase::ReduceCompute { remaining_secs } => {
-                        cpu_dem[node].push((t_idx, remaining_secs.min(1.0)));
-                    }
-                    TaskPhase::Hung { cpu } => {
-                        if cpu > 0.0 {
-                            cpu_dem[node].push((t_idx, cpu));
-                        }
-                    }
-                    TaskPhase::MapSpill { remaining_kb } => {
-                        disk_dem[node].push((t_idx, remaining_kb.min(TASK_DISK_KBPS), true));
-                    }
-                    TaskPhase::ReduceCopy { remaining_kb } => {
-                        let job_idx = self
-                            .job_index(ext.task.attempt.task.job)
-                            .expect("running task's job exists");
-                        let pulled = ext.shuffle_total_kb - remaining_kb;
-                        let reduces = self.jobs[job_idx].reduce_status.len().max(1) as f64;
-                        let available = (emitted_per_job[job_idx] / reduces - pulled).max(0.0);
-                        let want = remaining_kb.min(available).min(TASK_NET_KBPS);
-                        if want <= 0.0 {
-                            continue;
-                        }
-                        // Pull proportionally from every node holding map
-                        // outputs of this job.
-                        let weights = &self.jobs[job_idx].map_output_kb_by_node;
-                        let total_w: f64 = weights.iter().sum();
-                        if total_w <= 0.0 {
-                            continue;
-                        }
-                        for (src, w) in weights.iter().enumerate() {
-                            if *w <= 0.0 {
-                                continue;
-                            }
-                            let share = want * w / total_w;
-                            if src == node {
-                                disk_dem[node].push((t_idx, share, false));
-                            } else {
-                                *shuffle_wanted.entry((job_idx, src)).or_insert(0.0) += share;
-                                reduce_rx.entry((node, t_idx)).or_insert((0.0, 0.0)).0 += share;
-                                flows.push((
-                                    node,
-                                    t_idx,
-                                    FlowKind::ShufflePull,
-                                    Flow {
-                                        src,
-                                        dst: node,
-                                        wanted_kb: share,
-                                    },
-                                ));
-                            }
-                        }
-                    }
-                    TaskPhase::ReduceWrite { remaining_kb } => {
-                        let want = remaining_kb.min(TASK_DISK_KBPS);
-                        disk_dem[node].push((t_idx, want, true));
-                        if let [r1, r2] = ext.pipeline[..] {
-                            flows.push((
-                                node,
-                                t_idx,
-                                FlowKind::PipelineHop {
-                                    writer_node: node,
-                                    writer_task: t_idx,
-                                },
-                                Flow {
-                                    src: node,
-                                    dst: r1,
-                                    wanted_kb: want,
-                                },
-                            ));
-                            flows.push((
-                                node,
-                                t_idx,
-                                FlowKind::PipelineHop {
-                                    writer_node: node,
-                                    writer_task: t_idx,
-                                },
-                                Flow {
-                                    src: r1,
-                                    dst: r2,
-                                    wanted_kb: want,
-                                },
-                            ));
-                        }
-                    }
-                }
+            for (key, kb) in work.shuffle_wanted.drain(..) {
+                *shuffle_wanted.entry(key).or_insert(0.0) += kb;
             }
+            for (t_idx, kb) in work.reduce_wanted.drain(..) {
+                reduce_rx.entry((node, t_idx)).or_insert((0.0, 0.0)).0 += kb;
+            }
+            net_caps.push(work.net_cap);
+            task_cpu.push(std::mem::take(&mut work.task_cpu));
+            task_io.push(std::mem::take(&mut work.task_io));
+            acts.push(work.act);
+            tt_proc.push(work.tt);
+            bg_disk_written.push(work.bg_disk_written);
         }
+        drop(works);
 
-        // --- Allocate ------------------------------------------------------
-        let cpu_grants: Vec<Vec<f64>> = (0..n)
-            .map(|node| {
-                let demands: Vec<f64> = cpu_dem[node].iter().map(|&(_, d)| d).collect();
-                fair_share(f64::from(self.slaves[node].sim.spec().cores), &demands)
-            })
-            .collect();
-        let disk_grants: Vec<Vec<f64>> = (0..n)
-            .map(|node| {
-                let demands: Vec<f64> = disk_dem[node].iter().map(|&(_, d, _)| d).collect();
-                fair_share(self.slaves[node].sim.spec().disk_kbps, &demands)
-            })
-            .collect();
-        // Effective per-node line rate under packet loss.
-        let net_caps: Vec<f64> = (0..n)
-            .map(|node| {
-                let loss = self.slaves[node]
-                    .fault
-                    .as_ref()
-                    .map_or(0.0, |f| f.packet_loss(now));
-                self.slaves[node].sim.spec().net_kbps * loss_goodput_factor(loss)
-            })
-            .collect();
+        // --- Allocate cross-node flows (global) ----------------------------
         let raw_flows: Vec<Flow> = flows.iter().map(|&(_, _, _, f)| f).collect();
         let flow_rates = allocate_flows(&raw_flows, &net_caps, &net_caps);
 
-        // --- Aggregate per-task grants --------------------------------------
-        // granted CPU secs / IO KB per (node, task).
-        let mut task_cpu: Vec<Vec<f64>> = (0..n)
-            .map(|node| vec![0.0; self.slaves[node].running.len()])
-            .collect();
-        let mut task_io: Vec<Vec<f64>> = (0..n)
-            .map(|node| vec![0.0; self.slaves[node].running.len()])
-            .collect();
         // Pipeline hops are aggregated per writer-task as the *minimum*
         // hop rate (the pipeline advances at its slowest link).
         let mut pipeline_min: std::collections::HashMap<(usize, usize), f64> =
             std::collections::HashMap::new();
-
-        // Activity accumulators.
-        let mut acts: Vec<Activity> = vec![Activity::idle(); n];
-        let mut dn_proc: Vec<ProcessActivity> = vec![ProcessActivity::default(); n];
-        let mut tt_proc: Vec<ProcessActivity> = vec![ProcessActivity::default(); n];
-        let mut bg_disk_written: Vec<f64> = vec![0.0; n];
-
-        for node in 0..n {
-            for (&(who, _), &grant) in cpu_dem[node].iter().zip(&cpu_grants[node]) {
-                if who < task_cpu[node].len() {
-                    task_cpu[node][who] += grant;
-                    tt_proc[node].cpu_user += grant * 0.9;
-                    tt_proc[node].cpu_system += grant * 0.1;
-                    acts[node].cpu_user += grant * 0.9;
-                    acts[node].cpu_system += grant * 0.1;
-                } else if who == BACKGROUND_SYS {
-                    // Gray-failure burn shows up as kernel time.
-                    acts[node].cpu_system += grant;
-                } else {
-                    // Background (hog or daemons): all user except daemons.
-                    acts[node].cpu_user += grant;
-                }
-            }
-            for (&(who, _demand, is_write), &grant) in disk_dem[node].iter().zip(&disk_grants[node])
-            {
-                if who < task_io[node].len() {
-                    task_io[node][who] += grant;
-                    if is_write {
-                        acts[node].disk_write_kb += grant;
-                        tt_proc[node].write_kb += grant;
-                    } else {
-                        acts[node].disk_read_kb += grant;
-                        tt_proc[node].read_kb += grant;
-                    }
-                } else if who == BACKGROUND {
-                    // Disk hog.
-                    acts[node].disk_write_kb += grant;
-                    bg_disk_written[node] += grant;
-                }
-            }
-        }
 
         for (&(consumer_node, t_idx, kind, flow), &rate) in flows.iter().zip(&flow_rates) {
             match kind {
@@ -1218,62 +1102,20 @@ impl Cluster {
         // Losing speculative attempts are killed once their sibling wins.
         self.apply_kills(&kills);
 
-        // --- Render metrics ----------------------------------------------------
-        for node in 0..n {
-            let slave = &mut self.slaves[node];
-            let mut a = acts[node];
-            // Daemon baseline + heartbeats (tasktracker reports every 3 s).
-            a.cpu_system += 0.03;
-            a.mem_used_mb += 550.0; // datanode + tasktracker JVMs
-            for t in &slave.running {
-                a.mem_used_mb += t.task.mem_mb;
-            }
-            if now.is_multiple_of(3) {
-                a.net_tx_kb += 1.0;
-                a.net_rx_kb += 0.5;
-                a.tcp_conns_opened += 1.0;
-            }
-            a.tcp_socks += 20.0 + 2.0 * slave.running.len() as f64;
-            a.packet_loss = slave.fault.as_ref().map_or(0.0, |f| f.packet_loss(now));
-            // Count running/waiting tasks for queue metrics.
-            for t in &slave.running {
-                match t.task.phase {
-                    TaskPhase::MapCompute { .. }
-                    | TaskPhase::ReduceSort { .. }
-                    | TaskPhase::ReduceCompute { .. }
-                    | TaskPhase::Hung { .. } => a.running_tasks += 1.0,
-                    _ => a.io_wait_tasks += 0.5,
+        // --- Render metrics (node-local, sharded) ------------------------------
+        // Each node's frame depends only on its own accumulated activity;
+        // the per-node `procsim` instances never share state.
+        {
+            let pool = &self.pool;
+            let acts_ref = &acts;
+            let dn_ref = &dn_proc;
+            let tt_ref = &tt_proc;
+            pool.run_chunks(&mut self.slaves, &|at, chunk| {
+                for (i, slave) in chunk.iter_mut().enumerate() {
+                    let node = at + i;
+                    render_node(now, slave, acts_ref[node], dn_ref[node], tt_ref[node]);
                 }
-            }
-            // Background fault processes occupy memory and show up in the
-            // run queue like any other process — apply whatever the fault
-            // demanded this second (behavior-driven; no per-kind matching).
-            if let Some(f) = &slave.fault {
-                let (cores, disk_kbps) = {
-                    let spec = slave.sim.spec();
-                    (f64::from(spec.cores), spec.disk_kbps)
-                };
-                let bg = f.background_demand(now, cores, disk_kbps);
-                a.mem_used_mb += bg.mem_used_mb;
-                a.running_tasks += bg.running_tasks;
-            }
-
-            let mut dn = dn_proc[node];
-            dn.cpu_user += 0.01;
-            dn.cpu_system += 0.01 + (dn.read_kb + dn.write_kb) / 800_000.0;
-            dn.rss_mb = 310.0;
-            dn.threads = 28.0;
-            dn.fds = 60.0;
-            let mut tt = tt_proc[node];
-            tt.cpu_user += 0.02;
-            tt.cpu_system += 0.01;
-            tt.rss_mb = 260.0 + TASK_MEM_MB * slave.running.len() as f64;
-            tt.threads = 34.0 + 6.0 * slave.running.len() as f64;
-            tt.fds = 90.0 + 10.0 * slave.running.len() as f64;
-
-            let frame = slave.sim.tick(&a, &[("datanode", dn), ("tasktracker", tt)]);
-            slave.last_frame = Some(frame);
-            slave.last_tt_syscalls = Some(slave.sim.syscall_rates(&tt));
+            });
         }
 
         // --- Job completion bookkeeping ---------------------------------------
@@ -1656,6 +1498,273 @@ impl std::fmt::Debug for Cluster {
     }
 }
 
+fn job_index_in(jobs: &[JobState], id: JobId) -> Option<usize> {
+    jobs.iter().position(|j| j.spec.id == id)
+}
+
+/// One node's share of `execute_second`'s demand phase, shard-safe: reads
+/// the shared job table and this node's state, writes only `out`. The
+/// arithmetic and push order match the old serial loop line-for-line — that
+/// is what keeps sharded runs bitwise identical to serial ones.
+fn node_demands(
+    jobs: &[JobState],
+    emitted_per_job: &[f64],
+    now: u64,
+    node: usize,
+    slave: &Slave,
+    out: &mut NodeWork,
+) {
+    // CPU and disk demands: (slave_task_index or BACKGROUND, amount).
+    const BACKGROUND: usize = usize::MAX;
+    // Gray-failure kernel burn: contends like a hog but is accounted as
+    // system time, so the deviation surfaces in `%system`, not `%user`.
+    const BACKGROUND_SYS: usize = usize::MAX - 2;
+    let mut cpu_dem: Vec<(usize, f64)> = Vec::new();
+    let mut disk_dem: Vec<(usize, f64, bool)> = Vec::new(); // (who, kb, is_write)
+
+    let (cores, disk_kbps) = {
+        let spec = slave.sim.spec();
+        (f64::from(spec.cores), spec.disk_kbps)
+    };
+    if let Some(fault) = &slave.fault {
+        let bg = fault.background_demand(now, cores, disk_kbps);
+        // Hog processes contend as multiple threads/streams, so the
+        // scheduler's max-min fair share actually squeezes the tasks on the
+        // node — a single monolithic demand would be water-filled around
+        // and leave tasks untouched.
+        if bg.cpu_user > 0.0 {
+            for _ in 0..6 {
+                cpu_dem.push((BACKGROUND, bg.cpu_user / 6.0));
+            }
+        }
+        if bg.disk_write_kb > 0.0 {
+            for _ in 0..4 {
+                disk_dem.push((BACKGROUND, bg.disk_write_kb / 4.0, true));
+            }
+        }
+        // Load-conditional gray failure: a kernel-side burn that only
+        // fires while the node carries real work.
+        let load_tasks = slave.running.len() as f64;
+        let gray = fault.gray_demand(now, load_tasks, cores);
+        if gray.cpu_system > 0.0 {
+            for _ in 0..6 {
+                cpu_dem.push((BACKGROUND_SYS, gray.cpu_system / 6.0));
+            }
+        }
+    }
+    // Daemon CPU hum (datanode + tasktracker).
+    cpu_dem.push((BACKGROUND - 1, 0.08));
+
+    for (t_idx, ext) in slave.running.iter().enumerate() {
+        match ext.task.phase {
+            TaskPhase::MapRead {
+                remaining_kb,
+                source,
+            } => match source {
+                None => disk_dem.push((t_idx, remaining_kb.min(TASK_DISK_KBPS), false)),
+                Some(src) => out.flows.push((
+                    t_idx,
+                    FlowKind::MapRemoteRead,
+                    Flow {
+                        src,
+                        dst: node,
+                        wanted_kb: remaining_kb.min(TASK_NET_KBPS),
+                    },
+                )),
+            },
+            TaskPhase::MapCompute { remaining_secs }
+            | TaskPhase::ReduceSort { remaining_secs }
+            | TaskPhase::ReduceCompute { remaining_secs } => {
+                cpu_dem.push((t_idx, remaining_secs.min(1.0)));
+            }
+            TaskPhase::Hung { cpu } => {
+                if cpu > 0.0 {
+                    cpu_dem.push((t_idx, cpu));
+                }
+            }
+            TaskPhase::MapSpill { remaining_kb } => {
+                disk_dem.push((t_idx, remaining_kb.min(TASK_DISK_KBPS), true));
+            }
+            TaskPhase::ReduceCopy { remaining_kb } => {
+                let job_idx = job_index_in(jobs, ext.task.attempt.task.job)
+                    .expect("running task's job exists");
+                let pulled = ext.shuffle_total_kb - remaining_kb;
+                let reduces = jobs[job_idx].reduce_status.len().max(1) as f64;
+                let available = (emitted_per_job[job_idx] / reduces - pulled).max(0.0);
+                let want = remaining_kb.min(available).min(TASK_NET_KBPS);
+                if want <= 0.0 {
+                    continue;
+                }
+                // Pull proportionally from every node holding map outputs
+                // of this job.
+                let weights = &jobs[job_idx].map_output_kb_by_node;
+                let total_w: f64 = weights.iter().sum();
+                if total_w <= 0.0 {
+                    continue;
+                }
+                for (src, w) in weights.iter().enumerate() {
+                    if *w <= 0.0 {
+                        continue;
+                    }
+                    let share = want * w / total_w;
+                    if src == node {
+                        disk_dem.push((t_idx, share, false));
+                    } else {
+                        out.shuffle_wanted.push(((job_idx, src), share));
+                        out.reduce_wanted.push((t_idx, share));
+                        out.flows.push((
+                            t_idx,
+                            FlowKind::ShufflePull,
+                            Flow {
+                                src,
+                                dst: node,
+                                wanted_kb: share,
+                            },
+                        ));
+                    }
+                }
+            }
+            TaskPhase::ReduceWrite { remaining_kb } => {
+                let want = remaining_kb.min(TASK_DISK_KBPS);
+                disk_dem.push((t_idx, want, true));
+                if let [r1, r2] = ext.pipeline[..] {
+                    out.flows.push((
+                        t_idx,
+                        FlowKind::PipelineHop {
+                            writer_node: node,
+                            writer_task: t_idx,
+                        },
+                        Flow {
+                            src: node,
+                            dst: r1,
+                            wanted_kb: want,
+                        },
+                    ));
+                    out.flows.push((
+                        t_idx,
+                        FlowKind::PipelineHop {
+                            writer_node: node,
+                            writer_task: t_idx,
+                        },
+                        Flow {
+                            src: r1,
+                            dst: r2,
+                            wanted_kb: want,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Local max-min arbitration --------------------------------------
+    let cpu_demands: Vec<f64> = cpu_dem.iter().map(|&(_, d)| d).collect();
+    let cpu_grants = fair_share(cores, &cpu_demands);
+    let disk_demands: Vec<f64> = disk_dem.iter().map(|&(_, d, _)| d).collect();
+    let disk_grants = fair_share(disk_kbps, &disk_demands);
+    // Effective line rate under packet loss.
+    let loss = slave.fault.as_ref().map_or(0.0, |f| f.packet_loss(now));
+    out.net_cap = slave.sim.spec().net_kbps * loss_goodput_factor(loss);
+
+    // --- Aggregate per-task grants ---------------------------------------
+    out.task_cpu = vec![0.0; slave.running.len()];
+    out.task_io = vec![0.0; slave.running.len()];
+    for (&(who, _), &grant) in cpu_dem.iter().zip(&cpu_grants) {
+        if who < out.task_cpu.len() {
+            out.task_cpu[who] += grant;
+            out.tt.cpu_user += grant * 0.9;
+            out.tt.cpu_system += grant * 0.1;
+            out.act.cpu_user += grant * 0.9;
+            out.act.cpu_system += grant * 0.1;
+        } else if who == BACKGROUND_SYS {
+            // Gray-failure burn shows up as kernel time.
+            out.act.cpu_system += grant;
+        } else {
+            // Background (hog or daemons): all user except daemons.
+            out.act.cpu_user += grant;
+        }
+    }
+    for (&(who, _demand, is_write), &grant) in disk_dem.iter().zip(&disk_grants) {
+        if who < out.task_io.len() {
+            out.task_io[who] += grant;
+            if is_write {
+                out.act.disk_write_kb += grant;
+                out.tt.write_kb += grant;
+            } else {
+                out.act.disk_read_kb += grant;
+                out.tt.read_kb += grant;
+            }
+        } else if who == BACKGROUND {
+            // Disk hog.
+            out.act.disk_write_kb += grant;
+            out.bg_disk_written += grant;
+        }
+    }
+}
+
+/// Renders one node's OS + daemon metric frame from its accumulated
+/// activity — entirely node-local, so shards can render concurrently.
+fn render_node(
+    now: u64,
+    slave: &mut Slave,
+    mut a: Activity,
+    dn: ProcessActivity,
+    tt: ProcessActivity,
+) {
+    // Daemon baseline + heartbeats (tasktracker reports every 3 s).
+    a.cpu_system += 0.03;
+    a.mem_used_mb += 550.0; // datanode + tasktracker JVMs
+    for t in &slave.running {
+        a.mem_used_mb += t.task.mem_mb;
+    }
+    if now.is_multiple_of(3) {
+        a.net_tx_kb += 1.0;
+        a.net_rx_kb += 0.5;
+        a.tcp_conns_opened += 1.0;
+    }
+    a.tcp_socks += 20.0 + 2.0 * slave.running.len() as f64;
+    a.packet_loss = slave.fault.as_ref().map_or(0.0, |f| f.packet_loss(now));
+    // Count running/waiting tasks for queue metrics.
+    for t in &slave.running {
+        match t.task.phase {
+            TaskPhase::MapCompute { .. }
+            | TaskPhase::ReduceSort { .. }
+            | TaskPhase::ReduceCompute { .. }
+            | TaskPhase::Hung { .. } => a.running_tasks += 1.0,
+            _ => a.io_wait_tasks += 0.5,
+        }
+    }
+    // Background fault processes occupy memory and show up in the
+    // run queue like any other process — apply whatever the fault
+    // demanded this second (behavior-driven; no per-kind matching).
+    if let Some(f) = &slave.fault {
+        let (cores, disk_kbps) = {
+            let spec = slave.sim.spec();
+            (f64::from(spec.cores), spec.disk_kbps)
+        };
+        let bg = f.background_demand(now, cores, disk_kbps);
+        a.mem_used_mb += bg.mem_used_mb;
+        a.running_tasks += bg.running_tasks;
+    }
+
+    let mut dn = dn;
+    dn.cpu_user += 0.01;
+    dn.cpu_system += 0.01 + (dn.read_kb + dn.write_kb) / 800_000.0;
+    dn.rss_mb = 310.0;
+    dn.threads = 28.0;
+    dn.fds = 60.0;
+    let mut tt = tt;
+    tt.cpu_user += 0.02;
+    tt.cpu_system += 0.01;
+    tt.rss_mb = 260.0 + TASK_MEM_MB * slave.running.len() as f64;
+    tt.threads = 34.0 + 6.0 * slave.running.len() as f64;
+    tt.fds = 90.0 + 10.0 * slave.running.len() as f64;
+
+    let frame = slave.sim.tick(&a, &[("datanode", dn), ("tasktracker", tt)]);
+    slave.last_frame = Some(frame);
+    slave.last_tt_syscalls = Some(slave.sim.syscall_rates(&tt));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1692,6 +1801,34 @@ mod tests {
             );
         }
         assert_eq!(a.drain_logs(0), b.drain_logs(0));
+    }
+
+    #[test]
+    fn shard_counts_are_bitwise_equivalent() {
+        // The sharded node-local phases must reproduce the serial path
+        // bitwise: frames, logs, and job stats at every shard count.
+        let n = 13;
+        let fault = FaultSpec {
+            node: 4,
+            kind: FaultKind::DiskHog,
+            start_at: 120,
+        };
+        let run = |shards: usize| {
+            let mut cfg = ClusterConfig::new(n, 33);
+            cfg.sim_shards = shards;
+            let mut c = Cluster::new(cfg, vec![fault]);
+            c.advance(420);
+            let frames: Vec<_> = (0..n).map(|i| c.latest_frame(i).unwrap().clone()).collect();
+            let logs: Vec<_> = (0..n).map(|i| c.drain_logs(i)).collect();
+            (frames, logs, c.stats())
+        };
+        let serial = run(1);
+        for shards in [2, 4, 8] {
+            let sharded = run(shards);
+            assert_eq!(serial.0, sharded.0, "frames differ at {shards} shards");
+            assert_eq!(serial.1, sharded.1, "logs differ at {shards} shards");
+            assert_eq!(serial.2, sharded.2, "stats differ at {shards} shards");
+        }
     }
 
     #[test]

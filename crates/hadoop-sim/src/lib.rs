@@ -40,6 +40,7 @@ pub mod hdfs;
 pub mod job;
 pub mod logging;
 pub mod resources;
+pub mod shard;
 pub mod trace;
 pub mod types;
 

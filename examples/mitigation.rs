@@ -31,7 +31,7 @@ fn main() {
         start_at: cfg.injection_at,
     };
     let cluster = Cluster::new(ClusterConfig::new(cfg.slaves, 2024), vec![fault]);
-    let culprit = cluster.slave_name(cfg.fault_node);
+    let culprit = cluster.slave_name(cfg.fault_node).to_owned();
     let handle = ClusterHandle::new(cluster);
     let mut registry = ModuleRegistry::new();
     asdf_modules::register_all(&mut registry, handle.clone());

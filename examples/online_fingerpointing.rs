@@ -37,7 +37,7 @@ fn main() {
         start_at: cfg.injection_at,
     };
     let cluster = Cluster::new(ClusterConfig::new(cfg.slaves, 77), vec![fault]);
-    let culprit_name = cluster.slave_name(cfg.fault_node);
+    let culprit_name = cluster.slave_name(cfg.fault_node).to_owned();
     let handle = ClusterHandle::new(cluster);
     let mut registry = ModuleRegistry::new();
     asdf_modules::register_all(&mut registry, handle.clone());
@@ -54,6 +54,7 @@ fn main() {
         rank_top: 5,
         engine_threads: 1,
         batch_size: cfg.batch_size,
+        racks: 0,
     })
     .with_model(model);
     let config = builder.config(cfg.slaves);

@@ -30,6 +30,14 @@ scenarios:
     cargo test -q -p integration-tests --test fault_props
     cargo test -p integration-tests --test scenario_matrix
 
+# The fleet-scale suites on their own: the sim-shard x engine-thread x
+# batch bitwise sweep, the rack tree-reduce vs flat ranking equivalence,
+# and the 500-node rack-path fingerpointing scenario (the 5000-node row
+# is measured by the perfsuite `fleet` block, not here).
+fleet:
+    cargo test -p integration-tests --test shard_equivalence -- sim_shards_compose rack_tree_reduce
+    cargo test -p integration-tests --test scenario_matrix -- fleet_scale
+
 # The N-tenant serve soak: healthy tenants bitwise-identical to their
 # solo runs while a flooding tenant sheds, join/leave mid-run, graceful
 # shutdown flush, and the 8-tenant scheduler-lag bound.

@@ -24,10 +24,10 @@ cargo test -q
 echo "[verify] tier-1: clippy -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "[verify] differential equivalence suite (--engine-threads 4 pass included)" >&2
+echo "[verify] differential equivalence suite (engine threads, batches, sim shards, racks)" >&2
 cargo test -p integration-tests --test shard_equivalence --test golden_figures
 
-echo "[verify] fault matrix: activation properties + golden scenarios" >&2
+echo "[verify] fault matrix: activation properties + golden scenarios + 500-node fleet path" >&2
 cargo test -q -p integration-tests --test fault_props
 cargo test -p integration-tests --test scenario_matrix
 

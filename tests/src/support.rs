@@ -268,6 +268,7 @@ pub fn pipeline_streams(
         })
         .unwrap_or_default();
     let mut cc = ClusterConfig::new(cfg.slaves, seed);
+    cc.sim_shards = cfg.sim_shards;
     if let Workload::Trace(trace) = &cfg.workload {
         cc.trace = Some(Arc::clone(trace));
     }
@@ -281,6 +282,7 @@ pub fn pipeline_streams(
         engine_threads: cfg.engine_threads,
         batch_size: cfg.batch_size,
         metric_rank: cfg.metric_rank,
+        racks: cfg.racks,
         ..AsdfOptions::default()
     })
     .with_model(Arc::clone(model))

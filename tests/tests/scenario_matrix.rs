@@ -12,8 +12,9 @@
 //! it is rejected with the offending line number.
 
 use asdf::experiments::{self, CampaignConfig, Workload};
-use hadoop_sim::faults::FaultKind;
-use hadoop_sim::Trace;
+use asdf::pipeline::{AsdfBuilder, AsdfOptions};
+use hadoop_sim::faults::{FaultKind, FaultSpec};
+use hadoop_sim::{Cluster, ClusterConfig, Trace};
 use integration_tests::support;
 
 /// The flattened `sadc` metrics each injected fault perturbs most
@@ -21,7 +22,8 @@ use integration_tests::support;
 fn culprit_metrics(fault: FaultKind) -> &'static [&'static str] {
     match fault {
         // Task pileup and collapsed per-task throughput: the daemons' I/O
-        // rates diverge from peers, and the queue/load family rises.
+        // rates diverge from peers, the queue/load family rises, and —
+        // the degraded-disk signature — tasks sit blocked in I/O wait.
         FaultKind::Straggler => &[
             "datanode.kB_rd/s",
             "datanode.kB_wr/s",
@@ -32,6 +34,8 @@ fn culprit_metrics(fault: FaultKind) -> &'static [&'static str] {
             "ldavg-1",
             "ldavg-5",
             "ldavg-15",
+            "%iowait",
+            "blocked",
         ],
         // Resident-set growth.
         FaultKind::MemLeak => &[
@@ -102,6 +106,89 @@ fn extended_fault_scenarios_match_fixtures_and_rank_the_culprit_metric() {
         hits >= 3,
         "metric_rank must place the perturbed metric in the top 2 for at \
          least 3 of the 4 new fault kinds; got {hits}"
+    );
+}
+
+#[test]
+fn fleet_scale_rack_path_fingers_the_straggler() {
+    // Fleet-scale accuracy floor: 500 nodes, one Straggler, the
+    // rack-aggregated ranking path (sharded simulator, per-rack
+    // tree-reduce, rack-mode metric_rank). The node whose top metric
+    // deviates most from the fleet baseline must be the faulty one, and
+    // that metric must belong to the Straggler's culprit family — i.e.
+    // compressing the global stage to O(racks) rows loses no diagnosis.
+    const NODES: usize = 500;
+    const FAULT_NODE: usize = 137;
+    const FAULT_AT: u64 = 90;
+    let mut cc = ClusterConfig::new(NODES, 71);
+    cc.sim_shards = 0; // all available parallelism; results are bitwise-fixed
+                       // The stock interarrival clamp floors at 8s to bound simulation cost,
+                       // which leaves a 500-node fleet mostly idle; keep per-node occupancy
+                       // scale-independent instead (the paper's comparably-loaded premise).
+    cc.gridmix.mean_interarrival_secs = 400.0 / NODES as f64;
+    let cluster = Cluster::new(
+        cc,
+        vec![FaultSpec {
+            node: FAULT_NODE,
+            kind: FaultKind::Straggler,
+            start_at: FAULT_AT,
+        }],
+    );
+    // A 120s window keeps every peer's load comparable (each node runs
+    // several tasks per window), so the idle-median blow-up that short
+    // windows produce on a big fleet cannot mask the straggler.
+    let mut dep = AsdfBuilder::new(AsdfOptions {
+        black_box: false,
+        white_box: false,
+        metric_rank: true,
+        window: 120,
+        slide: 60,
+        rank_top: 3,
+        racks: 25,
+        ..AsdfOptions::default()
+    })
+    .deploy(cluster)
+    .expect("fleet deployment builds");
+    dep.run_for(600);
+
+    // Collect each node's post-pileup ranking rows (rank{i} ports emit
+    // [metric idx, score] pairs, most deviant first). A straggler is sick
+    // in *every* window once tasks pile up, so the median top-1 score over
+    // those windows separates it from nodes with one transient spike.
+    let mut windows: Vec<Vec<Vec<f64>>> = vec![Vec::new(); NODES];
+    for e in dep.tap("mr").expect("mr tap").drain() {
+        if e.sample.timestamp.as_secs() < FAULT_AT + 60 {
+            continue;
+        }
+        let node: usize = e.source.name["rank".len()..].parse().unwrap();
+        windows[node].push(e.sample.value.as_vector().unwrap().to_vec());
+    }
+    assert!(
+        windows[FAULT_NODE].len() >= 4,
+        "expected several post-fault evaluation windows"
+    );
+    let median_top = |rows: &[Vec<f64>]| -> f64 {
+        let mut scores: Vec<f64> = rows.iter().map(|r| r[1]).collect();
+        scores.sort_by(f64::total_cmp);
+        scores.get(scores.len() / 2).copied().unwrap_or(f64::MIN)
+    };
+    let culprit = (0..NODES)
+        .max_by(|&a, &b| median_top(&windows[a]).total_cmp(&median_top(&windows[b])))
+        .unwrap();
+    assert_eq!(culprit, FAULT_NODE, "rack path must finger the straggler");
+
+    // The straggler's dominant metric across those windows must belong to
+    // its culprit family (task pileup: queue/load growth, I/O divergence).
+    let names = support::metric_names();
+    let mut counts = std::collections::HashMap::new();
+    for r in &windows[FAULT_NODE] {
+        *counts.entry(r[0] as usize).or_insert(0usize) += 1;
+    }
+    let (&top_idx, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+    assert!(
+        culprit_metrics(FaultKind::Straggler).contains(&names[top_idx].as_str()),
+        "dominant metric {:?} should be in the Straggler family",
+        names[top_idx]
     );
 }
 

@@ -403,6 +403,78 @@ fn extended_fault_alarms_and_rankings_identical_under_sharding() {
     }
 }
 
+#[test]
+fn sim_shards_compose_with_engine_threads_and_batches() {
+    // The fleet contract: the simulator's worker-shard pool joins engine
+    // threads and batch size as a parallelism knob that must be bitwise
+    // invisible. A fully-serial run (1 sim shard, 1 thread, batch 1) is
+    // the reference; the sim shards {1,2,4,8} × engine threads {1,4} ×
+    // batch {1,64} grid must reproduce every analysis stream — the
+    // metric_rank tap included — exactly.
+    let base = CampaignConfig {
+        sim_shards: 1,
+        ..matrix_campaign(1, 1)
+    };
+    let model = support::small_model(&base);
+    let reference = support::pipeline_streams(&base, &model, Some(FaultKind::Straggler), 53);
+    assert_eq!(reference.len(), 4, "metric_rank tap must be present");
+    assert!(
+        reference.iter().all(|s| !s.is_empty()),
+        "reference run must produce output on every tap"
+    );
+    for sim_shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 4] {
+            for batch_size in [1usize, 64] {
+                if sim_shards == 1 && threads == 1 && batch_size == 1 {
+                    continue; // the reference itself
+                }
+                let cfg = CampaignConfig {
+                    sim_shards,
+                    ..matrix_campaign(threads, batch_size)
+                };
+                let got = support::pipeline_streams(&cfg, &model, Some(FaultKind::Straggler), 53);
+                assert_eq!(
+                    reference, got,
+                    "stream diverged: sim_shards {sim_shards}, threads {threads}, \
+                     batch {batch_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rack_tree_reduce_rankings_match_flat_wiring() {
+    // The rack path changes the DAG shape (per-rack rack_agg stages plus
+    // a rack-mode metric_rank), so stream equality is checked on the `mr`
+    // tap alone — the analysis taps are covered by the flat sweeps above.
+    // Rankings must be bitwise equal to the flat wiring at every rack
+    // count, including with sim sharding and batching stacked on top.
+    let flat = matrix_campaign(1, 1);
+    let model = support::small_model(&flat);
+    let reference = support::pipeline_streams(&flat, &model, Some(FaultKind::CpuHog), 29)
+        .pop()
+        .expect("mr tap present");
+    assert!(!reference.is_empty(), "flat wiring must emit rankings");
+    for racks in [2usize, 3, 5] {
+        for (sim_shards, threads, batch_size) in [(1, 1, 1), (4, 4, 64)] {
+            let cfg = CampaignConfig {
+                racks,
+                sim_shards,
+                ..matrix_campaign(threads, batch_size)
+            };
+            let got = support::pipeline_streams(&cfg, &model, Some(FaultKind::CpuHog), 29)
+                .pop()
+                .expect("mr tap present");
+            assert_eq!(
+                reference, got,
+                "rankings diverged: racks {racks}, sim_shards {sim_shards}, \
+                 threads {threads}, batch {batch_size}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
